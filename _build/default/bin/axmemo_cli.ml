@@ -1,0 +1,206 @@
+(* Command-line front-end to the AxMemo simulator.
+
+   Subcommands:
+     list                     enumerate the benchmark suite
+     run -b <bench> [-c cfg]  simulate one benchmark under one configuration
+     sweep [-b <bench>]       run every configuration (optionally one bench)
+     analyze -b <bench>       DDDG candidate analysis (Table 1 row)
+     ir -b <bench>            dump the benchmark's IR *)
+
+module W = Axmemo_workloads
+module Runner = Axmemo.Runner
+module Analysis = Axmemo.Analysis
+module Table = Axmemo_util.Table
+open Cmdliner
+
+let config_of_string = function
+  | "baseline" -> Ok Runner.Baseline
+  | "l1-4k" -> Ok Runner.l1_4k
+  | "l1-8k" -> Ok Runner.l1_8k
+  | "l1-8k-l2-256k" -> Ok Runner.l1_8k_l2_256k
+  | "l1-8k-l2-512k" -> Ok Runner.l1_8k_l2_512k
+  | "software" -> Ok Runner.software_default
+  | "atm" -> Ok Runner.atm_default
+  | "noapprox" ->
+      Ok
+        (Runner.Hw_memo
+           {
+             l1_bytes = 8 * 1024;
+             l2_bytes = Some (512 * 1024);
+             approximate = false;
+             monitor = true;
+             total_l2 = None;
+             adaptive = false;
+           })
+  | s -> Error (`Msg ("unknown configuration: " ^ s))
+
+let config_names =
+  [ "baseline"; "l1-4k"; "l1-8k"; "l1-8k-l2-256k"; "l1-8k-l2-512k"; "software"; "atm";
+    "noapprox" ]
+
+let config_conv =
+  Arg.conv
+    ( config_of_string,
+      fun ppf c -> Format.pp_print_string ppf (Runner.config_label c) )
+
+let bench_conv =
+  Arg.conv
+    ( (fun s ->
+        match W.Registry.find s with
+        | Some _ -> Ok s
+        | None -> Error (`Msg ("unknown benchmark: " ^ s))),
+      Format.pp_print_string )
+
+let bench_arg =
+  Arg.(
+    required
+    & opt (some bench_conv) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Benchmark name (see $(b,list)).")
+
+let bench_opt_arg =
+  Arg.(
+    value
+    & opt (some bench_conv) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Restrict to one benchmark.")
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv Runner.l1_8k_l2_512k
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:(Printf.sprintf "One of: %s." (String.concat ", " config_names)))
+
+let variant_arg =
+  Arg.(
+    value & flag
+    & info [ "sample" ]
+        ~doc:"Use the (smaller) sample dataset instead of the evaluation one.")
+
+let variant_of flag = if flag then W.Workload.Sample else W.Workload.Eval
+
+let print_result ~base (r : Runner.result) =
+  Printf.printf "configuration    %s\n" r.label;
+  Printf.printf "cycles           %d (%.3f ms at 2 GHz)\n" r.cycles (1e3 *. r.seconds);
+  Printf.printf "instructions     %d normal + %d memo\n" r.dyn_normal r.dyn_memo;
+  Printf.printf "energy           %.3f uJ (processor, McPAT-style)\n"
+    (r.energy.total_pj /. 1e6);
+  (match base with
+  | Some (b : Runner.result) ->
+      Printf.printf "speedup          %.2fx\n" (Runner.speedup ~baseline:b r);
+      Printf.printf "energy saving    %.2fx\n" (Runner.energy_saving ~baseline:b r);
+      Printf.printf "quality loss     %.3e\n"
+        (W.Workload.quality_loss ~reference:b.outputs ~approx:r.outputs)
+  | None -> ());
+  if r.lookups > 0 then
+    Printf.printf "LUT              %d lookups, %.1f%% hits, %d collisions%s\n" r.lookups
+      (100.0 *. r.hit_rate) r.collisions
+      (if r.memo_disabled then ", DISABLED by quality monitor" else "")
+
+let list_cmd =
+  let doc = "List the benchmark suite (Table 2)." in
+  let run () =
+    List.iter
+      (fun ((m : W.Workload.meta), _) ->
+        Printf.printf "%-14s %-20s %s\n" m.name m.domain m.description)
+      W.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Simulate one benchmark under one configuration." in
+  let run bench config sample =
+    let _, make = Option.get (W.Registry.find bench) in
+    let variant = variant_of sample in
+    let base =
+      match config with
+      | Runner.Baseline -> None
+      | _ -> Some (Runner.run Baseline (make variant))
+    in
+    let r = Runner.run config (make variant) in
+    print_result ~base r
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ bench_arg $ config_arg $ variant_arg)
+
+let sweep_cmd =
+  let doc = "Run every configuration over the suite (or one benchmark)." in
+  let run bench sample =
+    let variant = variant_of sample in
+    let selected =
+      match bench with
+      | Some b -> [ Option.get (W.Registry.find b) ]
+      | None -> W.Registry.all
+    in
+    let configs =
+      [ Runner.l1_4k; Runner.l1_8k; Runner.l1_8k_l2_256k; Runner.l1_8k_l2_512k;
+        Runner.software_default; Runner.atm_default ]
+    in
+    let header = [ "benchmark"; "config"; "speedup"; "esave"; "hit"; "loss" ] in
+    let rows =
+      List.concat_map
+        (fun ((m : W.Workload.meta), make) ->
+          let base = Runner.run Baseline (make variant) in
+          List.map
+            (fun cfg ->
+              let r = Runner.run cfg (make variant) in
+              [
+                m.name;
+                r.label;
+                Table.fmt_x (Runner.speedup ~baseline:base r);
+                Table.fmt_x (Runner.energy_saving ~baseline:base r);
+                Table.fmt_pct r.hit_rate;
+                Printf.sprintf "%.1e"
+                  (W.Workload.quality_loss ~reference:base.outputs ~approx:r.outputs);
+              ])
+            configs)
+        selected
+    in
+    Table.print ~align:[ Left; Left; Right; Right; Right; Right ] ~header rows
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ bench_opt_arg $ variant_arg)
+
+let analyze_cmd =
+  let doc = "DDDG candidate analysis on the sample dataset (Table 1 row)." in
+  let run bench =
+    let _, make = Option.get (W.Registry.find bench) in
+    let r = Analysis.analyze make in
+    Printf.printf "benchmark            %s\n" r.name;
+    Printf.printf "dynamic subgraphs    %d\n" r.total_dynamic_subgraphs;
+    Printf.printf "unique subgraphs     %d\n" r.unique_subgraphs;
+    Printf.printf "avg CI_Ratio         %.2f\n" r.ci_ratio;
+    Printf.printf "memoization coverage %.1f%%\n" (100.0 *. r.coverage);
+    if r.trace_truncated then
+      Printf.printf "(trace truncated at the analysis cap; ratios are over the prefix)\n"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ bench_arg)
+
+let check_cmd =
+  let doc = "Parse and validate an IR file (the format printed by $(b,ir))." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"IR source file.")
+  in
+  let run file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Axmemo_ir.Parser.parse_program text with
+    | Error e -> Format.printf "error: %a@." Axmemo_ir.Parser.pp_error e
+    | Ok p ->
+        Printf.printf "%s: ok — %d function(s), %d static instruction(s)\n" file
+          (Array.length p.funcs) (Axmemo_ir.Ir.static_count p)
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
+
+let ir_cmd =
+  let doc = "Dump a benchmark's IR (before memoization)." in
+  let run bench =
+    let _, make = Option.get (W.Registry.find bench) in
+    let instance = make W.Workload.Sample in
+    Format.printf "%a@." Axmemo_ir.Ir.pp_program instance.program
+  in
+  Cmd.v (Cmd.info "ir" ~doc) Term.(const run $ bench_arg)
+
+let () =
+  let doc = "AxMemo: hardware-compiler co-design for approximate code memoization" in
+  let info = Cmd.info "axmemo" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; analyze_cmd; ir_cmd; check_cmd ]))

@@ -1,0 +1,1 @@
+examples/ir_files.ml: Array Axmemo_compiler Axmemo_ir Axmemo_memo Filename Format Printf Sys

@@ -1,0 +1,1 @@
+examples/option_pricing.ml: Axmemo Axmemo_util Axmemo_workloads List Printf

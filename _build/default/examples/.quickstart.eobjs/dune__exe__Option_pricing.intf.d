@@ -1,0 +1,1 @@
+examples/option_pricing.mli:

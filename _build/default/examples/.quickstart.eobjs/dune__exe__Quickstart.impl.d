@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Axmemo_cache Axmemo_compiler Axmemo_cpu Axmemo_ir Axmemo_memo Axmemo_util Axmemo_workloads Int64 Printf

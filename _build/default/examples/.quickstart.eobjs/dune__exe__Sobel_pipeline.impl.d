@@ -1,0 +1,1 @@
+examples/sobel_pipeline.ml: Array Axmemo Axmemo_workloads Printf String

@@ -1,0 +1,1 @@
+examples/tuning_truncation.ml: Array Axmemo Axmemo_compiler Axmemo_util Axmemo_workloads Hashtbl List Printf

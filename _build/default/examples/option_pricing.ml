@@ -1,0 +1,54 @@
+(* Option pricing under AxMemo — the paper's headline scenario.
+
+   Quantitative finance recomputes the same option tuples constantly
+   (Moreno & Balch 2014); AxMemo turns the whole Black-Scholes kernel into
+   one LUT access. This example sweeps the four hardware configurations and
+   both software contenders over the blackscholes benchmark and reports the
+   Figure 7/9-style row for it.
+
+   Run with: dune exec examples/option_pricing.exe *)
+
+module W = Axmemo_workloads
+module Runner = Axmemo.Runner
+module Table = Axmemo_util.Table
+
+let () =
+  let fresh () = W.Blackscholes.make W.Workload.Eval in
+  let base = Runner.run Baseline (fresh ()) in
+  Printf.printf "Pricing 20,000 European options on the simulated HPI core\n";
+  Printf.printf "baseline: %d cycles (%.2f ms at 2 GHz)\n\n" base.cycles
+    (1e3 *. base.seconds);
+  let configs =
+    [
+      Runner.l1_4k;
+      Runner.l1_8k;
+      Runner.l1_8k_l2_256k;
+      Runner.l1_8k_l2_512k;
+      Runner.software_default;
+      Runner.atm_default;
+    ]
+  in
+  let rows =
+    List.map
+      (fun cfg ->
+        let r = Runner.run cfg (fresh ()) in
+        let loss =
+          W.Workload.quality_loss ~reference:base.outputs ~approx:r.outputs
+        in
+        [
+          r.label;
+          Table.fmt_x (Runner.speedup ~baseline:base r);
+          Table.fmt_x (Runner.energy_saving ~baseline:base r);
+          Table.fmt_pct r.hit_rate;
+          Printf.sprintf "%.3e" loss;
+        ])
+      configs
+  in
+  Table.print
+    ~align:[ Left; Right; Right; Right; Right ]
+    ~header:[ "configuration"; "speedup"; "energy saving"; "hit rate"; "price error" ]
+    rows;
+  print_newline ();
+  Printf.printf
+    "The pricing kernel (log, two CNDF evaluations, exp) collapses to one\n\
+     24-byte hash + LUT probe; market tuples repeat, so even a 4 KB LUT pays.\n"

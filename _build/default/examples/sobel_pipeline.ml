@@ -1,0 +1,46 @@
+(* Image-processing pipeline: Sobel edge detection with approximate
+   memoization, rendered as ASCII art so the quality trade-off is visible.
+
+   Sobel streams nine pixels per window into the hash — the paper's
+   motivating case for CRC tags instead of concatenated inputs. With 16 bits
+   truncated per pixel, windows from the same smooth region share a LUT
+   entry.
+
+   Run with: dune exec examples/sobel_pipeline.exe *)
+
+module W = Axmemo_workloads
+module Runner = Axmemo.Runner
+
+let width = 128
+
+let render title out =
+  Printf.printf "%s\n" title;
+  let shades = " .:-=+*#%@" in
+  (* Downsample to keep the ASCII view 64 columns wide. *)
+  let step = 2 in
+  for y = 0 to (width / step) - 1 do
+    for x = 0 to (width / step) - 1 do
+      let v = out.((y * step * width) + (x * step)) in
+      let idx =
+        min (String.length shades - 1)
+          (int_of_float (v /. 64.0 *. float_of_int (String.length shades - 1)))
+      in
+      print_char shades.[idx]
+    done;
+    print_newline ()
+  done
+
+let floats = function
+  | W.Workload.Floats f -> f
+  | W.Workload.Bools _ -> failwith "expected floats"
+
+let () =
+  let base = Runner.run Baseline (W.Sobel.make W.Workload.Eval) in
+  let memo = Runner.run Runner.l1_8k (W.Sobel.make W.Workload.Eval) in
+  render "--- exact edge map (baseline) ---" (floats base.outputs);
+  render "--- memoized edge map (AxMemo, 16-bit truncation) ---" (floats memo.outputs);
+  Printf.printf "\nspeedup %.2fx  energy saving %.2fx  hit rate %.1f%%  Er %.2e\n"
+    (Runner.speedup ~baseline:base memo)
+    (Runner.energy_saving ~baseline:base memo)
+    (100.0 *. memo.hit_rate)
+    (W.Workload.quality_loss ~reference:base.outputs ~approx:memo.outputs)

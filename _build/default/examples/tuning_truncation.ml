@@ -1,0 +1,66 @@
+(* Profile-guided truncation selection (Section 5, "Code Generation").
+
+   The compiler picks the number of truncated bits by profiling on a sample
+   input set: sweep n, watch the output error, keep the largest n within the
+   bound. This example runs that loop for inversek2j and shows the
+   error/hit-rate trade-off the paper describes, then confirms the chosen
+   level against Table 2's value (8 bits).
+
+   Run with: dune exec examples/tuning_truncation.exe *)
+
+module W = Axmemo_workloads
+module Runner = Axmemo.Runner
+module Tuning = Axmemo_compiler.Tuning
+module Transform = Axmemo_compiler.Transform
+module Table = Axmemo_util.Table
+
+let run_with_bits bits =
+  let instance = W.Inversek2j.make W.Workload.Sample in
+  let instance =
+    {
+      instance with
+      regions =
+        List.map
+          (fun (r : Transform.region) ->
+            { r with truncs = Array.map (fun _ -> bits) r.truncs })
+          instance.regions;
+    }
+  in
+  Runner.run Runner.l1_8k_l2_512k instance
+
+let () =
+  let base = Runner.run Baseline (W.Inversek2j.make W.Workload.Sample) in
+  let profile = Hashtbl.create 16 in
+  let evaluate bits =
+    match Hashtbl.find_opt profile bits with
+    | Some (err, _) -> err
+    | None ->
+        let r = run_with_bits bits in
+        let err = W.Workload.quality_loss ~reference:base.outputs ~approx:r.outputs in
+        Hashtbl.replace profile bits (err, r.hit_rate);
+        err
+  in
+  Printf.printf "Profiling inversek2j on its sample dataset:\n\n";
+  let rows =
+    List.map
+      (fun bits ->
+        let err = evaluate bits in
+        let _, hit = Hashtbl.find profile bits in
+        [
+          string_of_int bits;
+          Printf.sprintf "%.2e" err;
+          Table.fmt_pct hit;
+          (if err <= Tuning.default_error_bound then "ok" else "exceeds bound");
+        ])
+      [ 1; 2; 4; 6; 8; 10; 12; 14; 16 ]
+  in
+  Table.print
+    ~align:[ Right; Right; Right; Left ]
+    ~header:[ "truncated bits"; "output error"; "hit rate"; "0.1% bound" ]
+    rows;
+  let chosen =
+    Tuning.select_truncation ~evaluate ~error_bound:Tuning.default_error_bound
+      ~max_bits:16
+  in
+  Printf.printf "\nselected truncation: %d bits (Table 2 ships 8 for this benchmark)\n"
+    chosen

@@ -1,0 +1,1 @@
+lib/baselines/atm.ml: Array Axmemo_ir Axmemo_util Int64 List Sw_engine

@@ -1,0 +1,1 @@
+lib/baselines/atm.mli: Axmemo_compiler Axmemo_ir Sw_engine

@@ -1,0 +1,1 @@
+lib/baselines/software_memo.ml: Array Axmemo_crc Axmemo_ir Int64 List Sw_engine

@@ -1,0 +1,1 @@
+lib/baselines/software_memo.mli: Axmemo_compiler Axmemo_ir Sw_engine

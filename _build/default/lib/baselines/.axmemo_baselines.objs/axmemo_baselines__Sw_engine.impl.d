@@ -1,0 +1,1 @@
+lib/baselines/sw_engine.ml: Array Axmemo_compiler Axmemo_ir Int64 List Option Printf

@@ -1,0 +1,1 @@
+lib/baselines/sw_engine.mli: Axmemo_compiler Axmemo_ir

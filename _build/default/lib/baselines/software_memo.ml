@@ -1,0 +1,58 @@
+module Ir = Axmemo_ir.Ir
+module Memory = Axmemo_ir.Memory
+module Crc = Axmemo_crc
+
+let imm v = Ir.Imm (Ir.VI v)
+
+(* The byte-wise reflected CRC-32 loop, emitted as IR:
+     idx = (crc ^ w) & 0xFF
+     crc = (crc >> 8) ^ step_table[idx]
+     w >>= 8
+   The step table holds the same constants the hardware unit keeps in its
+   small RAM (Figure 3). *)
+let emit_crc32 ~step_base ~fresh ~inputs ~table_mask =
+  let instrs = ref [] in
+  let emit i = instrs := i :: !instrs in
+  let crc = fresh () in
+  emit (Ir.Const { dst = crc; ty = I64; value = VI 0xFFFFFFFFL });
+  List.iter
+    (fun (bits, width) ->
+      let w = fresh () in
+      emit (Ir.Mov { dst = w; src = Reg bits });
+      for _ = 1 to width do
+        let x = fresh () and idx = fresh () and off = fresh () and addr = fresh () in
+        let e = fresh () and em = fresh () and sh = fresh () in
+        emit (Ir.Binop { op = Xor; ty = I64; dst = x; a = Reg crc; b = Reg w });
+        emit (Ir.Binop { op = And; ty = I64; dst = idx; a = Reg x; b = imm 0xFFL });
+        emit (Ir.Binop { op = Shl; ty = I64; dst = off; a = Reg idx; b = imm 2L });
+        emit
+          (Ir.Binop
+             { op = Add; ty = I64; dst = addr; a = Reg off; b = imm (Int64.of_int step_base) });
+        emit (Ir.Load { ty = I32; dst = e; base = Reg addr; offset = 0 });
+        emit (Ir.Binop { op = And; ty = I64; dst = em; a = Reg e; b = imm 0xFFFFFFFFL });
+        emit (Ir.Binop { op = Lshr; ty = I64; dst = sh; a = Reg crc; b = imm 8L });
+        emit (Ir.Binop { op = Xor; ty = I64; dst = crc; a = Reg sh; b = Reg em });
+        emit (Ir.Binop { op = Lshr; ty = I64; dst = w; a = Reg w; b = imm 8L })
+      done)
+    inputs;
+  (* Final xor-out, then keep only the low index bits (the paper discards
+     the upper CRC bits when indexing). *)
+  let fin = fresh () and idx = fresh () in
+  emit (Ir.Binop { op = Xor; ty = I64; dst = fin; a = Reg crc; b = imm 0xFFFFFFFFL });
+  emit (Ir.Binop { op = And; ty = I64; dst = idx; a = Reg fin; b = imm table_mask });
+  (List.rev !instrs, idx)
+
+let hasher ~mem : Sw_engine.hasher =
+  let step = Crc.Engine.table Crc.Poly.crc32 in
+  let step_base = Memory.alloc mem ~bytes:(4 * 256) ~align:64 in
+  Array.iteri
+    (fun i v -> Memory.store_i32 mem (step_base + (4 * i)) (Int64.to_int32 v))
+    step;
+  {
+    name = "software-crc32";
+    emit_hash = (fun ~fresh ~inputs ~table_mask -> emit_crc32 ~step_base ~fresh ~inputs ~table_mask);
+    emit_overhead = (fun ~fresh:_ ~scratch_base:_ -> []);
+  }
+
+let memoize ~mem ~table_log2 ~entry ?barrier program regions =
+  Sw_engine.memoize ~hasher:(hasher ~mem) ~mem ~table_log2 ~entry ?barrier program regions

@@ -1,0 +1,176 @@
+module Ir = Axmemo_ir.Ir
+module Memory = Axmemo_ir.Memory
+module Payload = Axmemo_ir.Payload
+module Transform = Axmemo_compiler.Transform
+
+type hasher = {
+  name : string;
+  emit_hash :
+    fresh:(unit -> Ir.reg) ->
+    inputs:(Ir.reg * int) list ->
+    table_mask:int64 ->
+    Ir.instr list * Ir.reg;
+  emit_overhead : fresh:(unit -> Ir.reg) -> scratch_base:int -> Ir.instr list;
+}
+
+let hit_prefix = "swhit"
+let miss_prefix = "swmiss"
+
+let imm v = Ir.Imm (Ir.VI v)
+
+type ctx = {
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable out_blocks : Ir.block list;
+}
+
+let fresh_reg ctx =
+  let r = ctx.next_reg in
+  ctx.next_reg <- r + 1;
+  r
+
+let fresh_label ctx hint =
+  let l = Printf.sprintf "%s_%d" hint ctx.next_label in
+  ctx.next_label <- ctx.next_label + 1;
+  l
+
+let push_block ctx label instrs term =
+  ctx.out_blocks <- { Ir.label; instrs = Array.of_list instrs; term } :: ctx.out_blocks
+
+(* Move each argument's bit pattern, truncated, into a fresh register.
+   Returns (instrs, [(reg, width_bytes)]). *)
+let emit_input_bits ctx (kernel : Ir.func) truncs args =
+  let instrs = ref [] in
+  let emit i = instrs := i :: !instrs in
+  let bits =
+    Array.to_list
+      (Array.mapi
+         (fun j arg ->
+           let _, ty = kernel.params.(j) in
+           let r = fresh_reg ctx in
+           (match (ty : Ir.ty) with
+           | F32 -> emit (Ir.Cast { op = Bits_of_f32; dst = r; src = arg })
+           | F64 -> emit (Ir.Cast { op = Bits_of_f64; dst = r; src = arg })
+           | I32 | I64 -> emit (Ir.Mov { dst = r; src = arg }));
+           let r =
+             if truncs.(j) > 0 then begin
+               let m = Int64.shift_left (-1L) truncs.(j) in
+               let r' = fresh_reg ctx in
+               emit (Ir.Binop { op = And; ty = I64; dst = r'; a = Reg r; b = imm m });
+               r'
+             end
+             else r
+           in
+           (r, Ir.ty_size ty))
+         args)
+  in
+  (List.rev !instrs, bits)
+
+type region_state = {
+  region : Transform.region;
+  kernel : Ir.func;
+  kind : Payload.kind;
+  table_base : int;
+  table_mask : int64;
+}
+
+let memoize ~hasher ~mem ~table_log2 ~entry ?barrier program regions =
+  let table_entries = 1 lsl table_log2 in
+  let version_addr = Memory.alloc mem ~bytes:8 ~align:8 in
+  let scratch_base = Memory.alloc mem ~bytes:256 ~align:64 in
+  let states =
+    List.map
+      (fun (r : Transform.region) ->
+        let kernel = Ir.find_func program r.kernel in
+        {
+          region = r;
+          kernel;
+          kind = Payload.kind_of_rets kernel.ret_tys;
+          table_base = Memory.alloc mem ~bytes:(8 * table_entries) ~align:64;
+          table_mask = Int64.of_int (table_entries - 1);
+        })
+      regions
+  in
+  let state_of callee = List.find_opt (fun s -> s.region.kernel = callee) states in
+  let use_version = barrier <> None in
+  let transform_func (fn : Ir.func) =
+    let ctx = { next_reg = fn.nregs; next_label = 0; out_blocks = [] } in
+    let fresh () = fresh_reg ctx in
+    let rec process label instrs term =
+      let rec split acc = function
+        | [] -> push_block ctx label (List.rev acc) term
+        | Ir.Call { callee; dsts; args } :: rest when state_of callee <> None ->
+            let st = Option.get (state_of callee) in
+            let overhead = hasher.emit_overhead ~fresh ~scratch_base in
+            let bit_instrs, bits = emit_input_bits ctx st.kernel st.region.truncs args in
+            (* Include the version word so barrier bumps retire old entries. *)
+            let ver_instrs, bits =
+              if use_version then begin
+                let v = fresh_reg ctx in
+                ( [ Ir.Load { ty = I32; dst = v; base = imm (Int64.of_int version_addr); offset = 0 } ],
+                  bits @ [ (v, 4) ] )
+              end
+              else ([], bits)
+            in
+            let hash_instrs, idx = hasher.emit_hash ~fresh ~inputs:bits ~table_mask:st.table_mask in
+            let addr = fresh_reg ctx in
+            let off = fresh_reg ctx in
+            let p = fresh_reg ctx in
+            let cond = fresh_reg ctx in
+            let probe =
+              [
+                Ir.Binop { op = Shl; ty = I64; dst = off; a = Reg idx; b = imm 3L };
+                Ir.Binop
+                  {
+                    op = Add;
+                    ty = I64;
+                    dst = addr;
+                    a = Reg off;
+                    b = imm (Int64.of_int st.table_base);
+                  };
+                Ir.Load { ty = I64; dst = p; base = Reg addr; offset = 0 };
+                Ir.Icmp { op = Ine; ty = I64; dst = cond; a = Reg p; b = imm 0L };
+              ]
+            in
+            let hit_l = fresh_label ctx hit_prefix in
+            let miss_l = fresh_label ctx miss_prefix in
+            let cont_l = fresh_label ctx "swcont" in
+            push_block ctx label
+              (List.rev acc @ overhead @ bit_instrs @ ver_instrs @ hash_instrs @ probe)
+              (Ir.Br { cond = Reg cond; if_true = hit_l; if_false = miss_l });
+            push_block ctx hit_l
+              (Transform.emit_unpack ~fresh st.kind p dsts)
+              (Ir.Jmp cont_l);
+            let u = fresh_reg ctx in
+            push_block ctx miss_l
+              ((Ir.Call { callee; dsts; args } :: Transform.emit_pack ~fresh st.kind dsts u)
+              @ [ Ir.Store { ty = I64; src = Reg u; base = Reg addr; offset = 0 } ])
+              (Ir.Jmp cont_l);
+            process cont_l rest term
+        | Ir.Call { callee; _ } :: rest when barrier = Some callee ->
+            (* Bump the version word: logically invalidates every entry. *)
+            let v = fresh_reg ctx in
+            let v' = fresh_reg ctx in
+            split
+              (Ir.Store { ty = I32; src = Reg v'; base = imm (Int64.of_int version_addr); offset = 0 }
+               :: Ir.Binop { op = Add; ty = I32; dst = v'; a = Reg v; b = imm 1L }
+               :: Ir.Load { ty = I32; dst = v; base = imm (Int64.of_int version_addr); offset = 0 }
+               :: acc)
+              rest
+        | i :: rest -> split (i :: acc) rest
+      in
+      split [] instrs
+    in
+    Array.iter
+      (fun (b : Ir.block) -> process b.label (Array.to_list b.instrs) b.term)
+      fn.blocks;
+    { fn with blocks = Array.of_list (List.rev ctx.out_blocks); nregs = ctx.next_reg }
+  in
+  ignore entry;
+  let kernels = List.map (fun (r : Transform.region) -> r.kernel) regions in
+  let funcs =
+    Array.map
+      (fun (fn : Ir.func) -> if List.mem fn.fname kernels then fn else transform_func fn)
+      (program : Ir.program).funcs
+  in
+  { Ir.funcs }

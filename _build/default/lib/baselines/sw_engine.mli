@@ -1,0 +1,48 @@
+(** Shared machinery for the software memoization baselines.
+
+    Both contenders (the software CRC LUT of Section 6.2 and ATM) replace
+    kernel calls with {e plain IR}: hash the inputs with ordinary
+    instructions, index a tagless in-memory table of [2^table_log2] 8-byte
+    entries, branch on a non-zero payload. Because everything is ordinary
+    IR, their instruction counts, cache behaviour (the table lives in
+    simulated memory) and hash-collision errors all emerge naturally from
+    the same simulator that runs the baseline.
+
+    A payload of 0 marks an empty slot; kernels whose packed result is
+    exactly 0 are simply never memoized by the software schemes.
+
+    Generated hit/miss blocks are labelled with {!hit_prefix} /
+    {!miss_prefix} so the runner can count software LUT hits. *)
+
+type hasher = {
+  name : string;
+  emit_hash :
+    fresh:(unit -> Axmemo_ir.Ir.reg) ->
+    inputs:(Axmemo_ir.Ir.reg * int) list ->
+    table_mask:int64 ->
+    Axmemo_ir.Ir.instr list * Axmemo_ir.Ir.reg;
+      (** [emit_hash ~fresh ~inputs ~table_mask] receives one register per
+          input holding its (already truncated) bit pattern together with its
+          width in bytes, and must return instructions leaving a masked table
+          index in the returned register. *)
+  emit_overhead : fresh:(unit -> Axmemo_ir.Ir.reg) -> scratch_base:int -> Axmemo_ir.Ir.instr list;
+      (** per-invocation runtime overhead (ATM task bookkeeping); [] for the
+          plain software LUT. [scratch_base] is a small writable buffer. *)
+}
+
+val hit_prefix : string
+val miss_prefix : string
+
+val memoize :
+  hasher:hasher ->
+  mem:Axmemo_ir.Memory.t ->
+  table_log2:int ->
+  entry:string ->
+  ?barrier:string ->
+  Axmemo_ir.Ir.program ->
+  Axmemo_compiler.Transform.region list ->
+  Axmemo_ir.Ir.program
+(** Rewrite every kernel call site. Allocates one table per region (plus a
+    shared version word used to invalidate logically at [barrier] calls:
+    the version participates in the hash, so bumping it retires all previous
+    entries). The program is not modified in place. *)

@@ -1,0 +1,91 @@
+type config = {
+  l1_size : int;
+  l1_ways : int;
+  l1_latency : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_latency : int;
+  line_bytes : int;
+  dram_latency : int;
+}
+
+let hpi_default =
+  {
+    l1_size = 32 * 1024;
+    l1_ways = 4;
+    l1_latency = 1;
+    l2_size = 1024 * 1024;
+    l2_ways = 16;
+    l2_latency = 13;
+    line_bytes = 64;
+    dram_latency = 160;
+  }
+
+let carve_l2 c ~lut_bytes =
+  if lut_bytes = 0 then c
+  else begin
+    let way_bytes = c.l2_size / c.l2_ways in
+    let ways_needed = (lut_bytes + way_bytes - 1) / way_bytes in
+    if ways_needed > c.l2_ways / 2 then
+      invalid_arg "Hierarchy.carve_l2: L2 LUT may use at most half the last-level cache";
+    let remaining = c.l2_ways - ways_needed in
+    { c with l2_ways = remaining; l2_size = remaining * way_bytes }
+  end
+
+type t = { cfg : config; l1 : Sa_cache.t; l2 : Sa_cache.t }
+
+let create cfg =
+  {
+    cfg;
+    l1 =
+      Sa_cache.create ~name:"L1D" ~size_bytes:cfg.l1_size ~ways:cfg.l1_ways
+        ~line_bytes:cfg.line_bytes;
+    l2 =
+      Sa_cache.create ~name:"L2" ~size_bytes:cfg.l2_size ~ways:cfg.l2_ways
+        ~line_bytes:cfg.line_bytes;
+  }
+
+let config t = t.cfg
+
+(* Degree-2 next-line prefetch, as the HPI's stride prefetcher would do for
+   the streaming accesses these kernels make: fills happen off the critical
+   path and are not charged latency. *)
+let prefetch t addr =
+  for k = 1 to 2 do
+    let a = addr + (k * t.cfg.line_bytes) in
+    if not (Sa_cache.probe t.l1 ~addr:a) then begin
+      ignore (Sa_cache.access t.l1 ~addr:a ~write:false);
+      ignore (Sa_cache.access t.l2 ~addr:a ~write:false)
+    end
+  done
+
+let read t ~addr =
+  match Sa_cache.access t.l1 ~addr ~write:false with
+  | `Hit -> t.cfg.l1_latency
+  | `Miss -> (
+      match Sa_cache.access t.l2 ~addr ~write:false with
+      | `Hit ->
+          prefetch t addr;
+          t.cfg.l1_latency + t.cfg.l2_latency
+      | `Miss ->
+          prefetch t addr;
+          t.cfg.l1_latency + t.cfg.l2_latency + t.cfg.dram_latency)
+
+let write t ~addr =
+  (* Write-allocate: bring the line in on a miss, but the core only sees the
+     store-buffer cost; the fill happens off the critical path. *)
+  (match Sa_cache.access t.l1 ~addr ~write:true with
+  | `Hit -> ()
+  | `Miss -> ignore (Sa_cache.access t.l2 ~addr ~write:true));
+  1
+
+let l1 t = t.l1
+let l2 t = t.l2
+
+let invalidate_all t =
+  Sa_cache.invalidate_all t.l1;
+  Sa_cache.invalidate_all t.l2
+
+let reset_stats t =
+  Sa_cache.reset_stats t.l1;
+  Sa_cache.reset_stats t.l2

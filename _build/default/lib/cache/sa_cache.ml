@@ -1,0 +1,129 @@
+type stats = { accesses : int; hits : int; misses : int; evictions : int; writes : int }
+
+type t = {
+  cname : string;
+  nsets : int;
+  nways : int;
+  line : int;
+  line_shift : int;
+  tags : int array;  (* nsets * nways; -1 = invalid *)
+  lru : int array;  (* nsets * nways; lower = older *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writes : int;
+}
+
+let log2_exact n =
+  let rec go k v = if v = 1 then k else go (k + 1) (v lsr 1) in
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Sa_cache: not a power of two"
+  else go 0 n
+
+let create ~name ~size_bytes ~ways ~line_bytes =
+  if ways <= 0 || line_bytes <= 0 || size_bytes <= 0 then
+    invalid_arg "Sa_cache.create: non-positive geometry";
+  if size_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg "Sa_cache.create: size not divisible by ways*line";
+  let nsets = size_bytes / (ways * line_bytes) in
+  {
+    cname = name;
+    nsets;
+    nways = ways;
+    line = line_bytes;
+    line_shift = log2_exact line_bytes;
+    tags = Array.make (nsets * ways) (-1);
+    lru = Array.make (nsets * ways) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writes = 0;
+  }
+
+let name t = t.cname
+let sets t = t.nsets
+let ways t = t.nways
+let line_bytes t = t.line
+
+let set_and_tag t addr =
+  let line_addr = addr lsr t.line_shift in
+  (line_addr mod t.nsets, line_addr)
+
+let find_way t set tag =
+  let base = set * t.nways in
+  let rec go w =
+    if w >= t.nways then None
+    else if t.tags.(base + w) = tag then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let touch t set w =
+  t.clock <- t.clock + 1;
+  t.lru.((set * t.nways) + w) <- t.clock
+
+let victim_way t set =
+  let base = set * t.nways in
+  let best = ref 0 in
+  for w = 1 to t.nways - 1 do
+    (* An invalid way is always preferred; otherwise least recently used. *)
+    if t.tags.(base + w) = -1 && t.tags.(base + !best) <> -1 then best := w
+    else if
+      t.tags.(base + w) <> -1 && t.tags.(base + !best) <> -1
+      && t.lru.(base + w) < t.lru.(base + !best)
+    then best := w
+    else if t.tags.(base + w) = -1 && t.tags.(base + !best) = -1 then ()
+  done;
+  (* Prefer the first invalid way if any. *)
+  let invalid = ref None in
+  for w = t.nways - 1 downto 0 do
+    if t.tags.(base + w) = -1 then invalid := Some w
+  done;
+  match !invalid with Some w -> w | None -> !best
+
+let access t ~addr ~write =
+  t.accesses <- t.accesses + 1;
+  if write then t.writes <- t.writes + 1;
+  let set, tag = set_and_tag t addr in
+  match find_way t set tag with
+  | Some w ->
+      t.hits <- t.hits + 1;
+      touch t set w;
+      `Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      let w = victim_way t set in
+      if t.tags.((set * t.nways) + w) <> -1 then t.evictions <- t.evictions + 1;
+      t.tags.((set * t.nways) + w) <- tag;
+      touch t set w;
+      `Miss
+
+let probe t ~addr =
+  let set, tag = set_and_tag t addr in
+  find_way t set tag <> None
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0
+
+let stats t =
+  {
+    accesses = t.accesses;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    writes = t.writes;
+  }
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.writes <- 0
+
+let hit_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.hits /. float_of_int t.accesses

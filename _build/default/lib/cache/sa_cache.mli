@@ -1,0 +1,39 @@
+(** Set-associative cache model (tags + LRU only; data values live in the
+    simulator's flat memory).
+
+    Used for the L1 data cache, the L2 cache, and — with a reduced way count
+    — the portion of the L2 left for data when ways are carved out for the
+    L2 LUT (Section 3.3). *)
+
+type t
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writes : int;  (** subset of accesses that were stores *)
+}
+
+val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
+(** [create ~name ~size_bytes ~ways ~line_bytes] builds an empty cache.
+    [size_bytes] must be divisible by [ways * line_bytes].
+    @raise Invalid_argument on inconsistent geometry. *)
+
+val name : t -> string
+val sets : t -> int
+val ways : t -> int
+val line_bytes : t -> int
+
+val access : t -> addr:int -> write:bool -> [ `Hit | `Miss ]
+(** [access t ~addr ~write] probes the line containing [addr], updates LRU,
+    and allocates on miss (write-allocate). *)
+
+val probe : t -> addr:int -> bool
+(** [probe t ~addr] checks residency without updating any state. *)
+
+val invalidate_all : t -> unit
+val stats : t -> stats
+val reset_stats : t -> unit
+val hit_rate : t -> float
+(** Hits over accesses; 0 when never accessed. *)

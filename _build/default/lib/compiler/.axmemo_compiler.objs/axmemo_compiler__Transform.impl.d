@@ -1,0 +1,1 @@
+lib/compiler/transform.ml: Array Axmemo_ir Axmemo_memo List Option Printf

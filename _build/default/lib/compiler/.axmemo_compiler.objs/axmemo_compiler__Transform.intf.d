@@ -1,0 +1,1 @@
+lib/compiler/transform.mli: Axmemo_ir Axmemo_memo

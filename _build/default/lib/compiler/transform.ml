@@ -1,0 +1,235 @@
+module Ir = Axmemo_ir.Ir
+module Payload = Axmemo_ir.Payload
+module Memo_unit = Axmemo_memo.Memo_unit
+
+type region = { kernel : string; lut_id : int; truncs : int array }
+
+let zero_truncs r = { r with truncs = Array.map (fun _ -> 0) r.truncs }
+
+let lut_decls program regions =
+  List.map
+    (fun r ->
+      let kernel = Ir.find_func program r.kernel in
+      { Memo_unit.lut_id = r.lut_id; payload = Payload.kind_of_rets kernel.ret_tys })
+    regions
+
+let check_region program r =
+  let kernel =
+    try Ir.find_func program r.kernel
+    with Not_found -> invalid_arg ("Transform: unknown kernel " ^ r.kernel)
+  in
+  if not kernel.pure then invalid_arg ("Transform: kernel is not pure: " ^ r.kernel);
+  if Array.length r.truncs <> Array.length kernel.params then
+    invalid_arg ("Transform: truncs length mismatch for " ^ r.kernel);
+  ignore (Payload.kind_of_rets kernel.ret_tys);
+  kernel
+
+(* Mutable rebuilding context for one function. *)
+type ctx = {
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable out_blocks : Ir.block list;  (* reverse order *)
+}
+
+let fresh_reg ctx =
+  let r = ctx.next_reg in
+  ctx.next_reg <- r + 1;
+  r
+
+let fresh_label ctx hint =
+  let l = Printf.sprintf "%s_mz%d" hint ctx.next_label in
+  ctx.next_label <- ctx.next_label + 1;
+  l
+
+let push_block ctx label instrs term =
+  ctx.out_blocks <- { Ir.label; instrs = Array.of_list instrs; term } :: ctx.out_blocks
+
+(* Emit instructions that unpack the lookup payload register [t] into the
+   call's destination registers. *)
+let emit_unpack ~fresh kind t dsts =
+  let i64_imm v = Ir.Imm (Ir.VI v) in
+  match (kind : Payload.kind), (dsts : Ir.reg array) with
+  | Pf32, [| d |] -> [ Ir.Cast { op = F32_of_bits; dst = d; src = Reg t } ]
+  | Pf64, [| d |] -> [ Ir.Cast { op = F64_of_bits; dst = d; src = Reg t } ]
+  | Pi32, [| d |] -> [ Ir.Cast { op = Trunc_64_32; dst = d; src = Reg t } ]
+  | Pi64, [| d |] -> [ Ir.Mov { dst = d; src = Reg t } ]
+  | Pf32x2, [| d0; d1 |] ->
+      let hi = fresh () in
+      [
+        Ir.Cast { op = F32_of_bits; dst = d0; src = Reg t };
+        Ir.Binop { op = Lshr; ty = I64; dst = hi; a = Reg t; b = i64_imm 32L };
+        Ir.Cast { op = F32_of_bits; dst = d1; src = Reg hi };
+      ]
+  | Pi32x2, [| d0; d1 |] ->
+      let hi = fresh () in
+      [
+        Ir.Cast { op = Trunc_64_32; dst = d0; src = Reg t };
+        Ir.Binop { op = Lshr; ty = I64; dst = hi; a = Reg t; b = i64_imm 32L };
+        Ir.Cast { op = Trunc_64_32; dst = d1; src = Reg hi };
+      ]
+  | _ -> invalid_arg "Transform: destination count does not match payload kind"
+
+(* Emit instructions packing the freshly computed results into register [u]. *)
+let emit_pack ~fresh kind dsts u =
+  let i64_imm v = Ir.Imm (Ir.VI v) in
+  let mask = 0xFFFFFFFFL in
+  let low32 src dst cast_op =
+    let b = fresh () in
+    [
+      Ir.Cast { op = cast_op; dst = b; src = Ir.Reg src };
+      Ir.Binop { op = And; ty = I64; dst; a = Reg b; b = i64_imm mask };
+    ]
+  in
+  match (kind : Payload.kind), (dsts : Ir.reg array) with
+  | Pf32, [| d |] -> low32 d u Bits_of_f32
+  | Pf64, [| d |] -> [ Ir.Cast { op = Bits_of_f64; dst = u; src = Reg d } ]
+  | Pi32, [| d |] ->
+      [ Ir.Binop { op = And; ty = I64; dst = u; a = Reg d; b = i64_imm mask } ]
+  | Pi64, [| d |] -> [ Ir.Mov { dst = u; src = Reg d } ]
+  | Pf32x2, [| d0; d1 |] ->
+      let lo = fresh () and hi = fresh () and hi_sh = fresh () in
+      low32 d0 lo Bits_of_f32 @ low32 d1 hi Bits_of_f32
+      @ [
+          Ir.Binop { op = Shl; ty = I64; dst = hi_sh; a = Reg hi; b = i64_imm 32L };
+          Ir.Binop { op = Or; ty = I64; dst = u; a = Reg lo; b = Reg hi_sh };
+        ]
+  | Pi32x2, [| d0; d1 |] ->
+      let lo = fresh () and hi = fresh () and hi_sh = fresh () in
+      [
+        Ir.Binop { op = And; ty = I64; dst = lo; a = Reg d0; b = i64_imm mask };
+        Ir.Binop { op = And; ty = I64; dst = hi; a = Reg d1; b = i64_imm mask };
+        Ir.Binop { op = Shl; ty = I64; dst = hi_sh; a = Reg hi; b = i64_imm 32L };
+        Ir.Binop { op = Or; ty = I64; dst = u; a = Reg lo; b = Reg hi_sh };
+      ]
+  | _ -> invalid_arg "Transform: destination count does not match payload kind"
+
+(* Fuse loads feeding call arguments into ld_crc: for argument register [r],
+   find the last instruction in [prefix] defining [r]; if it is a Load and no
+   later instruction stores or redefines [r], replace it in place. Returns
+   the prefix (mutated copy) and the set of fused argument indices. *)
+let fuse_loads prefix (kernel : Ir.func) region args =
+  let prefix = Array.copy prefix in
+  let n = Array.length prefix in
+  let fused = Array.make (Array.length args) false in
+  Array.iteri
+    (fun j arg ->
+      match (arg : Ir.operand) with
+      | Imm _ -> ()
+      | Reg r ->
+          let def = ref (-1) in
+          let blocked = ref false in
+          for i = 0 to n - 1 do
+            (match prefix.(i) with Ir.Store _ -> blocked := true | _ -> ());
+            if List.mem r (Ir.instr_dst prefix.(i)) then begin
+              def := i;
+              blocked := false
+            end
+          done;
+          if !def >= 0 && not !blocked then begin
+            match prefix.(!def) with
+            | Ir.Load { ty; dst; base; offset } when dst = r ->
+                let _, pty = kernel.params.(j) in
+                if pty = ty then begin
+                  prefix.(!def) <-
+                    Ir.Memo
+                      (Ld_crc
+                         {
+                           dst;
+                           ty;
+                           base;
+                           offset;
+                           lut = region.lut_id;
+                           trunc = region.truncs.(j);
+                         });
+                  fused.(j) <- true
+                end
+            | _ -> ()
+          end)
+    args;
+  (prefix, fused)
+
+let transform_func ?barrier program regions (fn : Ir.func) : Ir.func =
+  let invalidate_all =
+    List.map (fun r -> Ir.Memo (Invalidate { lut = r.lut_id })) regions
+  in
+  let region_of callee = List.find_opt (fun r -> r.kernel = callee) regions in
+  let ctx = { next_reg = fn.nregs; next_label = 0; out_blocks = [] } in
+  (* Worklist of raw blocks still to process. *)
+  let rec process label (instrs : Ir.instr list) (term : Ir.terminator) =
+    let rec split acc = function
+      | [] -> push_block ctx label (List.rev acc) term
+      | Ir.Call { callee; dsts; args } :: rest when region_of callee <> None ->
+          let region = Option.get (region_of callee) in
+          let kernel = Ir.find_func program region.kernel in
+          let kind = Payload.kind_of_rets kernel.ret_tys in
+          let prefix, fused =
+            fuse_loads (Array.of_list (List.rev acc)) kernel region args
+          in
+          (* Stream the unfused arguments. *)
+          let sends =
+            Array.to_list args
+            |> List.mapi (fun j arg -> (j, arg))
+            |> List.filter_map (fun (j, arg) ->
+                   if fused.(j) then None
+                   else
+                     let _, pty = kernel.params.(j) in
+                     Some
+                       (Ir.Memo
+                          (Reg_crc
+                             { src = arg; ty = pty; lut = region.lut_id; trunc = region.truncs.(j) })))
+          in
+          let t = fresh_reg ctx in
+          let hit_l = fresh_label ctx "hit" in
+          let miss_l = fresh_label ctx "miss" in
+          let cont_l = fresh_label ctx "cont" in
+          let fresh () = fresh_reg ctx in
+          push_block ctx label
+            (Array.to_list prefix @ sends
+            @ [ Ir.Memo (Lookup { dst = t; lut = region.lut_id }) ])
+            (Ir.Br_memo { on_hit = hit_l; on_miss = miss_l });
+          push_block ctx hit_l (emit_unpack ~fresh kind t dsts) (Ir.Jmp cont_l);
+          let u = fresh_reg ctx in
+          push_block ctx miss_l
+            ((Ir.Call { callee; dsts; args } :: emit_pack ~fresh kind dsts u)
+            @ [ Ir.Memo (Update { src = Reg u; lut = region.lut_id }) ])
+            (Ir.Jmp cont_l);
+          process cont_l rest term
+      | Ir.Call { callee; _ } :: rest when barrier = Some callee ->
+          (* Phase boundary: drop every logical LUT instead of the marker call. *)
+          split (List.rev_append invalidate_all acc) rest
+      | i :: rest -> split (i :: acc) rest
+    in
+    split [] instrs
+  in
+  Array.iter
+    (fun (b : Ir.block) -> process b.label (Array.to_list b.instrs) b.term)
+    fn.blocks;
+  { fn with blocks = Array.of_list (List.rev ctx.out_blocks); nregs = ctx.next_reg }
+
+let add_invalidates regions (fn : Ir.func) : Ir.func =
+  let invs =
+    List.map (fun r -> Ir.Memo (Invalidate { lut = r.lut_id })) regions
+  in
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        match b.term with
+        | Ret _ -> { b with instrs = Array.append b.instrs (Array.of_list invs) }
+        | Jmp _ | Br _ | Br_memo _ -> b)
+      fn.blocks
+  in
+  { fn with blocks }
+
+let memoize ?barrier ~entry program regions =
+  List.iter (fun r -> ignore (check_region program r)) regions;
+  let kernels = List.map (fun r -> r.kernel) regions in
+  let funcs =
+    Array.map
+      (fun (fn : Ir.func) ->
+        if List.mem fn.fname kernels then fn
+        else
+          let fn = transform_func ?barrier program regions fn in
+          if fn.fname = entry then add_invalidates regions fn else fn)
+      (program : Ir.program).funcs
+  in
+  { Ir.funcs }

@@ -1,0 +1,74 @@
+(** AxMemo code generation (Section 2, Figure 1; Section 5 "Code
+    Generation").
+
+    Given a program and a set of memoization regions — pure kernel functions
+    selected by the DDDG analysis — every call site of a kernel is rewritten
+    into the paper's branch structure:
+
+    {v
+    ld_crc / reg_crc (stream kernel inputs, truncated, into the hash)
+    lookup t, LUT_ID
+    br_memo hit, miss
+    hit:  unpack t into the result registers
+    miss: call kernel; pack results; update LUT_ID
+    v}
+
+    Loads that directly feed a kernel argument are fused into [ld_crc]
+    (replacing the original load, so they cost no extra instruction);
+    remaining arguments are streamed with [reg_crc]. An [invalidate] per LUT
+    is appended before every return of the entry function. *)
+
+type region = {
+  kernel : string;  (** name of the pure kernel function *)
+  lut_id : int;
+  truncs : int array;  (** per-parameter LSBs to truncate (Table 2) *)
+}
+
+val memoize :
+  ?barrier:string ->
+  entry:string ->
+  Axmemo_ir.Ir.program ->
+  region list ->
+  Axmemo_ir.Ir.program
+(** [memoize ~entry program regions] returns a new program with every call
+    site of each region's kernel rewritten. The original program is not
+    modified.
+
+    [barrier] names a no-op marker function; calls to it are replaced by an
+    [invalidate] of every region's LUT. Workloads whose kernels read state
+    that changes between phases (K-means centroids, SRAD's global statistic)
+    call the marker at each phase boundary so stale entries are dropped —
+    the paper's stated use of [invalidate] (Section 4).
+    @raise Invalid_argument if a kernel is unknown, impure, has a return
+    signature that does not fit an 8-byte LUT entry, or a [truncs] length
+    mismatching its parameter count. *)
+
+val lut_decls : Axmemo_ir.Ir.program -> region list -> Axmemo_memo.Memo_unit.lut_decl list
+(** LUT declarations (id + payload kind) the memoization unit needs for the
+    given regions. *)
+
+val zero_truncs : region -> region
+(** [zero_truncs r] disables approximation for the region (Figure 11's
+    "without approximation" configuration). *)
+
+(** {1 Shared codegen pieces}
+
+    Also used by the software-memoization baselines, which reproduce the
+    same packing in plain IR. *)
+
+val emit_unpack :
+  fresh:(unit -> Axmemo_ir.Ir.reg) ->
+  Axmemo_ir.Payload.kind ->
+  Axmemo_ir.Ir.reg ->
+  Axmemo_ir.Ir.reg array ->
+  Axmemo_ir.Ir.instr list
+(** [emit_unpack ~fresh kind payload_reg dsts] decodes an 8-byte payload
+    register into the kernel's result registers. *)
+
+val emit_pack :
+  fresh:(unit -> Axmemo_ir.Ir.reg) ->
+  Axmemo_ir.Payload.kind ->
+  Axmemo_ir.Ir.reg array ->
+  Axmemo_ir.Ir.reg ->
+  Axmemo_ir.Ir.instr list
+(** [emit_pack ~fresh kind dsts payload_reg] encodes results into a payload. *)

@@ -1,0 +1,13 @@
+let image_error_bound = 0.01
+let default_error_bound = 0.001
+
+let select_truncation ~evaluate ~error_bound ~max_bits =
+  (* Error is monotone in the truncation level for the profiled kernels, so a
+     linear sweep with early exit is both simple and exact; the sweep is a
+     one-time compilation cost. *)
+  let rec go best n =
+    if n > max_bits then best
+    else if evaluate n <= error_bound then go n (n + 1)
+    else best
+  in
+  go 0 1

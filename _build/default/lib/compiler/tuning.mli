@@ -1,0 +1,24 @@
+(** Truncation-bit selection (Section 5, "Code Generation").
+
+    The paper profiles each application on a {e sample} input set, truncating
+    memoization inputs by increasing numbers of bits, and keeps the largest
+    truncation whose output error stays within a bound (0.1%, or 1% when the
+    output is an image). Truncation is applied identically across a block's
+    inputs. *)
+
+val select_truncation :
+  evaluate:(int -> float) ->
+  error_bound:float ->
+  max_bits:int ->
+  int
+(** [select_truncation ~evaluate ~error_bound ~max_bits] returns the largest
+    [n <= max_bits] with [evaluate n <= error_bound], assuming error grows
+    (weakly) with [n]; 0 if even [evaluate 1] violates the bound. [evaluate]
+    runs the memoized program on the sample input with [n] truncated bits and
+    returns the output error. *)
+
+val image_error_bound : float
+(** 1% — used when the benchmark output is an image. *)
+
+val default_error_bound : float
+(** 0.1% — all other benchmarks. *)

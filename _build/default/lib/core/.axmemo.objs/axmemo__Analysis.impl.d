@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Axmemo_cpu Axmemo_ddg Axmemo_ir Axmemo_trace Axmemo_workloads List

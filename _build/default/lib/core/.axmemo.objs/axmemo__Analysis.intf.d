@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Axmemo_ddg Axmemo_workloads

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Axmemo_baselines Axmemo_cache Axmemo_compiler Axmemo_cpu Axmemo_energy Axmemo_ir Axmemo_isa Axmemo_memo Axmemo_workloads Hashtbl List Printf String

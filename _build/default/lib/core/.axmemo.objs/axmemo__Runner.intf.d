@@ -1,0 +1,1 @@
+lib/core/runner.mli: Axmemo_cpu Axmemo_energy Axmemo_memo Axmemo_workloads

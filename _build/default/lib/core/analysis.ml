@@ -1,0 +1,32 @@
+module Trace = Axmemo_trace.Trace
+module Ddg = Axmemo_ddg.Ddg
+module Interp = Axmemo_ir.Interp
+module Workload = Axmemo_workloads.Workload
+
+type row = {
+  name : string;
+  total_dynamic_subgraphs : int;
+  unique_subgraphs : int;
+  ci_ratio : float;
+  coverage : float;
+  trace_truncated : bool;
+}
+
+let analyze ?(max_entries = 30_000) ?(params = { Axmemo_ddg.Ddg.default_params with max_vertices = 128 }) make =
+  let (instance : Workload.instance) = make Workload.Sample in
+  let trace =
+    Trace.create ~max_entries ~machine:Axmemo_cpu.Machine.hpi ~program:instance.program ()
+  in
+  let interp =
+    Interp.create ~hook:(Trace.hook trace) ~program:instance.program ~mem:instance.mem ()
+  in
+  ignore (Interp.run interp instance.entry instance.args);
+  let analysis = Ddg.analyze ~params (Trace.entries trace) in
+  {
+    name = instance.meta.name;
+    total_dynamic_subgraphs = analysis.total_dynamic;
+    unique_subgraphs = List.length analysis.unique;
+    ci_ratio = analysis.avg_ci_ratio;
+    coverage = analysis.coverage;
+    trace_truncated = Trace.truncated trace;
+  }

@@ -1,0 +1,21 @@
+(** Compiler-analysis glue: runs a workload on its {e sample} dataset under
+    the tracer and performs the DDDG candidate search — the flow of the
+    paper's Figure 5, producing Table 1's columns. *)
+
+type row = {
+  name : string;
+  total_dynamic_subgraphs : int;
+  unique_subgraphs : int;
+  ci_ratio : float;
+  coverage : float;
+  trace_truncated : bool;
+}
+
+val analyze :
+  ?max_entries:int ->
+  ?params:Axmemo_ddg.Ddg.params ->
+  (Axmemo_workloads.Workload.variant -> Axmemo_workloads.Workload.instance) ->
+  row
+(** [analyze make] traces a sample-input run (default up to 30_000 entries —
+    several outer iterations of every benchmark) and runs the candidate
+    search. *)

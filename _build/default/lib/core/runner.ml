@@ -1,0 +1,251 @@
+module Ir = Axmemo_ir.Ir
+module Interp = Axmemo_ir.Interp
+module Hierarchy = Axmemo_cache.Hierarchy
+module Pipeline = Axmemo_cpu.Pipeline
+module Memo_unit = Axmemo_memo.Memo_unit
+module Model = Axmemo_energy.Model
+module Transform = Axmemo_compiler.Transform
+module Workload = Axmemo_workloads.Workload
+
+type config =
+  | Baseline
+  | Hw_memo of {
+      l1_bytes : int;
+      l2_bytes : int option;
+      approximate : bool;
+      monitor : bool;
+      total_l2 : int option;
+      adaptive : bool;
+    }
+  | Hw_custom of {
+      label : string;
+      unit_cfg : Memo_unit.config;
+      approximate : bool;
+      crc_bytes_per_cycle : int;
+    }
+  | Software of { table_log2 : int }
+  | Atm of { table_log2 : int }
+
+let kb n = n * 1024
+
+let l1_4k =
+  Hw_memo
+    { l1_bytes = kb 4; l2_bytes = None; approximate = true; monitor = true; total_l2 = None; adaptive = false }
+
+let l1_8k =
+  Hw_memo
+    { l1_bytes = kb 8; l2_bytes = None; approximate = true; monitor = true; total_l2 = None; adaptive = false }
+
+let l1_8k_l2_256k =
+  Hw_memo
+    {
+      l1_bytes = kb 8;
+      l2_bytes = Some (kb 256);
+      approximate = true;
+      monitor = true;
+      total_l2 = None;
+      adaptive = false;
+    }
+
+let l1_8k_l2_512k =
+  Hw_memo
+    {
+      l1_bytes = kb 8;
+      l2_bytes = Some (kb 512);
+      approximate = true;
+      monitor = true;
+      total_l2 = None;
+      adaptive = false;
+    }
+
+let software_default = Software { table_log2 = 22 }
+let atm_default = Atm { table_log2 = 22 }
+
+let config_label = function
+  | Baseline -> "baseline"
+  | Hw_memo { l1_bytes; l2_bytes; approximate; total_l2; adaptive; _ } ->
+      let base =
+        match l2_bytes with
+        | None -> Printf.sprintf "L1(%dKB)" (l1_bytes / 1024)
+        | Some l2 -> Printf.sprintf "L1(%dKB)+L2(%dKB)" (l1_bytes / 1024) (l2 / 1024)
+      in
+      let base =
+        match total_l2 with
+        | None -> base
+        | Some b -> Printf.sprintf "%s@L2cache=%dKB" base (b / 1024)
+      in
+      let base = if adaptive then base ^ "-adaptive" else base in
+      if approximate then base else base ^ "-noapprox"
+  | Hw_custom { label; _ } -> label
+  | Software _ -> "Software LUT"
+  | Atm _ -> "ATM"
+
+type result = {
+  label : string;
+  cycles : int;
+  seconds : float;
+  dyn_normal : int;
+  dyn_memo : int;
+  pipeline : Pipeline.stats;
+  energy : Model.breakdown;
+  lookups : int;
+  hits : int;
+  hit_rate : float;
+  collisions : int;
+  memo_disabled : bool;
+  outputs : Workload.outputs;
+}
+
+let speedup ~baseline other = float_of_int baseline.cycles /. float_of_int other.cycles
+
+let energy_saving ~baseline other = baseline.energy.Model.total_pj /. other.energy.Model.total_pj
+
+(* Block-label based hit counting for the software schemes. *)
+let sw_hit_counter program =
+  let hit_sites = Hashtbl.create 64 and miss_sites = Hashtbl.create 64 in
+  Array.iter
+    (fun (f : Ir.func) ->
+      Array.iteri
+        (fun bidx (b : Ir.block) ->
+          let starts p = String.length b.label >= String.length p
+                         && String.sub b.label 0 (String.length p) = p in
+          if starts Axmemo_baselines.Sw_engine.hit_prefix then
+            Hashtbl.replace hit_sites (f.fname, bidx) ()
+          else if starts Axmemo_baselines.Sw_engine.miss_prefix then
+            Hashtbl.replace miss_sites (f.fname, bidx) ())
+        f.blocks)
+    (program : Ir.program).funcs;
+  let hits = ref 0 and misses = ref 0 in
+  let hook (ev : Interp.event) =
+    match ev with
+    | Exec { fname; bidx; iidx = 0; _ } ->
+        if Hashtbl.mem hit_sites (fname, bidx) then incr hits
+        else if Hashtbl.mem miss_sites (fname, bidx) then incr misses
+    | Exec _ | Enter _ | Leave _ | Term _ -> ()
+  in
+  (hook, hits, misses)
+
+let finish ~label ~pipeline_stats ~hierarchy ~memo_stats ~l1_lut_bytes ~lookups ~hits
+    ~collisions ~memo_disabled ~outputs ~machine =
+  let energy =
+    Model.of_run ~pipeline:pipeline_stats ~hierarchy ~memo:memo_stats ~l1_lut_bytes ()
+  in
+  {
+    label;
+    cycles = pipeline_stats.Pipeline.cycles;
+    seconds =
+      float_of_int pipeline_stats.Pipeline.cycles
+      /. (machine.Axmemo_cpu.Machine.freq_ghz *. 1e9);
+    dyn_normal = pipeline_stats.Pipeline.dyn_normal;
+    dyn_memo = pipeline_stats.Pipeline.dyn_memo;
+    pipeline = pipeline_stats;
+    energy;
+    lookups;
+    hits;
+    hit_rate = (if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups);
+    collisions;
+    memo_disabled;
+    outputs;
+  }
+
+let machine = Axmemo_cpu.Machine.hpi
+
+(* Shared hardware-memoization path: Hw_memo and Hw_custom differ only in how
+   the unit configuration is assembled. *)
+let run_hw ~label ~(unit_cfg : Memo_unit.config) ~approximate ~total_l2
+    ~crc_bytes_per_cycle (instance : Workload.instance) =
+  let regions =
+    if approximate then instance.regions
+    else List.map Transform.zero_truncs instance.regions
+  in
+  let program =
+    Transform.memoize ?barrier:instance.barrier ~entry:instance.entry instance.program
+      regions
+  in
+  let hier_base =
+    match total_l2 with
+    | None -> Hierarchy.hpi_default
+    | Some b ->
+        (* Scale the way count with capacity to keep 64 KB ways. *)
+        { Hierarchy.hpi_default with l2_size = b; l2_ways = b / (64 * 1024) }
+  in
+  let hier_cfg =
+    match unit_cfg.l2_bytes with
+    | None -> hier_base
+    | Some lut -> Hierarchy.carve_l2 hier_base ~lut_bytes:lut
+  in
+  let hierarchy = Hierarchy.create hier_cfg in
+  let unit = Memo_unit.create unit_cfg (Transform.lut_decls instance.program regions) in
+  let lookup_level () =
+    match Memo_unit.last_lookup_level unit with
+    | Memo_unit.Hit_l1 -> `L1
+    | Memo_unit.Hit_l2 -> `L2
+    | Memo_unit.Miss -> `Miss
+  in
+  let pipe =
+    Pipeline.create ~machine ~lookup_level ~l2_lut_present:(unit_cfg.l2_bytes <> None)
+      ~l1_lut_ways:(Memo_unit.l1_ways unit) ~crc_bytes_per_cycle ~program ~hierarchy ()
+  in
+  let interp =
+    Interp.create ~memo:(Memo_unit.hooks unit) ~hook:(Pipeline.hook pipe) ~program
+      ~mem:instance.mem ()
+  in
+  ignore (Interp.run interp instance.entry instance.args);
+  let ms = Memo_unit.stats unit in
+  finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:(Some ms)
+    ~l1_lut_bytes:unit_cfg.l1_bytes ~lookups:ms.lookups ~hits:(ms.l1_hits + ms.l2_hits)
+    ~collisions:ms.collisions ~memo_disabled:(Memo_unit.disabled unit)
+    ~outputs:(instance.read_outputs ()) ~machine
+
+let run config (instance : Workload.instance) =
+  let label = config_label config in
+  match config with
+  | Baseline ->
+      let hierarchy = Hierarchy.(create hpi_default) in
+      let pipe = Pipeline.create ~machine ~program:instance.program ~hierarchy () in
+      let interp =
+        Interp.create ~hook:(Pipeline.hook pipe) ~program:instance.program
+          ~mem:instance.mem ()
+      in
+      ignore (Interp.run interp instance.entry instance.args);
+      finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
+        ~l1_lut_bytes:(kb 8) ~lookups:0 ~hits:0 ~collisions:0 ~memo_disabled:false
+        ~outputs:(instance.read_outputs ()) ~machine
+  | Hw_memo { l1_bytes; l2_bytes; approximate; monitor; total_l2; adaptive } ->
+      let unit_cfg =
+        {
+          Memo_unit.default_config with
+          l1_bytes;
+          l2_bytes;
+          monitor;
+          adaptive = (if adaptive then Some Memo_unit.default_adaptive else None);
+        }
+      in
+      run_hw ~label ~unit_cfg ~approximate ~total_l2
+        ~crc_bytes_per_cycle:Axmemo_isa.Timing.crc_bytes_per_cycle instance
+  | Hw_custom { label; unit_cfg; approximate; crc_bytes_per_cycle } ->
+      run_hw ~label ~unit_cfg ~approximate ~total_l2:None ~crc_bytes_per_cycle instance
+  | Software { table_log2 } | Atm { table_log2 } ->
+      let sw_memoize =
+        match config with
+        | Atm _ -> Axmemo_baselines.Atm.memoize ?seed:None
+        | Baseline | Hw_memo _ | Hw_custom _ | Software _ ->
+            Axmemo_baselines.Software_memo.memoize
+      in
+      let program =
+        sw_memoize ~mem:instance.mem ~table_log2 ~entry:instance.entry
+          ?barrier:instance.barrier instance.program instance.regions
+      in
+      let hierarchy = Hierarchy.(create hpi_default) in
+      let pipe = Pipeline.create ~machine ~program ~hierarchy () in
+      let count_hook, hits, misses = sw_hit_counter program in
+      let hook ev =
+        Pipeline.hook pipe ev;
+        count_hook ev
+      in
+      let interp = Interp.create ~hook ~program ~mem:instance.mem () in
+      ignore (Interp.run interp instance.entry instance.args);
+      let lookups = !hits + !misses in
+      finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
+        ~l1_lut_bytes:(kb 8) ~lookups ~hits:!hits ~collisions:0 ~memo_disabled:false
+        ~outputs:(instance.read_outputs ()) ~machine

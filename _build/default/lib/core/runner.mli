@@ -1,0 +1,78 @@
+(** End-to-end experiment runner.
+
+    Executes a workload instance under one of the evaluated systems — the
+    plain HPI baseline, AxMemo with a given LUT configuration, the software
+    CRC-LUT implementation, or ATM — on the cycle-approximate CPU model, and
+    gathers every statistic the paper's figures need. Callers create a fresh
+    {!Axmemo_workloads.Workload.instance} per run (datasets are
+    deterministic, so runs are comparable). *)
+
+type config =
+  | Baseline  (** unmodified program, no memoization hardware *)
+  | Hw_memo of {
+      l1_bytes : int;
+      l2_bytes : int option;  (** carved out of the L2 cache *)
+      approximate : bool;  (** false forces all truncation to 0 (Figure 11) *)
+      monitor : bool;
+      total_l2 : int option;
+          (** override the total L2 cache size (Section 6.2's L2-size
+              sensitivity study); [None] = the HPI default of 1 MB *)
+      adaptive : bool;
+          (** use the unit's runtime-adaptive truncation (Section 3.1's
+              dynamic alternative) on top of the static levels *)
+    }
+  | Hw_custom of {
+      label : string;
+      unit_cfg : Axmemo_memo.Memo_unit.config;
+      approximate : bool;
+      crc_bytes_per_cycle : int;
+    }
+      (** Fully custom memoization hardware for ablation studies: any
+          {!Axmemo_memo.Memo_unit.config} (CRC width, payload width,
+          replacement policy, adaptive truncation...) plus a CRC unit
+          throughput. [label] doubles as the display/cache key. *)
+  | Software of { table_log2 : int }
+      (** software CRC + tagless in-memory LUT of [2^table_log2] entries *)
+  | Atm of { table_log2 : int }
+      (** Approximate Task Memoization (Brumar et al.): sampling hash +
+          software task LUT with per-task runtime overhead *)
+
+val config_label : config -> string
+
+val l1_4k : config
+val l1_8k : config
+val l1_8k_l2_256k : config
+val l1_8k_l2_512k : config
+(** The four AxMemo configurations evaluated throughout Section 6. *)
+
+val software_default : config
+(** Software LUT sized per the paper's plateau study (scaled to the
+    simulated footprint; see DESIGN.md). *)
+
+val atm_default : config
+
+type result = {
+  label : string;
+  cycles : int;
+  seconds : float;
+  dyn_normal : int;
+  dyn_memo : int;
+  pipeline : Axmemo_cpu.Pipeline.stats;
+  energy : Axmemo_energy.Model.breakdown;
+  lookups : int;
+  hits : int;
+  hit_rate : float;
+  collisions : int;
+  memo_disabled : bool;
+  outputs : Axmemo_workloads.Workload.outputs;
+}
+
+val run : config -> Axmemo_workloads.Workload.instance -> result
+(** [run config instance] transforms (if needed), simulates, and collects.
+    The instance's memory is mutated by the run. *)
+
+val speedup : baseline:result -> result -> float
+(** Cycle ratio baseline/other. *)
+
+val energy_saving : baseline:result -> result -> float
+(** Energy ratio baseline/other (the paper's E_baseline / E_AxMemo). *)

@@ -1,0 +1,1 @@
+lib/cpu/pipeline.ml: Array Axmemo_cache Axmemo_ir Axmemo_isa Hashtbl List Machine

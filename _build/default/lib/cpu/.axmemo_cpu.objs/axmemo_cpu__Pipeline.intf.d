@@ -1,0 +1,1 @@
+lib/cpu/pipeline.mli: Axmemo_cache Axmemo_ir Machine

@@ -1,0 +1,53 @@
+type t = {
+  freq_ghz : float;
+  issue_width : int;
+  n_alu : int;
+  n_mul : int;
+  n_div : int;
+  n_fpu : int;
+  n_lsu : int;
+  lat_alu : int;
+  lat_mul : int;
+  lat_div : int;
+  lat_fp : int;
+  lat_fdiv : int;
+  lat_fsqrt : int;
+  lat_ftrig : int;
+  lat_store : int;
+  lat_branch : int;
+  call_overhead_instrs : int;
+}
+
+let hpi =
+  {
+    freq_ghz = 2.0;
+    issue_width = 2;
+    n_alu = 2;
+    n_mul = 1;
+    n_div = 1;
+    n_fpu = 1;
+    n_lsu = 1;
+    lat_alu = 1;
+    lat_mul = 3;
+    lat_div = 12;
+    lat_fp = 4;
+    lat_fdiv = 15;
+    lat_fsqrt = 15;
+    lat_ftrig = 25;
+    lat_store = 1;
+    lat_branch = 1;
+    call_overhead_instrs = 2;
+  }
+
+let describe t =
+  [
+    ("Number of Cores, Frequency", Printf.sprintf "One core used, %.0fGHz" t.freq_ghz);
+    ("Issue Width", Printf.sprintf "%d, in-order" t.issue_width);
+    ( "Integer Units / Core",
+      Printf.sprintf "%d ALUs, %d Multiplier, %d Divider" t.n_alu t.n_mul t.n_div );
+    ("FP Units / Core", string_of_int t.n_fpu);
+    ("Ld/St Units / Core", string_of_int t.n_lsu);
+    ("ALU / Mul / Div latency", Printf.sprintf "%d / %d / %d" t.lat_alu t.lat_mul t.lat_div);
+    ( "FP / FDiv / FSqrt latency",
+      Printf.sprintf "%d / %d / %d" t.lat_fp t.lat_fdiv t.lat_fsqrt );
+  ]

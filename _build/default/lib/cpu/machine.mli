@@ -1,0 +1,34 @@
+(** Microarchitectural parameters of the modelled core (Table 3).
+
+    The paper evaluates the ARM high-performance in-order (HPI) gem5
+    configuration: dual-issue in-order at 2 GHz, two integer ALUs, one
+    multiplier, one divider, one FP unit, one load/store unit. *)
+
+type t = {
+  freq_ghz : float;
+  issue_width : int;
+  n_alu : int;
+  n_mul : int;
+  n_div : int;
+  n_fpu : int;
+  n_lsu : int;
+  lat_alu : int;
+  lat_mul : int;
+  lat_div : int;  (** non-pipelined *)
+  lat_fp : int;  (** pipelined FP add/sub/mul/compare *)
+  lat_fdiv : int;  (** non-pipelined *)
+  lat_fsqrt : int;  (** non-pipelined *)
+  lat_ftrig : int;  (** hardware transcendental fallback, non-pipelined;
+                        workloads normally lower these to polynomial IR *)
+  lat_store : int;
+  lat_branch : int;
+  call_overhead_instrs : int;
+      (** extra dynamic instructions charged per call/return pair
+          (bl + ret) *)
+}
+
+val hpi : t
+(** The default HPI-like configuration used by all experiments. *)
+
+val describe : t -> (string * string) list
+(** Key/value rendering for the Table 3 reproduction. *)

@@ -1,0 +1,373 @@
+module Ir = Axmemo_ir.Ir
+module Interp = Axmemo_ir.Interp
+module Hierarchy = Axmemo_cache.Hierarchy
+module Timing = Axmemo_isa.Timing
+
+type instr_class =
+  | C_ialu
+  | C_imul
+  | C_idiv
+  | C_fp
+  | C_fdiv_sqrt
+  | C_ftrig
+  | C_load
+  | C_store
+  | C_branch
+  | C_call_ret
+  | C_memo_send
+  | C_memo_lookup
+  | C_memo_update
+  | C_memo_invalidate
+  | C_memo_branch
+
+type stats = {
+  cycles : int;
+  dyn_normal : int;
+  dyn_memo : int;
+  per_class : (instr_class * int) list;
+  crc_stall_cycles : int;
+}
+
+type frame = {
+  ready : int array;  (* per-register ready cycle *)
+  call_binding : (int array * int array) option;
+      (* (dst registers, caller's ready array) to fill at Leave *)
+}
+
+type t = {
+  machine : Machine.t;
+  hier : Hierarchy.t;
+  lookup_level : unit -> [ `L1 | `L2 | `Miss ];
+  l2_lut_present : bool;
+  l1_lut_ways : int;
+  crc_bytes_per_cycle : int;
+  nregs_of : (string, int) Hashtbl.t;
+  mutable slot_cycle : int;
+  mutable slot_used : int;
+  mutable horizon : int;  (* latest completion seen *)
+  alu : int array;
+  mul : int array;
+  div : int array;
+  fpu : int array;
+  lsu : int array;
+  mutable frames : frame list;
+  mutable pending_call : (int array * int array) option;
+  mutable pending_args_ready : int;
+  mutable last_ret_ready : int;
+  mutable crc_done : int;
+  mutable memo_port_free : int;
+  mutable crc_stalls : int;
+  counts : int array;  (* indexed by class *)
+  mutable dyn_normal : int;
+  mutable dyn_memo : int;
+}
+
+let class_index = function
+  | C_ialu -> 0
+  | C_imul -> 1
+  | C_idiv -> 2
+  | C_fp -> 3
+  | C_fdiv_sqrt -> 4
+  | C_ftrig -> 5
+  | C_load -> 6
+  | C_store -> 7
+  | C_branch -> 8
+  | C_call_ret -> 9
+  | C_memo_send -> 10
+  | C_memo_lookup -> 11
+  | C_memo_update -> 12
+  | C_memo_invalidate -> 13
+  | C_memo_branch -> 14
+
+let all_classes =
+  [
+    C_ialu; C_imul; C_idiv; C_fp; C_fdiv_sqrt; C_ftrig; C_load; C_store; C_branch;
+    C_call_ret; C_memo_send; C_memo_lookup; C_memo_update; C_memo_invalidate;
+    C_memo_branch;
+  ]
+
+let create ?(machine = Machine.hpi) ?lookup_level ?(l2_lut_present = false)
+    ?(l1_lut_ways = 4) ?(crc_bytes_per_cycle = Timing.crc_bytes_per_cycle) ~program
+    ~hierarchy () =
+  let nregs_of = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Ir.func) -> Hashtbl.replace nregs_of f.fname f.nregs)
+    (program : Ir.program).funcs;
+  {
+    machine;
+    hier = hierarchy;
+    lookup_level = (match lookup_level with Some f -> f | None -> fun () -> `Miss);
+    l2_lut_present;
+    l1_lut_ways;
+    crc_bytes_per_cycle;
+    nregs_of;
+    slot_cycle = 0;
+    slot_used = 0;
+    horizon = 0;
+    alu = Array.make machine.n_alu 0;
+    mul = Array.make machine.n_mul 0;
+    div = Array.make machine.n_div 0;
+    fpu = Array.make machine.n_fpu 0;
+    lsu = Array.make machine.n_lsu 0;
+    frames = [];
+    pending_call = None;
+    pending_args_ready = 0;
+    last_ret_ready = 0;
+    crc_done = 0;
+    memo_port_free = 0;
+    crc_stalls = 0;
+    counts = Array.make 15 0;
+    dyn_normal = 0;
+    dyn_memo = 0;
+  }
+
+let count t cls =
+  t.counts.(class_index cls) <- t.counts.(class_index cls) + 1;
+  match cls with
+  | C_memo_send | C_memo_lookup | C_memo_update | C_memo_invalidate | C_memo_branch ->
+      t.dyn_memo <- t.dyn_memo + 1
+  | C_ialu | C_imul | C_idiv | C_fp | C_fdiv_sqrt | C_ftrig | C_load | C_store
+  | C_branch | C_call_ret ->
+      t.dyn_normal <- t.dyn_normal + 1
+
+(* Issue one instruction no earlier than [ready]; returns the issue cycle,
+   respecting in-order dual-issue. *)
+let issue t ready =
+  let c = max ready t.slot_cycle in
+  if c > t.slot_cycle then begin
+    t.slot_cycle <- c;
+    t.slot_used <- 1;
+    c
+  end
+  else if t.slot_used < t.machine.issue_width then begin
+    t.slot_used <- t.slot_used + 1;
+    c
+  end
+  else begin
+    t.slot_cycle <- c + 1;
+    t.slot_used <- 1;
+    c + 1
+  end
+
+(* Earliest-available unit in a pool; returns its index. *)
+let pool_min pool =
+  let best = ref 0 in
+  for i = 1 to Array.length pool - 1 do
+    if pool.(i) < pool.(!best) then best := i
+  done;
+  !best
+
+let current_frame t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> failwith "Pipeline: event outside any frame"
+
+let op_ready frame = function Ir.Reg r -> frame.ready.(r) | Ir.Imm _ -> 0
+
+let srcs_ready t instr =
+  let frame = current_frame t in
+  List.fold_left (fun acc r -> max acc frame.ready.(r)) 0 (Ir.instr_srcs instr)
+
+let complete t frame dsts at =
+  List.iter (fun r -> frame.ready.(r) <- at) dsts;
+  if at > t.horizon then t.horizon <- at
+
+(* Issue through a functional-unit pool. [busy] is the occupancy (1 for
+   pipelined units, [latency] for non-pipelined ones). *)
+let exec_fu t instr pool ~latency ~busy cls =
+  let frame = current_frame t in
+  let ready = srcs_ready t instr in
+  let u = pool_min pool in
+  let c = issue t (max ready pool.(u)) in
+  pool.(u) <- c + busy;
+  complete t frame (Ir.instr_dst instr) (c + latency);
+  count t cls
+
+(* Sends to the CRC unit: the queue drains one byte per cycle; the core
+   stalls only when the queue is full (Table 4). [avail] is when the bytes
+   become available to the queue relative to the issue cycle. *)
+let crc_send t ~issue_cycle ~bytes ~avail_delay =
+  let start = max t.crc_done (issue_cycle + avail_delay) in
+  let cycles = max 1 ((bytes + t.crc_bytes_per_cycle - 1) / t.crc_bytes_per_cycle) in
+  t.crc_done <- start + cycles
+
+let crc_queue_constraint t ~bytes =
+  (* Issue must wait until the projected backlog fits the queue. *)
+  t.crc_done + bytes - Timing.input_queue_bytes
+
+let m t = t.machine
+
+let rec exec_instr t (instr : Ir.instr) addr =
+  match instr with
+  | Const _ | Mov _ | Select _ -> exec_fu t instr t.alu ~latency:(m t).lat_alu ~busy:1 C_ialu
+  | Binop { op; _ } -> (
+      match op with
+      | Mul -> exec_fu t instr t.mul ~latency:(m t).lat_mul ~busy:1 C_imul
+      | Div | Rem ->
+          exec_fu t instr t.div ~latency:(m t).lat_div ~busy:(m t).lat_div C_idiv
+      | Add | Sub | And | Or | Xor | Shl | Lshr | Ashr ->
+          exec_fu t instr t.alu ~latency:(m t).lat_alu ~busy:1 C_ialu)
+  | Fbinop { op; _ } -> (
+      match op with
+      | Fdiv -> exec_fu t instr t.fpu ~latency:(m t).lat_fdiv ~busy:(m t).lat_fdiv C_fdiv_sqrt
+      | Fadd | Fsub | Fmul -> exec_fu t instr t.fpu ~latency:(m t).lat_fp ~busy:1 C_fp)
+  | Funop { op; _ } -> (
+      match op with
+      | Fsqrt ->
+          exec_fu t instr t.fpu ~latency:(m t).lat_fsqrt ~busy:(m t).lat_fsqrt C_fdiv_sqrt
+      | Fsin | Fcos | Fexp | Flog ->
+          exec_fu t instr t.fpu ~latency:(m t).lat_ftrig ~busy:(m t).lat_ftrig C_ftrig
+      | Fneg | Fabs | Ffloor | Fround ->
+          exec_fu t instr t.fpu ~latency:(m t).lat_fp ~busy:1 C_fp)
+  | Icmp _ -> exec_fu t instr t.alu ~latency:(m t).lat_alu ~busy:1 C_ialu
+  | Fcmp _ -> exec_fu t instr t.fpu ~latency:(m t).lat_fp ~busy:1 C_fp
+  | Cast { op; _ } -> (
+      match op with
+      | I_to_f | F_to_i | F32_of_f64 | F64_of_f32 ->
+          exec_fu t instr t.fpu ~latency:(m t).lat_fp ~busy:1 C_fp
+      | Bits_of_f32 | F32_of_bits | Bits_of_f64 | F64_of_bits | Sext_32_64 | Trunc_64_32
+        ->
+          exec_fu t instr t.alu ~latency:(m t).lat_alu ~busy:1 C_ialu)
+  | Load _ ->
+      let frame = current_frame t in
+      let ready = srcs_ready t instr in
+      let u = pool_min t.lsu in
+      let c = issue t (max ready t.lsu.(u)) in
+      t.lsu.(u) <- c + 1;
+      let latency = Hierarchy.read t.hier ~addr in
+      complete t frame (Ir.instr_dst instr) (c + latency);
+      count t C_load
+  | Store _ ->
+      let ready = srcs_ready t instr in
+      let u = pool_min t.lsu in
+      let c = issue t (max ready t.lsu.(u)) in
+      let latency = Hierarchy.write t.hier ~addr in
+      t.lsu.(u) <- c + latency;
+      if c + latency > t.horizon then t.horizon <- c + latency;
+      count t C_store
+  | Call { args; dsts; _ } ->
+      (* The bl instruction: a branch-class issue slot. *)
+      let frame = current_frame t in
+      let ready =
+        Array.fold_left
+          (fun acc a -> max acc (op_ready frame a))
+          0 args
+      in
+      let c = issue t ready in
+      t.pending_args_ready <- max ready c;
+      t.pending_call <- Some (Array.copy dsts, frame.ready);
+      count t C_call_ret
+  | Memo mi -> exec_memo t mi addr
+
+and exec_memo t (mi : Ir.memo_instr) addr =
+  match mi with
+  | Ld_crc { ty; _ } ->
+      let instr = Ir.Memo mi in
+      let frame = current_frame t in
+      let bytes = Ir.ty_size ty in
+      let ready = srcs_ready t instr in
+      let u = pool_min t.lsu in
+      let queue_ok = crc_queue_constraint t ~bytes in
+      let unconstrained = max ready t.lsu.(u) in
+      let c = issue t (max unconstrained queue_ok) in
+      if queue_ok > unconstrained then t.crc_stalls <- t.crc_stalls + (queue_ok - unconstrained);
+      t.lsu.(u) <- c + 1;
+      let latency = Hierarchy.read t.hier ~addr in
+      complete t frame (Ir.instr_dst instr) (c + latency);
+      crc_send t ~issue_cycle:c ~bytes ~avail_delay:latency;
+      count t C_load
+  | Reg_crc { ty; _ } ->
+      let instr = Ir.Memo mi in
+      let bytes = Ir.ty_size ty in
+      let ready = srcs_ready t instr in
+      let queue_ok = crc_queue_constraint t ~bytes in
+      let c = issue t (max ready queue_ok) in
+      if queue_ok > ready then t.crc_stalls <- t.crc_stalls + (max 0 (queue_ok - ready));
+      crc_send t ~issue_cycle:c ~bytes ~avail_delay:1;
+      count t C_memo_send
+  | Lookup _ ->
+      let instr = Ir.Memo mi in
+      let frame = current_frame t in
+      let ready = max (srcs_ready t instr) (max t.crc_done t.memo_port_free) in
+      let c = issue t ready in
+      let latency =
+        match t.lookup_level () with
+        | `L1 -> Timing.lookup_l1_cycles
+        | `L2 -> Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+        | `Miss ->
+            if t.l2_lut_present then Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+            else Timing.lookup_l1_cycles
+      in
+      t.memo_port_free <- c + latency;
+      complete t frame (Ir.instr_dst instr) (c + latency);
+      count t C_memo_lookup
+  | Update _ ->
+      let instr = Ir.Memo mi in
+      let ready = max (srcs_ready t instr) t.memo_port_free in
+      let c = issue t ready in
+      t.memo_port_free <- c + Timing.update_cycles;
+      if c + Timing.update_cycles > t.horizon then t.horizon <- c + Timing.update_cycles;
+      count t C_memo_update
+  | Invalidate _ ->
+      let c = issue t t.memo_port_free in
+      let penalty = t.l1_lut_ways * Timing.invalidate_cycles_per_way in
+      t.memo_port_free <- c + penalty;
+      t.slot_cycle <- c + penalty;
+      t.slot_used <- 0;
+      count t C_memo_invalidate
+
+let exec_term t (term : Ir.terminator) =
+  match term with
+  | Jmp _ ->
+      let _c = issue t t.slot_cycle in
+      count t C_branch
+  | Br { cond; _ } ->
+      let frame = current_frame t in
+      let c = issue t (op_ready frame cond) in
+      ignore c;
+      count t C_branch
+  | Br_memo _ ->
+      (* Consumes the lookup's condition code; readiness is already folded
+         into [memo_port_free]. *)
+      let c = issue t t.memo_port_free in
+      ignore c;
+      count t C_memo_branch
+  | Ret ops ->
+      let frame = current_frame t in
+      let ready = Array.fold_left (fun acc o -> max acc (op_ready frame o)) 0 ops in
+      let c = issue t ready in
+      t.last_ret_ready <- max ready c;
+      count t C_call_ret
+
+let hook t (ev : Interp.event) =
+  match ev with
+  | Enter { fname } ->
+      let nregs = try Hashtbl.find t.nregs_of fname with Not_found -> 64 in
+      let binding = t.pending_call in
+      t.pending_call <- None;
+      let ready = Array.make nregs (max t.pending_args_ready t.slot_cycle) in
+      t.frames <- { ready; call_binding = binding } :: t.frames
+  | Leave _ -> (
+      match t.frames with
+      | [] -> ()
+      | frame :: rest ->
+          t.frames <- rest;
+          (match frame.call_binding with
+          | Some (dsts, caller_ready) ->
+              Array.iter (fun r -> caller_ready.(r) <- t.last_ret_ready) dsts
+          | None -> ()))
+  | Exec { instr; addr; _ } -> exec_instr t instr addr
+  | Term { term; _ } -> exec_term t term
+
+let cycles t = max t.slot_cycle t.horizon
+
+let stats t =
+  {
+    cycles = cycles t;
+    dyn_normal = t.dyn_normal;
+    dyn_memo = t.dyn_memo;
+    per_class = List.map (fun c -> (c, t.counts.(class_index c))) all_classes;
+    crc_stall_cycles = t.crc_stalls;
+  }
+
+let seconds t = float_of_int (cycles t) /. (t.machine.freq_ghz *. 1e9)

@@ -1,0 +1,68 @@
+(** In-order dual-issue timing model.
+
+    Consumes {!Axmemo_ir.Interp.event}s in execution order and charges cycles
+    according to the HPI-like {!Machine} configuration: issue-width-limited
+    in-order issue, scoreboarded operand readiness, functional-unit
+    contention (non-pipelined dividers/sqrt), loads and stores through an
+    {!Axmemo_cache.Hierarchy}, and the Table 4 latencies for the five AxMemo
+    instructions, including the CRC input queue that can back-pressure the
+    core.
+
+    Branch prediction is assumed perfect (the evaluated kernels are
+    loop-dominated); this is noted in DESIGN.md. *)
+
+type instr_class =
+  | C_ialu
+  | C_imul
+  | C_idiv
+  | C_fp
+  | C_fdiv_sqrt
+  | C_ftrig
+  | C_load
+  | C_store
+  | C_branch
+  | C_call_ret
+  | C_memo_send  (** reg_crc (ld_crc is counted as [C_load]) *)
+  | C_memo_lookup
+  | C_memo_update
+  | C_memo_invalidate
+  | C_memo_branch  (** the branch consuming the lookup condition code *)
+
+type stats = {
+  cycles : int;
+  dyn_normal : int;
+      (** dynamic count of ordinary instructions (ld_crc included, as in the
+          paper's Figure 8 accounting) *)
+  dyn_memo : int;  (** reg_crc + lookup + update + invalidate + memo branches *)
+  per_class : (instr_class * int) list;
+  crc_stall_cycles : int;  (** cycles the core waited on the CRC input queue *)
+}
+
+type t
+
+val create :
+  ?machine:Machine.t ->
+  ?lookup_level:(unit -> [ `L1 | `L2 | `Miss ]) ->
+  ?l2_lut_present:bool ->
+  ?l1_lut_ways:int ->
+  ?crc_bytes_per_cycle:int ->
+  program:Axmemo_ir.Ir.program ->
+  hierarchy:Axmemo_cache.Hierarchy.t ->
+  unit ->
+  t
+(** [create ~program ~hierarchy ()] builds a timing consumer. [lookup_level]
+    reports the level serviced by the most recent LUT lookup (wired to
+    {!Axmemo_memo}); without it lookups are charged as L1-LUT misses.
+    [crc_bytes_per_cycle] defaults to the unrolled unit's 4 (Table 4 /
+    Section 6.1); pass 1 to model the plain serial-per-byte unit. *)
+
+val hook : t -> Axmemo_ir.Interp.event -> unit
+(** Feed one event; pass as the interpreter's [hook]. *)
+
+val stats : t -> stats
+
+val cycles : t -> int
+(** Cycles elapsed so far. *)
+
+val seconds : t -> float
+(** [cycles] over the configured core frequency. *)

@@ -1,0 +1,1 @@
+lib/crc/cost.ml:

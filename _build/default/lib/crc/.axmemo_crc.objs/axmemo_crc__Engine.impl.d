@@ -1,0 +1,1 @@
+lib/crc/engine.ml: Array Char Hashtbl Int64 Poly String

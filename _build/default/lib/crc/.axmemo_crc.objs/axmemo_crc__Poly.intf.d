@@ -1,0 +1,1 @@
+lib/crc/poly.mli:

@@ -1,0 +1,126 @@
+let reflect ~bits v =
+  let r = ref 0L in
+  for i = 0 to bits - 1 do
+    if Int64.logand (Int64.shift_right_logical v i) 1L = 1L then
+      r := Int64.logor !r (Int64.shift_left 1L (bits - 1 - i))
+  done;
+  !r
+
+(* Step tables are memoized per parameterisation: building one models loading
+   the constants RAM of the parallel hardware unit. *)
+let table_cache : (string, int64 array) Hashtbl.t = Hashtbl.create 8
+
+let build_table (p : Poly.t) =
+  let mask = Poly.mask p in
+  let table = Array.make 256 0L in
+  if p.refin then begin
+    let poly_r = reflect ~bits:p.width p.poly in
+    for i = 0 to 255 do
+      let t = ref (Int64.of_int i) in
+      for _ = 0 to 7 do
+        if Int64.logand !t 1L = 1L then
+          t := Int64.logxor (Int64.shift_right_logical !t 1) poly_r
+        else t := Int64.shift_right_logical !t 1
+      done;
+      table.(i) <- Int64.logand !t mask
+    done
+  end
+  else
+    for i = 0 to 255 do
+      let t = ref (Int64.shift_left (Int64.of_int i) (p.width - 8)) in
+      for _ = 0 to 7 do
+        let top = Int64.logand (Int64.shift_right_logical !t (p.width - 1)) 1L in
+        t := Int64.logand (Int64.shift_left !t 1) mask;
+        if top = 1L then t := Int64.logxor !t p.poly
+      done;
+      table.(i) <- Int64.logand !t mask
+    done;
+  table
+
+let table (p : Poly.t) =
+  match Hashtbl.find_opt table_cache p.name with
+  | Some t -> t
+  | None ->
+      let t = build_table p in
+      Hashtbl.add table_cache p.name t;
+      t
+
+type t = {
+  poly : Poly.t;
+  step_table : int64 array;
+  mutable reg : int64;  (* reflected domain iff poly.refin *)
+  mutable fed : int;
+}
+
+let start (p : Poly.t) =
+  (* The internal register lives in the reflected domain when the
+     parameterisation reflects its input, so the initial value must be
+     carried into that domain too. *)
+  let init = if p.refin then reflect ~bits:p.width p.init else p.init in
+  { poly = p; step_table = table p; reg = init; fed = 0 }
+
+let copy t = { t with reg = t.reg }
+
+let feed_byte t b =
+  let b = b land 0xFF in
+  t.fed <- t.fed + 1;
+  let p = t.poly in
+  if p.refin then
+    let idx = Int64.to_int (Int64.logand (Int64.logxor t.reg (Int64.of_int b)) 0xFFL) in
+    t.reg <- Int64.logxor (Int64.shift_right_logical t.reg 8) t.step_table.(idx)
+  else
+    let idx =
+      Int64.to_int
+        (Int64.logand
+           (Int64.logxor (Int64.shift_right_logical t.reg (p.width - 8)) (Int64.of_int b))
+           0xFFL)
+    in
+    t.reg <-
+      Int64.logand
+        (Int64.logxor (Int64.shift_left t.reg 8) t.step_table.(idx))
+        (Poly.mask p)
+
+let feed_string t s = String.iter (fun c -> feed_byte t (Char.code c)) s
+
+let feed_int64 t ~width v =
+  for i = 0 to width - 1 do
+    feed_byte t (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL))
+  done
+
+let value t =
+  let p = t.poly in
+  let r = if p.refout = p.refin then t.reg else reflect ~bits:p.width t.reg in
+  Int64.logand (Int64.logxor r p.xorout) (Poly.mask p)
+
+let bytes_fed t = t.fed
+
+let digest_string p s =
+  let t = start p in
+  feed_string t s;
+  value t
+
+(* Bit-serial engine (the LFSR structure of Figure 3): the register lives in
+   the normal domain; input bytes are fed MSB-first, or LSB-first when the
+   parameterisation reflects its input. *)
+let digest_serial (p : Poly.t) s =
+  let mask = Poly.mask p in
+  let reg = ref p.init in
+  let feed_bit b =
+    let top = Int64.logand (Int64.shift_right_logical !reg (p.width - 1)) 1L in
+    reg := Int64.logand (Int64.shift_left !reg 1) mask;
+    if Int64.logxor top (Int64.of_int b) = 1L then reg := Int64.logxor !reg p.poly
+  in
+  String.iter
+    (fun c ->
+      let byte = Char.code c in
+      for i = 0 to 7 do
+        let bit = if p.refin then (byte lsr i) land 1 else (byte lsr (7 - i)) land 1 in
+        feed_bit bit
+      done)
+    s;
+  let r = if p.refout then reflect ~bits:p.width !reg else !reg in
+  Int64.logand (Int64.logxor r p.xorout) mask
+
+let self_test p =
+  let msg = "123456789" in
+  digest_string p msg = p.check && digest_serial p msg = p.check

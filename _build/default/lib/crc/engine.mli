@@ -1,0 +1,53 @@
+(** CRC computation engines.
+
+    Two implementations mirror the paper's Figure 3:
+    - a {e serial} engine that shifts one bit per step (the LFSR-with-input-XOR
+      structure), the reference for correctness; and
+    - a {e parallel} table-driven engine that consumes 8 bits per step using a
+      precomputed 256-entry table — the "n-bit parallel implementation" whose
+      constants live in a small RAM in hardware.
+
+    Both expose incremental state: the hardware accumulates input words as
+    they arrive (hiding hash latency behind the original computation), so the
+    software model must too. *)
+
+type t
+(** An in-flight CRC computation (the contents of one Hash Value Register). *)
+
+val start : Poly.t -> t
+(** [start p] begins a computation under parameterisation [p]. *)
+
+val copy : t -> t
+(** [copy t] snapshots the in-flight state. *)
+
+val feed_byte : t -> int -> unit
+(** [feed_byte t b] accumulates one input byte [b] (0-255) using the parallel
+    (table-driven) step. *)
+
+val feed_string : t -> string -> unit
+(** [feed_string t s] accumulates every byte of [s] in order. *)
+
+val feed_int64 : t -> width:int -> int64 -> unit
+(** [feed_int64 t ~width v] accumulates the low [width] bytes of [v] in
+    little-endian order — how the memoization unit consumes register inputs. *)
+
+val value : t -> int64
+(** [value t] finalizes (reflection + xorout) without disturbing the in-flight
+    state, returning the CRC of everything fed so far. *)
+
+val bytes_fed : t -> int
+(** [bytes_fed t] counts bytes accumulated since [start]. *)
+
+val digest_string : Poly.t -> string -> int64
+(** [digest_string p s] is the one-shot CRC of [s]. *)
+
+val digest_serial : Poly.t -> string -> int64
+(** [digest_serial p s] computes the same CRC with the bit-serial engine.
+    Used to cross-check the table-driven implementation. *)
+
+val table : Poly.t -> int64 array
+(** [table p] exposes the 256-entry step table (the contents of the small
+    constants RAM in the hardware implementation). *)
+
+val self_test : Poly.t -> bool
+(** [self_test p] verifies both engines produce [p.check] on "123456789". *)

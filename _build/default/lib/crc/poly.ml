@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  width : int;
+  poly : int64;
+  init : int64;
+  refin : bool;
+  refout : bool;
+  xorout : int64;
+  check : int64;
+}
+
+let crc16_ccitt =
+  {
+    name = "CRC-16/CCITT-FALSE";
+    width = 16;
+    poly = 0x1021L;
+    init = 0xFFFFL;
+    refin = false;
+    refout = false;
+    xorout = 0L;
+    check = 0x29B1L;
+  }
+
+let crc32 =
+  {
+    name = "CRC-32";
+    width = 32;
+    poly = 0x04C11DB7L;
+    init = 0xFFFFFFFFL;
+    refin = true;
+    refout = true;
+    xorout = 0xFFFFFFFFL;
+    check = 0xCBF43926L;
+  }
+
+let crc32c =
+  {
+    name = "CRC-32C";
+    width = 32;
+    poly = 0x1EDC6F41L;
+    init = 0xFFFFFFFFL;
+    refin = true;
+    refout = true;
+    xorout = 0xFFFFFFFFL;
+    check = 0xE3069283L;
+  }
+
+let crc64_xz =
+  {
+    name = "CRC-64/XZ";
+    width = 64;
+    poly = 0x42F0E1EBA9EA3693L;
+    init = -1L;
+    refin = true;
+    refout = true;
+    xorout = -1L;
+    check = 0x995DC9BBDF1939FAL;
+  }
+
+let all = [ crc16_ccitt; crc32; crc32c; crc64_xz ]
+
+let mask p = if p.width >= 64 then -1L else Int64.sub (Int64.shift_left 1L p.width) 1L

@@ -1,0 +1,36 @@
+(** CRC parameterisations.
+
+    A CRC algorithm is defined by its width, generator polynomial, initial
+    register value, input/output bit reflection and final XOR (the "Rocksoft"
+    model). AxMemo uses CRC-32 by default; 16- and 64-bit variants are
+    provided because the paper notes the unit "can work in many sizes"
+    (Section 3.1). *)
+
+type t = {
+  name : string;  (** canonical algorithm name *)
+  width : int;  (** register width in bits, 1..64 *)
+  poly : int64;  (** generator polynomial, normal (MSB-first) notation *)
+  init : int64;  (** initial register contents *)
+  refin : bool;  (** reflect each input byte before feeding *)
+  refout : bool;  (** reflect the register before the final XOR *)
+  xorout : int64;  (** value XOR-ed into the final register *)
+  check : int64;  (** CRC of the ASCII bytes "123456789", for self-test *)
+}
+
+val crc16_ccitt : t
+(** CRC-16/CCITT-FALSE: width 16, poly 0x1021. *)
+
+val crc32 : t
+(** CRC-32 (IEEE 802.3, zlib): width 32, poly 0x04C11DB7, reflected. *)
+
+val crc32c : t
+(** CRC-32C (Castagnoli, iSCSI): width 32, poly 0x1EDC6F41, reflected. *)
+
+val crc64_xz : t
+(** CRC-64/XZ (ECMA-182 reflected). *)
+
+val all : t list
+(** Every preset, for parameterised tests. *)
+
+val mask : t -> int64
+(** [mask p] is the [width]-bit all-ones mask. *)

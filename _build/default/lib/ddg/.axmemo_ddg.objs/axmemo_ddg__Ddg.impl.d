@@ -1,0 +1,1 @@
+lib/ddg/ddg.ml: Array Axmemo_trace Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/ddg/ddg.mli: Axmemo_trace

@@ -1,0 +1,203 @@
+module Trace = Axmemo_trace.Trace
+
+type candidate = {
+  root : int;
+  vertices : int list;
+  signature : int list;
+  total_weight : int;
+  n_inputs : int;
+  ci_ratio : float;
+}
+
+type analysis = {
+  total_dynamic : int;
+  unique : candidate list;
+  avg_ci_ratio : float;
+  coverage : float;
+}
+
+type params = {
+  min_ci_ratio : float;
+  max_inputs : int;
+  max_vertices : int;
+  merge_overlap : float;
+}
+
+let default_params =
+  { min_ci_ratio = 5.0; max_inputs = 16; max_vertices = 256; merge_overlap = 0.5 }
+
+let consumers_of (entries : Trace.entry array) =
+  let consumers = Array.make (Array.length entries) [] in
+  Array.iteri
+    (fun i (e : Trace.entry) ->
+      Array.iter (fun s -> if s >= 0 then consumers.(s) <- i :: consumers.(s)) e.srcs)
+    entries;
+  consumers
+
+module IntSet = Set.Make (Int)
+
+let evaluate (entries : Trace.entry array) in_s members =
+  let weight = List.fold_left (fun acc v -> acc + entries.(v).weight) 0 members in
+  let inputs =
+    List.fold_left
+      (fun acc v ->
+        Array.fold_left
+          (fun acc s -> if IntSet.mem s in_s then acc else IntSet.add s acc)
+          acc entries.(v).srcs)
+      IntSet.empty members
+  in
+  (weight, IntSet.cardinal inputs)
+
+let signature_of entries members =
+  List.sort_uniq compare (List.map (fun v -> (entries.(v) : Trace.entry).static_id) members)
+
+let grow_candidate params (entries : Trace.entry array) ~consumers v =
+  let in_s = ref (IntSet.singleton v) in
+  let members = ref [ v ] in
+  let best = ref None in
+  let consider () =
+    let weight, n_inputs = evaluate entries !in_s !members in
+    if n_inputs >= 1 && n_inputs <= params.max_inputs then begin
+      let ratio = float_of_int weight /. float_of_int n_inputs in
+      let better =
+        match !best with None -> true | Some c -> ratio > c.ci_ratio
+      in
+      if better && ratio >= params.min_ci_ratio then
+        best :=
+          Some
+            {
+              root = v;
+              vertices = !members;
+              signature = signature_of entries !members;
+              total_weight = weight;
+              n_inputs;
+              ci_ratio = ratio;
+            }
+    end
+  in
+  consider ();
+  (* Grow by layers: a predecessor joins only when all of its consumers are
+     already inside (so the set keeps a single output, v). *)
+  let continue_growing = ref true in
+  while !continue_growing && IntSet.cardinal !in_s < params.max_vertices do
+    let frontier =
+      List.fold_left
+        (fun acc m ->
+          Array.fold_left
+            (fun acc s -> if s >= 0 && not (IntSet.mem s !in_s) then IntSet.add s acc else acc)
+            acc entries.(m).srcs)
+        IntSet.empty !members
+    in
+    let eligible =
+      IntSet.filter
+        (fun u -> List.for_all (fun c -> IntSet.mem c !in_s) consumers.(u))
+        frontier
+    in
+    if IntSet.is_empty eligible then continue_growing := false
+    else begin
+      IntSet.iter
+        (fun u ->
+          in_s := IntSet.add u !in_s;
+          members := u :: !members)
+        eligible;
+      consider ()
+    end
+  done;
+  !best
+
+let jaccard a b =
+  let sa = IntSet.of_list a and sb = IntSet.of_list b in
+  let inter = IntSet.cardinal (IntSet.inter sa sb) in
+  let union = IntSet.cardinal (IntSet.union sa sb) in
+  if union = 0 then 0.0 else float_of_int inter /. float_of_int union
+
+let analyze ?(params = default_params) (entries : Trace.entry array) =
+  let consumers = consumers_of entries in
+  let all = ref [] in
+  Array.iteri
+    (fun v _ ->
+      match grow_candidate params entries ~consumers v with
+      | Some c -> all := c :: !all
+      | None -> ())
+    entries;
+  let all = !all in
+  let total_dynamic = List.length all in
+  (* Structural dedup: one representative (best ratio) per static signature. *)
+  let by_sig = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt by_sig c.signature with
+      | Some c' when c'.ci_ratio >= c.ci_ratio -> ()
+      | _ -> Hashtbl.replace by_sig c.signature c)
+    all;
+  let reps = Hashtbl.fold (fun _ c acc -> c :: acc) by_sig [] in
+  (* Drop candidates whose signature is a subset of another's. *)
+  let is_subset a b =
+    let sb = IntSet.of_list b in
+    List.for_all (fun x -> IntSet.mem x sb) a
+  in
+  let reps =
+    List.filter
+      (fun c ->
+        not
+          (List.exists
+             (fun c' ->
+               c != c'
+               && List.length c.signature < List.length c'.signature
+               && is_subset c.signature c'.signature)
+             reps))
+      reps
+  in
+  (* Merge heavily overlapping candidates from the same dynamic region. *)
+  let merged = ref [] in
+  List.iter
+    (fun c ->
+      let rec place = function
+        | [] -> [ c ]
+        | m :: rest ->
+            if jaccard c.vertices m.vertices >= params.merge_overlap then begin
+              let union =
+                IntSet.elements (IntSet.union (IntSet.of_list c.vertices) (IntSet.of_list m.vertices))
+              in
+              let in_s = IntSet.of_list union in
+              let weight, n_inputs = evaluate entries in_s union in
+              let ratio =
+                if n_inputs = 0 then float_of_int weight
+                else float_of_int weight /. float_of_int n_inputs
+              in
+              {
+                root = m.root;
+                vertices = union;
+                signature = signature_of entries union;
+                total_weight = weight;
+                n_inputs;
+                ci_ratio = ratio;
+              }
+              :: rest
+            end
+            else m :: place rest
+      in
+      merged := place !merged)
+    reps;
+  let unique = !merged in
+  let avg_ci_ratio =
+    match unique with
+    | [] -> 0.0
+    | _ ->
+        List.fold_left (fun acc c -> acc +. c.ci_ratio) 0.0 unique
+        /. float_of_int (List.length unique)
+  in
+  (* Coverage: weight of vertices belonging to any candidate over the whole
+     trace weight. *)
+  let covered = Array.make (Array.length entries) false in
+  List.iter (fun c -> List.iter (fun v -> covered.(v) <- true) c.vertices) all;
+  let cov_w = ref 0 and tot_w = ref 0 in
+  Array.iteri
+    (fun i (e : Trace.entry) ->
+      tot_w := !tot_w + e.weight;
+      if covered.(i) then cov_w := !cov_w + e.weight)
+    entries;
+  let coverage =
+    if !tot_w = 0 then 0.0 else float_of_int !cov_w /. float_of_int !tot_w
+  in
+  { total_dynamic; unique; avg_ci_ratio; coverage }

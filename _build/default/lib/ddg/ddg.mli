@@ -1,0 +1,52 @@
+(** Dynamic data-dependence graph analysis (Section 5).
+
+    Builds the DDDG from a {!Axmemo_trace.Trace} and enumerates AxMemo-
+    transformable candidate subgraphs: for each vertex [v], a reverse BFS
+    grows the largest {e closed} ancestor set with [v] as sole output (no
+    internal vertex feeds a consumer outside the set), tracking the
+    Compute-to-Input ratio
+
+    {v CI_Ratio = sum of vertex weights / number of distinct inputs v}
+
+    Candidates above a ratio threshold are kept, de-duplicated by their
+    static-instruction signature, and merged when they overlap heavily —
+    reproducing the paper's Table 1 columns. *)
+
+type candidate = {
+  root : int;  (** output vertex (trace entry index) *)
+  vertices : int list;  (** members, including [root] *)
+  signature : int list;  (** sorted distinct static ids: structural identity *)
+  total_weight : int;
+  n_inputs : int;
+  ci_ratio : float;
+}
+
+type analysis = {
+  total_dynamic : int;  (** candidate subgraphs before structural dedup *)
+  unique : candidate list;  (** representatives after dedup and merging *)
+  avg_ci_ratio : float;  (** mean CI_Ratio over unique candidates *)
+  coverage : float;  (** weight fraction of the trace covered by candidates *)
+}
+
+type params = {
+  min_ci_ratio : float;  (** keep candidates above this ratio *)
+  max_inputs : int;  (** the number of inputs AxMemo can stream per block *)
+  max_vertices : int;  (** BFS growth bound *)
+  merge_overlap : float;  (** static-signature Jaccard overlap that triggers merging *)
+}
+
+val default_params : params
+(** ratio ≥ 5.0, ≤ 16 inputs, ≤ 256 vertices, merge at 0.5 overlap. *)
+
+val analyze : ?params:params -> Axmemo_trace.Trace.entry array -> analysis
+(** [analyze entries] runs the full candidate search on a recorded trace. *)
+
+val grow_candidate :
+  params -> Axmemo_trace.Trace.entry array -> consumers:int list array -> int ->
+  candidate option
+(** [grow_candidate params entries ~consumers v] grows the best candidate
+    rooted at vertex [v]; [None] if it never clears the ratio threshold.
+    Exposed for unit testing. *)
+
+val consumers_of : Axmemo_trace.Trace.entry array -> int list array
+(** Forward adjacency: [consumers.(v)] lists entries reading [v]'s result. *)

@@ -1,0 +1,1 @@
+lib/energy/model.ml: Axmemo_cache Axmemo_cpu Axmemo_memo List Synthesis

@@ -1,0 +1,1 @@
+lib/energy/model.mli: Axmemo_cache Axmemo_cpu Axmemo_memo

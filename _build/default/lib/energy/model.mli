@@ -1,0 +1,46 @@
+(** Event-based energy model (McPAT/CACTI stand-in).
+
+    Total energy = dynamic pipeline energy (per-instruction front-end cost
+    plus a functional-unit cost per class) + cache and DRAM access energy +
+    memoization-unit energy (Table 5 constants) + leakage proportional to
+    run time. Only {e relative} energy matters for the reproduction; the
+    constants are representative 32 nm figures. *)
+
+type constants = {
+  base_instr_pj : float;  (** fetch/decode/issue/commit per instruction *)
+  ialu_pj : float;
+  imul_pj : float;
+  idiv_pj : float;
+  fp_pj : float;
+  fdiv_sqrt_pj : float;
+  ftrig_pj : float;
+  l1_access_pj : float;
+  l2_access_pj : float;
+  dram_access_pj : float;
+  leakage_pj_per_cycle : float;
+}
+
+val default_constants : constants
+
+type breakdown = {
+  pipeline_pj : float;  (** front-end + FU dynamic energy *)
+  cache_pj : float;
+  dram_pj : float;
+      (** reported, but {e not} part of [total_pj]: the paper's McPAT totals
+          are processor energy only *)
+  memo_pj : float;
+  leakage_pj : float;
+  total_pj : float;
+}
+
+val of_run :
+  ?constants:constants ->
+  pipeline:Axmemo_cpu.Pipeline.stats ->
+  hierarchy:Axmemo_cache.Hierarchy.t ->
+  memo:Axmemo_memo.Memo_unit.stats option ->
+  l1_lut_bytes:int ->
+  unit ->
+  breakdown
+(** [of_run ~pipeline ~hierarchy ~memo ~l1_lut_bytes ()] aggregates one
+    run's events. [memo = None] models the baseline core (no memoization
+    hardware active). *)

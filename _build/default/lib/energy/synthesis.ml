@@ -1,0 +1,41 @@
+type unit_row = {
+  unit_name : string;
+  area_mm2 : float;
+  energy_pj : float;
+  latency_ns : float;
+}
+
+let crc32_unit =
+  { unit_name = "CRC32 Unit"; area_mm2 = 0.0146; energy_pj = 2.9143; latency_ns = 0.4133 }
+
+let hash_register =
+  { unit_name = "Hash Register"; area_mm2 = 0.0018; energy_pj = 0.2634; latency_ns = 0.1121 }
+
+let lut_4kb =
+  { unit_name = "LUT (4KB)"; area_mm2 = 0.0217; energy_pj = 3.2556; latency_ns = 0.1768 }
+
+let lut_8kb =
+  { unit_name = "LUT (8KB)"; area_mm2 = 0.0364; energy_pj = 4.4221; latency_ns = 0.2175 }
+
+let lut_16kb =
+  { unit_name = "LUT (16KB)"; area_mm2 = 0.0666; energy_pj = 7.2340; latency_ns = 0.2658 }
+
+let lut_row_for ~bytes =
+  if bytes <= 4 * 1024 then lut_4kb else if bytes <= 8 * 1024 then lut_8kb else lut_16kb
+
+let quality_monitor_area_um2 = 16.8
+let quality_monitor_power_uw = 7.47
+let quality_monitor_latency_ns = 0.96
+
+let hpi_core_area_mm2 = 7.97
+
+let area_overhead ~l1_lut_bytes =
+  let lut = lut_row_for ~bytes:l1_lut_bytes in
+  let unit_area =
+    crc32_unit.area_mm2 +. hash_register.area_mm2 +. lut.area_mm2
+    +. (quality_monitor_area_um2 /. 1e6)
+  in
+  (* One memoization unit per core; both cores of the HPI carry one. *)
+  2.0 *. unit_area /. hpi_core_area_mm2
+
+let rows = [ crc32_unit; hash_register; lut_4kb; lut_8kb; lut_16kb ]

@@ -1,0 +1,39 @@
+(** Synthesis results of the memoization hardware (Table 5), 32 nm node.
+
+    The paper synthesized the CRC unit, hash value registers and LUT SRAMs
+    with Design Compiler + FreePDK45 scaled to 32 nm, and estimated the HPI
+    core with McPAT. We carry those published constants verbatim — they
+    anchor the memo-unit side of the energy model. *)
+
+type unit_row = {
+  unit_name : string;
+  area_mm2 : float;
+  energy_pj : float;  (** per access / per 4-byte operation *)
+  latency_ns : float;
+}
+
+val crc32_unit : unit_row
+(** 8-bit-parallel CRC-32, unrolled 4x and pipelined. *)
+
+val hash_register : unit_row
+
+val lut_4kb : unit_row
+val lut_8kb : unit_row
+val lut_16kb : unit_row
+
+val lut_row_for : bytes:int -> unit_row
+(** Closest published LUT row for a given L1 LUT size. *)
+
+val quality_monitor_area_um2 : float
+val quality_monitor_power_uw : float
+val quality_monitor_latency_ns : float
+
+val hpi_core_area_mm2 : float
+(** McPAT estimate for the HPI processor: 7.97 mm². *)
+
+val area_overhead : l1_lut_bytes:int -> float
+(** Fractional core-area overhead of the memoization unit with the given L1
+    LUT (the paper reports 2.08% with the largest, 16 KB, LUT). *)
+
+val rows : unit_row list
+(** All Table 5 rows, for the harness. *)

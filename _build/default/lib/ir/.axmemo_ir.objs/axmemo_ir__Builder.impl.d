@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Hashtbl Int32 Int64 Ir List Printf

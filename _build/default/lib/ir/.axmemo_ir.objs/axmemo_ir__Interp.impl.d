@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Float Hashtbl Int32 Int64 Ir Memory

@@ -1,0 +1,1 @@
+lib/ir/memory.ml: Bytes Int32 Int64 Ir Printf

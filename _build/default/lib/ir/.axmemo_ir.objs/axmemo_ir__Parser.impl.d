@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Format Int64 Ir List String

@@ -1,0 +1,1 @@
+lib/ir/payload.ml: Array Float Int32 Int64 Ir

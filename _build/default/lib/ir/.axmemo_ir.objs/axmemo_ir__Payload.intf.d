@@ -1,0 +1,1 @@
+lib/ir/payload.mli: Ir

@@ -1,0 +1,172 @@
+type label = string
+
+type proto_block = {
+  plabel : label;
+  mutable rev_instrs : Ir.instr list;
+  mutable pterm : Ir.terminator option;
+}
+
+type t = {
+  name : string;
+  pure : bool;
+  params : (Ir.reg * Ir.ty) array;
+  rets : Ir.ty array;
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable order : proto_block list;  (* reverse creation order *)
+  blocks : (label, proto_block) Hashtbl.t;
+  mutable current : proto_block;
+}
+
+let create ~name ?(pure = false) ~params ~rets () =
+  let params = Array.of_list params in
+  let param_regs = Array.mapi (fun i ty -> (i, ty)) params in
+  let entry = { plabel = "entry"; rev_instrs = []; pterm = None } in
+  let blocks = Hashtbl.create 16 in
+  Hashtbl.replace blocks "entry" entry;
+  {
+    name;
+    pure;
+    params = param_regs;
+    rets = Array.of_list rets;
+    next_reg = Array.length params;
+    next_label = 0;
+    order = [ entry ];
+    blocks;
+    current = entry;
+  }
+
+let param t i =
+  let r, _ = t.params.(i) in
+  Ir.Reg r
+
+let i32 v = Ir.Imm (VI (Int64.of_int v))
+let i64 v = Ir.Imm (VI v)
+let f32 v = Ir.Imm (VF (Int32.float_of_bits (Int32.bits_of_float v)))
+let f64 v = Ir.Imm (VF v)
+
+let fresh t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let rv r = Ir.Reg r
+
+let emit t i = t.current.rev_instrs <- i :: t.current.rev_instrs
+
+let mov t r v = emit t (Ir.Mov { dst = r; src = v })
+
+let dst_op t mk =
+  let dst = fresh t in
+  emit t (mk dst);
+  Ir.Reg dst
+
+let binop t op ty a b = dst_op t (fun dst -> Ir.Binop { op; ty; dst; a; b })
+let fbinop t op ty a b = dst_op t (fun dst -> Ir.Fbinop { op; ty; dst; a; b })
+let funop t op ty a = dst_op t (fun dst -> Ir.Funop { op; ty; dst; a })
+let icmp t op ty a b = dst_op t (fun dst -> Ir.Icmp { op; ty; dst; a; b })
+let fcmp t op ty a b = dst_op t (fun dst -> Ir.Fcmp { op; ty; dst; a; b })
+
+let select t cond if_true if_false =
+  dst_op t (fun dst -> Ir.Select { dst; cond; if_true; if_false })
+
+let cast t op src = dst_op t (fun dst -> Ir.Cast { op; dst; src })
+let load t ty base offset = dst_op t (fun dst -> Ir.Load { ty; dst; base; offset })
+
+let store t ty ~src ~base ~offset = emit t (Ir.Store { ty; src; base; offset })
+
+let call t callee ~rets args =
+  let dsts = Array.init rets (fun _ -> fresh t) in
+  emit t (Ir.Call { callee; dsts; args = Array.of_list args });
+  Array.to_list (Array.map (fun r -> Ir.Reg r) dsts)
+
+let addi t a b = binop t Add I32 a b
+let subi t a b = binop t Sub I32 a b
+let muli t a b = binop t Mul I32 a b
+let fadd t ty a b = fbinop t Fadd ty a b
+let fsub t ty a b = fbinop t Fsub ty a b
+let fmul t ty a b = fbinop t Fmul ty a b
+let fdiv t ty a b = fbinop t Fdiv ty a b
+
+let block t hint =
+  let l = Printf.sprintf "%s_%d" hint t.next_label in
+  t.next_label <- t.next_label + 1;
+  let b = { plabel = l; rev_instrs = []; pterm = None } in
+  Hashtbl.replace t.blocks l b;
+  t.order <- b :: t.order;
+  l
+
+let switch_to t l = t.current <- Hashtbl.find t.blocks l
+
+let set_term t term =
+  match t.current.pterm with
+  | Some _ -> failwith (Printf.sprintf "Builder: block %s already terminated" t.current.plabel)
+  | None -> t.current.pterm <- Some term
+
+let jmp t l = set_term t (Ir.Jmp l)
+let br t cond if_true if_false = set_term t (Ir.Br { cond; if_true; if_false })
+let ret t ops = set_term t (Ir.Ret (Array.of_list ops))
+
+let for_loop t ~from ~below body =
+  let i = fresh t in
+  mov t i from;
+  let head = block t "for_head" in
+  let body_l = block t "for_body" in
+  let exit_l = block t "for_exit" in
+  jmp t head;
+  switch_to t head;
+  let c = icmp t Ilt I32 (rv i) below in
+  br t c body_l exit_l;
+  switch_to t body_l;
+  body (rv i);
+  mov t i (binop t Add I32 (rv i) (i32 1));
+  jmp t head;
+  switch_to t exit_l
+
+let if_ t cond ~then_ ~else_ =
+  let then_l = block t "if_then" in
+  let else_l = block t "if_else" in
+  let join_l = block t "if_join" in
+  br t cond then_l else_l;
+  switch_to t then_l;
+  then_ ();
+  jmp t join_l;
+  switch_to t else_l;
+  else_ ();
+  jmp t join_l;
+  switch_to t join_l
+
+let while_loop t ~cond ~body =
+  let head = block t "while_head" in
+  let body_l = block t "while_body" in
+  let exit_l = block t "while_exit" in
+  jmp t head;
+  switch_to t head;
+  let c = cond () in
+  br t c body_l exit_l;
+  switch_to t body_l;
+  body ();
+  jmp t head;
+  switch_to t exit_l
+
+let finish t : Ir.func =
+  let protos = List.rev t.order in
+  let blocks =
+    List.map
+      (fun pb ->
+        match pb.pterm with
+        | None ->
+            failwith
+              (Printf.sprintf "Builder: %s/%s lacks a terminator" t.name pb.plabel)
+        | Some term ->
+            { Ir.label = pb.plabel; instrs = Array.of_list (List.rev pb.rev_instrs); term })
+      protos
+  in
+  {
+    Ir.fname = t.name;
+    params = t.params;
+    ret_tys = t.rets;
+    blocks = Array.of_list blocks;
+    nregs = t.next_reg;
+    pure = t.pure;
+  }

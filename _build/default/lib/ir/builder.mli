@@ -1,0 +1,97 @@
+(** Embedded DSL for constructing IR functions.
+
+    A builder accumulates blocks and instructions imperatively; workloads use
+    it to express their kernels and driver loops in a handful of lines.
+    Structured helpers ({!for_loop}, {!if_}, {!while_loop}) take care of
+    block plumbing for the common shapes. *)
+
+type t
+(** A function under construction. *)
+
+val create : name:string -> ?pure:bool -> params:Ir.ty list -> rets:Ir.ty list -> unit -> t
+(** [create ~name ~params ~rets ()] starts a function. An entry block is
+    opened implicitly; emission starts there. [pure] (default [false]) marks
+    the function eligible for memoization. *)
+
+val param : t -> int -> Ir.operand
+(** [param t i] is the operand holding the [i]-th parameter. *)
+
+(** {1 Immediates} *)
+
+val i32 : int -> Ir.operand
+val i64 : int64 -> Ir.operand
+val f32 : float -> Ir.operand
+(** [f32 x] pre-rounds [x] to binary32. *)
+
+val f64 : float -> Ir.operand
+
+(** {1 Registers} *)
+
+val fresh : t -> Ir.reg
+(** [fresh t] allocates an uninitialized virtual register (for loop-carried
+    variables). *)
+
+val rv : Ir.reg -> Ir.operand
+(** [rv r] is the operand reading register [r]. *)
+
+val mov : t -> Ir.reg -> Ir.operand -> unit
+(** [mov t r v] emits a register move [r := v]. *)
+
+(** {1 Instruction emitters}
+
+    Each emitter appends to the current block and returns the destination
+    operand. *)
+
+val binop : t -> Ir.binop -> Ir.ty -> Ir.operand -> Ir.operand -> Ir.operand
+val fbinop : t -> Ir.fbinop -> Ir.ty -> Ir.operand -> Ir.operand -> Ir.operand
+val funop : t -> Ir.funop -> Ir.ty -> Ir.operand -> Ir.operand
+val icmp : t -> Ir.icmp -> Ir.ty -> Ir.operand -> Ir.operand -> Ir.operand
+val fcmp : t -> Ir.fcmp -> Ir.ty -> Ir.operand -> Ir.operand -> Ir.operand
+val select : t -> Ir.operand -> Ir.operand -> Ir.operand -> Ir.operand
+val cast : t -> Ir.cast -> Ir.operand -> Ir.operand
+val load : t -> Ir.ty -> Ir.operand -> int -> Ir.operand
+val store : t -> Ir.ty -> src:Ir.operand -> base:Ir.operand -> offset:int -> unit
+
+val call : t -> string -> rets:int -> Ir.operand list -> Ir.operand list
+(** [call t callee ~rets args] emits a call binding [rets] fresh result
+    registers, returned as operands. *)
+
+(** {1 Arithmetic shorthand (i32 / f32 / f64)} *)
+
+val addi : t -> Ir.operand -> Ir.operand -> Ir.operand
+val subi : t -> Ir.operand -> Ir.operand -> Ir.operand
+val muli : t -> Ir.operand -> Ir.operand -> Ir.operand
+val fadd : t -> Ir.ty -> Ir.operand -> Ir.operand -> Ir.operand
+val fsub : t -> Ir.ty -> Ir.operand -> Ir.operand -> Ir.operand
+val fmul : t -> Ir.ty -> Ir.operand -> Ir.operand -> Ir.operand
+val fdiv : t -> Ir.ty -> Ir.operand -> Ir.operand -> Ir.operand
+
+(** {1 Control flow} *)
+
+type label = string
+
+val block : t -> string -> label
+(** [block t hint] declares a new, initially empty block with a unique label
+    derived from [hint]. Emission position is unchanged. *)
+
+val switch_to : t -> label -> unit
+(** [switch_to t l] directs subsequent emission to block [l]. *)
+
+val jmp : t -> label -> unit
+val br : t -> Ir.operand -> label -> label -> unit
+val ret : t -> Ir.operand list -> unit
+
+val for_loop : t -> from:Ir.operand -> below:Ir.operand -> (Ir.operand -> unit) -> unit
+(** [for_loop t ~from ~below body] emits an i32 counted loop; [body] receives
+    the induction variable. Emission continues after the loop on return. *)
+
+val if_ : t -> Ir.operand -> then_:(unit -> unit) -> else_:(unit -> unit) -> unit
+(** [if_ t cond ~then_ ~else_] emits a two-armed conditional; both arms merge
+    and emission continues after it. *)
+
+val while_loop : t -> cond:(unit -> Ir.operand) -> body:(unit -> unit) -> unit
+(** [while_loop t ~cond ~body] re-evaluates [cond] each iteration. *)
+
+val finish : t -> Ir.func
+(** [finish t] seals the function.
+    @raise Failure if any reachable block lacks a terminator. *)

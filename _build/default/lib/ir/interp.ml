@@ -1,0 +1,240 @@
+type memo_hooks = {
+  send : lut:int -> ty:Ir.ty -> trunc:int -> Ir.value -> unit;
+  lookup : lut:int -> int64 option;
+  update : lut:int -> int64 -> unit;
+  invalidate : lut:int -> unit;
+}
+
+type event =
+  | Enter of { fname : string }
+  | Leave of { fname : string }
+  | Exec of { fname : string; bidx : int; iidx : int; instr : Ir.instr; addr : int }
+  | Term of { fname : string; bidx : int; term : Ir.terminator }
+
+type t = {
+  program : Ir.program;
+  mem : Memory.t;
+  memo : memo_hooks option;
+  hook : (event -> unit) option;
+  max_steps : int;
+  funcs : (string, Ir.func * (string, int) Hashtbl.t) Hashtbl.t;
+  mutable memo_flag : bool;
+  mutable nsteps : int;
+}
+
+let create ?memo ?hook ?(max_steps = 2_000_000_000) ~program ~mem () =
+  let funcs = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Ir.func) ->
+      let labels = Hashtbl.create 16 in
+      Array.iteri (fun i (b : Ir.block) -> Hashtbl.replace labels b.label i) f.blocks;
+      Hashtbl.replace funcs f.fname (f, labels))
+    (program : Ir.program).funcs;
+  { program; mem; memo; hook; max_steps; funcs; memo_flag = false; nsteps = 0 }
+
+let steps t = t.nsteps
+
+let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
+let round_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let vi = function Ir.VI v -> v | Ir.VF _ -> failwith "Interp: expected integer value"
+let vf = function Ir.VF v -> v | Ir.VI _ -> failwith "Interp: expected float value"
+
+let eval_binop op ty a b =
+  let a = vi a and b = vi b in
+  let wide =
+    match (op : Ir.binop) with
+    | Add -> Int64.add a b
+    | Sub -> Int64.sub a b
+    | Mul -> Int64.mul a b
+    | Div -> if b = 0L then failwith "Interp: division by zero" else Int64.div a b
+    | Rem -> if b = 0L then failwith "Interp: division by zero" else Int64.rem a b
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+    | Shl ->
+        let s = Int64.to_int b land if ty = Ir.I32 then 31 else 63 in
+        Int64.shift_left a s
+    | Lshr ->
+        let s = Int64.to_int b land if ty = Ir.I32 then 31 else 63 in
+        if ty = Ir.I32 then Int64.shift_right_logical (Int64.logand a 0xFFFFFFFFL) s
+        else Int64.shift_right_logical a s
+    | Ashr ->
+        let s = Int64.to_int b land if ty = Ir.I32 then 31 else 63 in
+        Int64.shift_right a s
+  in
+  Ir.VI (if ty = Ir.I32 then sext32 wide else wide)
+
+let eval_fbinop op ty a b =
+  let a = vf a and b = vf b in
+  let r =
+    match (op : Ir.fbinop) with
+    | Fadd -> a +. b
+    | Fsub -> a -. b
+    | Fmul -> a *. b
+    | Fdiv -> a /. b
+  in
+  Ir.VF (if ty = Ir.F32 then round_f32 r else r)
+
+let eval_funop op ty a =
+  let a = vf a in
+  let r =
+    match (op : Ir.funop) with
+    | Fneg -> -.a
+    | Fabs -> abs_float a
+    | Fsqrt -> sqrt a
+    | Fsin -> sin a
+    | Fcos -> cos a
+    | Fexp -> exp a
+    | Flog -> log a
+    | Ffloor -> floor a
+    | Fround -> Float.round a
+  in
+  Ir.VF (if ty = Ir.F32 then round_f32 r else r)
+
+let eval_icmp op a b =
+  let a = vi a and b = vi b in
+  let r =
+    match (op : Ir.icmp) with
+    | Ieq -> a = b
+    | Ine -> a <> b
+    | Ilt -> a < b
+    | Ile -> a <= b
+    | Igt -> a > b
+    | Ige -> a >= b
+  in
+  Ir.VI (if r then 1L else 0L)
+
+let eval_fcmp op a b =
+  let a = vf a and b = vf b in
+  let r =
+    match (op : Ir.fcmp) with
+    | Feq -> a = b
+    | Fne -> a <> b
+    | Flt -> a < b
+    | Fle -> a <= b
+    | Fgt -> a > b
+    | Fge -> a >= b
+  in
+  Ir.VI (if r then 1L else 0L)
+
+let eval_cast op v =
+  match (op : Ir.cast) with
+  | I_to_f -> Ir.VF (Int64.to_float (vi v))
+  | F_to_i -> Ir.VI (Int64.of_float (vf v))
+  | F32_of_f64 -> Ir.VF (round_f32 (vf v))
+  | F64_of_f32 -> Ir.VF (vf v)
+  | Bits_of_f32 -> Ir.VI (sext32 (Int64.of_int32 (Int32.bits_of_float (vf v))))
+  | F32_of_bits -> Ir.VF (Int32.float_of_bits (Int64.to_int32 (vi v)))
+  | Bits_of_f64 -> Ir.VI (Int64.bits_of_float (vf v))
+  | F64_of_bits -> Ir.VF (Int64.float_of_bits (vi v))
+  | Sext_32_64 -> Ir.VI (sext32 (vi v))
+  | Trunc_64_32 -> Ir.VI (sext32 (vi v))
+
+let rec exec_func t (fn : Ir.func) labels (args : Ir.value array) : Ir.value array =
+  let regs = Array.make fn.nregs (Ir.VI 0L) in
+  Array.iteri (fun i (r, _) -> regs.(r) <- args.(i)) fn.params;
+  (match t.hook with Some h -> h (Enter { fname = fn.fname }) | None -> ());
+  let operand = function Ir.Reg r -> regs.(r) | Ir.Imm v -> v in
+  let rec run_block bidx =
+    let block = fn.blocks.(bidx) in
+    let instrs = block.instrs in
+    let n = Array.length instrs in
+    for iidx = 0 to n - 1 do
+      let instr = instrs.(iidx) in
+      t.nsteps <- t.nsteps + 1;
+      if t.nsteps > t.max_steps then failwith "Interp: step limit exceeded";
+      let addr = ref (-1) in
+      (match instr with
+      | Const { dst; value; _ } -> regs.(dst) <- value
+      | Mov { dst; src } -> regs.(dst) <- operand src
+      | Binop { op; ty; dst; a; b } -> regs.(dst) <- eval_binop op ty (operand a) (operand b)
+      | Fbinop { op; ty; dst; a; b } ->
+          regs.(dst) <- eval_fbinop op ty (operand a) (operand b)
+      | Funop { op; ty; dst; a } -> regs.(dst) <- eval_funop op ty (operand a)
+      | Icmp { op; dst; a; b; _ } -> regs.(dst) <- eval_icmp op (operand a) (operand b)
+      | Fcmp { op; dst; a; b; _ } -> regs.(dst) <- eval_fcmp op (operand a) (operand b)
+      | Select { dst; cond; if_true; if_false } ->
+          regs.(dst) <- (if vi (operand cond) <> 0L then operand if_true else operand if_false)
+      | Cast { op; dst; src } -> regs.(dst) <- eval_cast op (operand src)
+      | Load { ty; dst; base; offset } ->
+          let a = Int64.to_int (vi (operand base)) + offset in
+          addr := a;
+          regs.(dst) <- Memory.load t.mem ty a
+      | Store { ty; src; base; offset } ->
+          let a = Int64.to_int (vi (operand base)) + offset in
+          addr := a;
+          Memory.store t.mem ty a (operand src)
+      | Call { callee; dsts; args } ->
+          (* The call event fires before the callee runs so a timing consumer
+             sees events in issue order. *)
+          (match t.hook with
+          | Some h -> h (Exec { fname = fn.fname; bidx; iidx; instr; addr = -1 })
+          | None -> ());
+          let g, glabels =
+            match Hashtbl.find_opt t.funcs callee with
+            | Some fg -> fg
+            | None -> failwith ("Interp: unknown function " ^ callee)
+          in
+          let results = exec_func t g glabels (Array.map operand args) in
+          Array.iteri (fun i dst -> regs.(dst) <- results.(i)) dsts
+      | Memo m -> exec_memo t regs operand addr m);
+      (match instr with
+      | Call _ -> ()
+      | _ -> (
+          match t.hook with
+          | Some h -> h (Exec { fname = fn.fname; bidx; iidx; instr; addr = !addr })
+          | None -> ()))
+    done;
+    (match t.hook with
+    | Some h -> h (Term { fname = fn.fname; bidx; term = block.term })
+    | None -> ());
+    match block.term with
+    | Jmp l -> run_block (Hashtbl.find labels l)
+    | Br { cond; if_true; if_false } ->
+        if vi (operand cond) <> 0L then run_block (Hashtbl.find labels if_true)
+        else run_block (Hashtbl.find labels if_false)
+    | Br_memo { on_hit; on_miss } ->
+        if t.memo_flag then run_block (Hashtbl.find labels on_hit)
+        else run_block (Hashtbl.find labels on_miss)
+    | Ret ops -> Array.map operand ops
+  in
+  let results = run_block 0 in
+  (match t.hook with Some h -> h (Leave { fname = fn.fname }) | None -> ());
+  results
+
+and exec_memo t regs operand addr (m : Ir.memo_instr) =
+  match m with
+  | Ld_crc { dst; ty; base; offset; lut; trunc } ->
+      let a = Int64.to_int (vi (operand base)) + offset in
+      addr := a;
+      let v = Memory.load t.mem ty a in
+      regs.(dst) <- v;
+      (match t.memo with Some mh -> mh.send ~lut ~ty ~trunc v | None -> ())
+  | Reg_crc { src; ty; lut; trunc } -> (
+      match t.memo with Some mh -> mh.send ~lut ~ty ~trunc (operand src) | None -> ())
+  | Lookup { dst; lut } -> (
+      match t.memo with
+      | Some mh -> (
+          match mh.lookup ~lut with
+          | Some payload ->
+              t.memo_flag <- true;
+              regs.(dst) <- VI payload
+          | None ->
+              t.memo_flag <- false;
+              regs.(dst) <- VI 0L)
+      | None ->
+          t.memo_flag <- false;
+          regs.(dst) <- VI 0L)
+  | Update { src; lut } -> (
+      match t.memo with Some mh -> mh.update ~lut (vi (operand src)) | None -> ())
+  | Invalidate { lut } -> (
+      match t.memo with Some mh -> mh.invalidate ~lut | None -> ())
+
+let run t fname args =
+  match Hashtbl.find_opt t.funcs fname with
+  | None -> failwith ("Interp: unknown function " ^ fname)
+  | Some (fn, labels) ->
+      if Array.length args <> Array.length fn.params then
+        failwith ("Interp: bad argument count for " ^ fname);
+      exec_func t fn labels args

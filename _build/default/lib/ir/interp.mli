@@ -1,0 +1,49 @@
+(** IR interpreter.
+
+    Executes a program functionally and, through an optional event hook,
+    drives the tracer (for DDDG construction) and the CPU timing model. The
+    memoization unit is attached as a record of callbacks so this library
+    stays independent of the hardware model. *)
+
+type memo_hooks = {
+  send : lut:int -> ty:Ir.ty -> trunc:int -> Ir.value -> unit;
+      (** A [reg_crc]/[ld_crc] streamed one input value; the unit truncates
+          [trunc] LSBs and feeds the bytes to the hash register of [lut]. *)
+  lookup : lut:int -> int64 option;
+      (** Finalize the hash and probe; [Some payload] on hit. *)
+  update : lut:int -> int64 -> unit;
+      (** Insert a payload under the key of the last lookup on [lut]. *)
+  invalidate : lut:int -> unit;
+}
+
+type event =
+  | Enter of { fname : string }
+  | Leave of { fname : string }
+  | Exec of { fname : string; bidx : int; iidx : int; instr : Ir.instr; addr : int }
+      (** One instruction executed. [addr] is the resolved effective address
+          for memory instructions, [-1] otherwise. *)
+  | Term of { fname : string; bidx : int; term : Ir.terminator }
+      (** A terminator executed (control-flow edge taken). *)
+
+type t
+
+val create :
+  ?memo:memo_hooks ->
+  ?hook:(event -> unit) ->
+  ?max_steps:int ->
+  program:Ir.program ->
+  mem:Memory.t ->
+  unit ->
+  t
+(** [create ~program ~mem ()] prepares an execution context. [max_steps]
+    (default [2_000_000_000]) bounds total executed instructions as a runaway
+    guard. *)
+
+val run : t -> string -> Ir.value array -> Ir.value array
+(** [run t fname args] calls function [fname] with [args] and returns its
+    results.
+    @raise Failure on a dynamic error (unknown function, step limit,
+    type-mismatched operation, division by zero). *)
+
+val steps : t -> int
+(** Instructions executed so far across all [run] calls. *)

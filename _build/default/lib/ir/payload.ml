@@ -1,0 +1,55 @@
+type kind = Pf32 | Pf64 | Pi32 | Pi64 | Pf32x2 | Pi32x2
+
+let width = function Pf32 | Pi32 -> 4 | Pf64 | Pi64 | Pf32x2 | Pi32x2 -> 8
+
+let arity = function Pf32 | Pf64 | Pi32 | Pi64 -> 1 | Pf32x2 | Pi32x2 -> 2
+
+let kind_of_rets (tys : Ir.ty array) =
+  match tys with
+  | [| F32 |] -> Pf32
+  | [| F64 |] -> Pf64
+  | [| I32 |] -> Pi32
+  | [| I64 |] -> Pi64
+  | [| F32; F32 |] -> Pf32x2
+  | [| I32; I32 |] -> Pi32x2
+  | _ -> invalid_arg "Payload.kind_of_rets: signature does not fit one 8-byte LUT entry"
+
+let low32 v = Int64.logand v 0xFFFFFFFFL
+let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
+
+let f32_bits_64 x = Int64.logand (Int64.of_int32 (Int32.bits_of_float x)) 0xFFFFFFFFL
+
+let pack kind (vs : Ir.value array) : int64 =
+  if Array.length vs <> arity kind then invalid_arg "Payload.pack: arity mismatch";
+  match (kind, vs) with
+  | Pf32, [| VF x |] -> f32_bits_64 x
+  | Pf64, [| VF x |] -> Int64.bits_of_float x
+  | Pi32, [| VI x |] -> low32 x
+  | Pi64, [| VI x |] -> x
+  | Pf32x2, [| VF a; VF b |] ->
+      Int64.logor (f32_bits_64 a) (Int64.shift_left (f32_bits_64 b) 32)
+  | Pi32x2, [| VI a; VI b |] -> Int64.logor (low32 a) (Int64.shift_left (low32 b) 32)
+  | _ -> invalid_arg "Payload.pack: value kind mismatch"
+
+let unpack kind payload : Ir.value array =
+  let f32_of v = Ir.VF (Int32.float_of_bits (Int64.to_int32 v)) in
+  match kind with
+  | Pf32 -> [| f32_of (low32 payload) |]
+  | Pf64 -> [| VF (Int64.float_of_bits payload) |]
+  | Pi32 -> [| VI (sext32 payload) |]
+  | Pi64 -> [| VI payload |]
+  | Pf32x2 -> [| f32_of (low32 payload); f32_of (Int64.shift_right_logical payload 32) |]
+  | Pi32x2 ->
+      [| VI (sext32 payload); VI (sext32 (Int64.shift_right_logical payload 32)) |]
+
+let to_float : Ir.value -> float = function
+  | VF x -> x
+  | VI x -> Int64.to_float x
+
+let relative_errors kind ~expected ~actual =
+  let es = unpack kind expected and actuals = unpack kind actual in
+  Array.map2
+    (fun e a ->
+      let e = to_float e and a = to_float a in
+      abs_float (a -. e) /. Float.max (abs_float e) 1e-12)
+    es actuals

@@ -1,0 +1,38 @@
+(** LUT payload encoding.
+
+    A LUT entry's data field is 4 or 8 bytes (Section 3.3); kernels with two
+    32-bit outputs pack both into one 8-byte entry ("pack as many outputs
+    into the 8-byte LUT data field as possible"). This module is the single
+    source of truth for that packing: the compiler emits IR that packs and
+    unpacks accordingly, and the quality monitor decodes payloads to compute
+    relative errors. *)
+
+type kind =
+  | Pf32  (** one binary32 value in the low 4 bytes *)
+  | Pf64  (** one binary64 value *)
+  | Pi32  (** one 32-bit integer *)
+  | Pi64  (** one 64-bit integer *)
+  | Pf32x2  (** two binary32 values, first in the low half *)
+  | Pi32x2  (** two 32-bit integers, first in the low half *)
+
+val width : kind -> int
+(** Entry data width in bytes (4 or 8). *)
+
+val arity : kind -> int
+(** Number of logical output values. *)
+
+val kind_of_rets : Ir.ty array -> kind
+(** [kind_of_rets tys] chooses the packing for a kernel's return signature.
+    @raise Invalid_argument if the signature does not fit one 8-byte entry. *)
+
+val pack : kind -> Ir.value array -> int64
+(** [pack k vs] encodes [arity k] values into a payload.
+    @raise Invalid_argument on arity or kind mismatch. *)
+
+val unpack : kind -> int64 -> Ir.value array
+(** [unpack k payload] decodes the values back. [unpack k (pack k vs)]
+    round-trips exactly. *)
+
+val relative_errors : kind -> expected:int64 -> actual:int64 -> float array
+(** Per-element relative error between two payloads, decoded as numbers;
+    used by the quality monitor. *)

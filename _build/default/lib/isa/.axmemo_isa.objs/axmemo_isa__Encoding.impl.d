@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Int32 Printf

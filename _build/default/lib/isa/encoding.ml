@@ -1,0 +1,61 @@
+type opcode = Op_ld_crc | Op_reg_crc | Op_lookup | Op_update | Op_invalidate
+
+type t = { opcode : opcode; lut_id : int; trunc : int; reg : int; imm12 : int }
+
+(* Opcode values chosen in an unused region of the A64 map. *)
+let opcode_bits = function
+  | Op_ld_crc -> 0b110001
+  | Op_reg_crc -> 0b110010
+  | Op_lookup -> 0b110011
+  | Op_update -> 0b110100
+  | Op_invalidate -> 0b110101
+
+let opcode_of_bits = function
+  | 0b110001 -> Some Op_ld_crc
+  | 0b110010 -> Some Op_reg_crc
+  | 0b110011 -> Some Op_lookup
+  | 0b110100 -> Some Op_update
+  | 0b110101 -> Some Op_invalidate
+  | _ -> None
+
+let check name lo hi v =
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Encoding.encode: %s=%d out of range [%d,%d]" name v lo hi)
+
+let encode i =
+  check "lut_id" 0 7 i.lut_id;
+  check "trunc" 0 63 i.trunc;
+  check "reg" 0 31 i.reg;
+  check "imm12" (-2048) 2047 i.imm12;
+  let imm = i.imm12 land 0xFFF in
+  Int32.of_int
+    ((opcode_bits i.opcode lsl 26)
+    lor (i.lut_id lsl 23)
+    lor (i.trunc lsl 17)
+    lor (i.reg lsl 12)
+    lor imm)
+
+let decode w =
+  let w = Int32.to_int (Int32.logand w 0xFFFFFFFFl) land 0xFFFFFFFF in
+  match opcode_of_bits ((w lsr 26) land 0x3F) with
+  | None -> None
+  | Some opcode ->
+      let imm = w land 0xFFF in
+      let imm12 = if imm >= 2048 then imm - 4096 else imm in
+      Some
+        {
+          opcode;
+          lut_id = (w lsr 23) land 0x7;
+          trunc = (w lsr 17) land 0x3F;
+          reg = (w lsr 12) land 0x1F;
+          imm12;
+        }
+
+let mnemonic i =
+  match i.opcode with
+  | Op_ld_crc ->
+      Printf.sprintf "ld_crc x%d, [addr, #%d], LUT#%d, n=%d" i.reg i.imm12 i.lut_id i.trunc
+  | Op_reg_crc -> Printf.sprintf "reg_crc x%d, LUT#%d, n=%d" i.reg i.lut_id i.trunc
+  | Op_lookup -> Printf.sprintf "lookup x%d, LUT#%d" i.reg i.lut_id
+  | Op_update -> Printf.sprintf "update x%d, LUT#%d" i.reg i.lut_id
+  | Op_invalidate -> Printf.sprintf "invalidate LUT#%d" i.lut_id

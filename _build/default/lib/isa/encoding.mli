@@ -1,0 +1,32 @@
+(** 32-bit encodings of the five AxMemo instructions (Section 4).
+
+    The paper extends ARM-v8a; we model the extension as a fixed 32-bit
+    format so the encoder/decoder pair documents that all five instructions
+    fit existing instruction widths:
+
+    {v
+    | 31..26 opcode | 25..23 LUT_ID | 22..17 n | 16..12 reg | 11..0 imm12 |
+    v}
+
+    [reg] is the destination (ld_crc, lookup) or source (reg_crc, update)
+    register; [imm12] is the signed address offset of [ld_crc]. *)
+
+type opcode = Op_ld_crc | Op_reg_crc | Op_lookup | Op_update | Op_invalidate
+
+type t = {
+  opcode : opcode;
+  lut_id : int;  (** 0..7 — up to 8 logical LUTs per thread (Section 3.2) *)
+  trunc : int;  (** 0..63 — LSBs truncated before hashing *)
+  reg : int;  (** 0..31 *)
+  imm12 : int;  (** -2048..2047 *)
+}
+
+val encode : t -> int32
+(** [encode i] packs the fields.
+    @raise Invalid_argument if any field is out of range. *)
+
+val decode : int32 -> t option
+(** [decode w] unpacks a word; [None] if the opcode field is invalid. *)
+
+val mnemonic : t -> string
+(** Assembly-style rendering, e.g. ["lookup x5, LUT#3"]. *)

@@ -1,0 +1,8 @@
+let crc_cycles_per_byte = 1
+let crc_bytes_per_cycle = 4
+let crc_cycles ~bytes = max 1 ((bytes + crc_bytes_per_cycle - 1) / crc_bytes_per_cycle)
+let input_queue_bytes = 32
+let lookup_l1_cycles = 2
+let lookup_l2_cycles = 13
+let update_cycles = 2
+let invalidate_cycles_per_way = 1

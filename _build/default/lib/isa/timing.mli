@@ -1,0 +1,33 @@
+(** Timing parameters of the AxMemo ISA extensions (Table 4).
+
+    All figures include the 1-cycle dummy-register overhead that enforces
+    program order among [ld_crc], [reg_crc] and [lookup]. *)
+
+val crc_cycles_per_byte : int
+(** The base 8-bit-parallel unit consumes one byte per cycle (ld_crc /
+    reg_crc rows of Table 4). *)
+
+val crc_bytes_per_cycle : int
+(** Effective throughput of the synthesized unit: the paper unrolls the
+    32-bit CRC four times and pipelines it "to match the throughput of the
+    most common case of a 4-byte input" (Section 6.1), i.e. 4 bytes per
+    cycle. *)
+
+val crc_cycles : bytes:int -> int
+(** Cycles for the unrolled unit to absorb [bytes] (at least 1). *)
+
+val input_queue_bytes : int
+(** Capacity of the memoization unit's input queue; the CPU stalls on a send
+    only when it is full. *)
+
+val lookup_l1_cycles : int
+(** Lookup serviced by (or missing in) the L1 LUT: 2 cycles. *)
+
+val lookup_l2_cycles : int
+(** Additional cycles when the probe continues into the L2 LUT: 13. *)
+
+val update_cycles : int
+(** Update: 2 cycles. *)
+
+val invalidate_cycles_per_way : int
+(** Invalidate: one cycle per way in a set (dedicated flash-clear logic). *)

@@ -1,0 +1,1 @@
+lib/memo/lut.mli:

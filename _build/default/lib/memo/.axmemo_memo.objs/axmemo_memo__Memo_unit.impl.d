@@ -1,0 +1,1 @@
+lib/memo/memo_unit.ml: Array Axmemo_crc Axmemo_ir Axmemo_util Float Hashtbl Int64 List Lut Option Printf

@@ -1,0 +1,1 @@
+lib/memo/memo_unit.mli: Axmemo_crc Axmemo_ir Lut

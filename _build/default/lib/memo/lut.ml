@@ -1,0 +1,137 @@
+(* One set always occupies one 64-byte line: 8 ways with 4-byte payloads or
+   4 ways with 8-byte payloads (Section 3.3). *)
+let set_bytes = 64
+
+type policy = Lru | Fifo | Random
+
+type t = {
+  policy : policy;
+  mutable rand_state : int64;
+  nsets : int;
+  nways : int;
+  payload_bytes : int;
+  valid : bool array;
+  lut_ids : int array;
+  keys : int64 array;  (* full CRC key; hardware stores only the upper bits *)
+  payloads : int64 array;
+  lru : int array;
+  mutable clock : int;
+}
+
+let create ?(payload_bytes = 8) ?(policy = Lru) ~size_bytes () =
+  let nways =
+    match payload_bytes with
+    | 4 -> 8
+    | 8 -> 4
+    | _ -> invalid_arg "Lut.create: payload_bytes must be 4 or 8"
+  in
+  if size_bytes <= 0 || size_bytes mod set_bytes <> 0 then
+    invalid_arg "Lut.create: size must be a positive multiple of 64 bytes";
+  let nsets = size_bytes / set_bytes in
+  let n = nsets * nways in
+  {
+    policy;
+    rand_state = 0x9E3779B97F4A7C15L;
+    nsets;
+    nways;
+    payload_bytes;
+    valid = Array.make n false;
+    lut_ids = Array.make n 0;
+    keys = Array.make n 0L;
+    payloads = Array.make n 0L;
+    lru = Array.make n 0;
+    clock = 0;
+  }
+
+let sets t = t.nsets
+let ways t = t.nways
+let payload_bytes t = t.payload_bytes
+let capacity_entries t = t.nsets * t.nways
+
+let set_of_key t key = Int64.to_int (Int64.rem (Int64.logand key 0x7FFFFFFFFFFFFFFFL) (Int64.of_int t.nsets))
+
+let touch t idx =
+  t.clock <- t.clock + 1;
+  t.lru.(idx) <- t.clock
+
+(* FIFO keeps insertion order only: refreshes on hit are skipped. *)
+let touch_on_hit t idx = match t.policy with Lru | Random -> touch t idx | Fifo -> ()
+
+let next_rand t =
+  let x = t.rand_state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rand_state <- x;
+  Int64.to_int (Int64.logand x 0x3FFFFFFFL)
+
+let find t ~lut_id ~key =
+  let set = set_of_key t key in
+  let base = set * t.nways in
+  let rec go w =
+    if w >= t.nways then None
+    else
+      let idx = base + w in
+      if t.valid.(idx) && t.lut_ids.(idx) = lut_id && t.keys.(idx) = key then Some idx
+      else go (w + 1)
+  in
+  go 0
+
+let lookup t ~lut_id ~key =
+  match find t ~lut_id ~key with
+  | Some idx ->
+      touch_on_hit t idx;
+      Some t.payloads.(idx)
+  | None -> None
+
+let insert t ~lut_id ~key ~payload evict_hook =
+  match find t ~lut_id ~key with
+  | Some idx ->
+      t.payloads.(idx) <- payload;
+      touch t idx
+  | None ->
+      let set = set_of_key t key in
+      let base = set * t.nways in
+      let victim = ref base in
+      (try
+         for w = 0 to t.nways - 1 do
+           if not t.valid.(base + w) then begin
+             victim := base + w;
+             raise Exit
+           end
+         done;
+         match t.policy with
+         | Lru | Fifo ->
+             for w = 1 to t.nways - 1 do
+               if t.lru.(base + w) < t.lru.(!victim) then victim := base + w
+             done
+         | Random -> victim := base + (next_rand t mod t.nways)
+       with Exit -> ());
+      let idx = !victim in
+      if t.valid.(idx) then begin
+        match evict_hook with
+        | Some f -> f ~lut_id:t.lut_ids.(idx) ~key:t.keys.(idx) ~payload:t.payloads.(idx)
+        | None -> ()
+      end;
+      t.valid.(idx) <- true;
+      t.lut_ids.(idx) <- lut_id;
+      t.keys.(idx) <- key;
+      t.payloads.(idx) <- payload;
+      touch t idx
+
+let invalidate_lut t ~lut_id =
+  for i = 0 to Array.length t.valid - 1 do
+    if t.valid.(i) && t.lut_ids.(i) = lut_id then t.valid.(i) <- false
+  done
+
+let invalidate_all t = Array.fill t.valid 0 (Array.length t.valid) false
+
+let entries t =
+  let acc = ref [] in
+  for i = 0 to Array.length t.valid - 1 do
+    if t.valid.(i) then acc := (t.lut_ids.(i), t.keys.(i), t.payloads.(i)) :: !acc
+  done;
+  !acc
+
+let occupancy t =
+  Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.valid

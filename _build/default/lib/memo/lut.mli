@@ -1,0 +1,53 @@
+(** Lookup-table storage (Section 3.3).
+
+    Organised like a set-associative cache: a set occupies exactly one
+    64-byte last-level-cache line and is configured as either 8 ways of
+    4-byte tag + 4-byte data, or 4 ways of 4-byte tag + 8-byte data (half the
+    tag slots unused). Tags combine a valid bit, the 3-bit LUT_ID, and the
+    upper CRC bits; low CRC bits index the set. Replacement is LRU. LUT
+    entries are never written back to memory — evictions either invalidate or
+    spill to the next LUT level via [evict_hook]. *)
+
+type t
+
+type policy = Lru | Fifo | Random
+(** Replacement policy. The paper uses LRU; the alternatives exist for the
+    ablation study (Fifo replaces the oldest insertion; Random uses a
+    deterministic xorshift stream). *)
+
+val create : ?payload_bytes:int -> ?policy:policy -> size_bytes:int -> unit -> t
+(** [create ~size_bytes ()] builds an empty LUT of [size_bytes] total storage
+    (tags + data). [payload_bytes] is 4 or 8 (default 8, the 4-way
+    configuration); [policy] defaults to [Lru].
+    @raise Invalid_argument on a geometry that does not fill whole sets. *)
+
+val sets : t -> int
+val ways : t -> int
+val payload_bytes : t -> int
+val capacity_entries : t -> int
+
+val lookup : t -> lut_id:int -> key:int64 -> int64 option
+(** [lookup t ~lut_id ~key] probes the set selected by [key]'s low bits for
+    tag {v {valid, lut_id, key-high} v}; LRU is refreshed on hit. *)
+
+val insert :
+  t -> lut_id:int -> key:int64 -> payload:int64 ->
+  (lut_id:int -> key:int64 -> payload:int64 -> unit) option ->
+  unit
+(** [insert t ~lut_id ~key ~payload evict_hook] writes an entry, replacing
+    LRU on a full set. If a valid victim is displaced and [evict_hook] is
+    [Some f], [f] receives the victim (used to spill L1 LUT victims into the
+    L2 LUT). Inserting an existing key refreshes its payload in place. *)
+
+val invalidate_lut : t -> lut_id:int -> unit
+(** Drop all entries of one logical LUT (the [invalidate] instruction). *)
+
+val invalidate_all : t -> unit
+
+val occupancy : t -> int
+(** Number of valid entries. *)
+
+val entries : t -> (int * int64 * int64) list
+(** [(lut_id, key, payload)] for every valid entry — a measurement aid used
+    to check the paper's no-coherence argument (Section 3.4): across cores,
+    equal tags must hold equal data. *)

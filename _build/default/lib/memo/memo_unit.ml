@@ -1,0 +1,518 @@
+module Bits = Axmemo_util.Bits
+module Crc = Axmemo_crc
+module Payload = Axmemo_ir.Payload
+module Interp = Axmemo_ir.Interp
+
+type adaptive_config = {
+  profile_period : int;
+  profile_length : int;
+  target_error : float;
+  bad_fraction : float;
+  max_extra_bits : int;
+}
+
+let default_adaptive =
+  {
+    profile_period = 1500;
+    profile_length = 100;
+    target_error = 0.01;
+    bad_fraction = 0.05;
+    max_extra_bits = 20;
+  }
+
+type rounding = Truncate | Nearest
+
+type config = {
+  l1_bytes : int;
+  l2_bytes : int option;
+  payload_bytes : int;
+  crc : Crc.Poly.t;
+  monitor : bool;
+  collision_tracking : bool;
+  policy : Lut.policy;
+  rounding : rounding;
+  adaptive : adaptive_config option;
+}
+
+let default_config =
+  {
+    l1_bytes = 8 * 1024;
+    l2_bytes = None;
+    payload_bytes = 8;
+    crc = Crc.Poly.crc32;
+    monitor = true;
+    collision_tracking = true;
+    policy = Lut.Lru;
+    rounding = Truncate;
+    adaptive = None;
+  }
+
+type lut_decl = { lut_id : int; payload : Payload.kind }
+
+type level = Hit_l1 | Hit_l2 | Miss
+
+type stats = {
+  sends : int;
+  bytes_hashed : int;
+  lookups : int;
+  l1_hits : int;
+  l2_hits : int;
+  misses : int;
+  forced_misses : int;
+  updates : int;
+  invalidations : int;
+  collisions : int;
+  monitor_comparisons : int;
+}
+
+(* Quality monitor (Section 6): 1 in [sample_interval] hits is forced to miss;
+   the recomputed value is compared against the LUT payload. Per
+   [window] comparisons, if more than [fraction_threshold] of the relative
+   errors exceed [error_threshold], memoization is disabled. *)
+let sample_interval = 100
+let window = 100
+let error_threshold = 0.10
+let fraction_threshold = 0.10
+
+(* Adaptive-truncation state (Section 3.1's dynamic approach). *)
+type adapt_state = {
+  mutable countdown : int;  (* lookups until the phase flips *)
+  mutable profiling : bool;
+  mutable norm_lookups : int;  (* activity during the normal phase *)
+  mutable norm_hits : int;
+  deltas : (int, int) Hashtbl.t;  (* per-LUT extra truncation *)
+  pending_cmp : (int, int64 * int64) Hashtbl.t;  (* lut -> key, lut payload *)
+  samples : (int, float list ref) Hashtbl.t;  (* per-LUT window errors *)
+}
+
+type monitor_state = {
+  mutable hits_seen : int;
+  mutable pending : (int * int64 * int64) option;  (* lut_id, key, lut payload *)
+  mutable window_count : int;
+  mutable window_bad : int;
+  mutable comparisons : int;
+  mutable tripped : bool;
+}
+
+type t = {
+  cfg : config;
+  decls : (int, lut_decl) Hashtbl.t;
+  l1 : Lut.t;
+  l2 : Lut.t option;
+  (* Hash value registers: in-flight CRC state per logical LUT. The optional
+     second engine computes a 64-bit fingerprint of the same byte stream for
+     collision measurement. *)
+  hvr : (int * int, Crc.Engine.t * Crc.Engine.t option) Hashtbl.t;
+      (* addressed by {LUT_ID, TID} (Section 3.2) *)
+  latched_key : (int * int, int64) Hashtbl.t;  (* key of the last lookup, used by update *)
+  latched_fp : (int * int, int64) Hashtbl.t;
+  fingerprints : (int * int64, int64) Hashtbl.t;
+  monitor : monitor_state;
+  adapt : adapt_state option;
+  mutable last_level : level;
+  mutable sends : int;
+  mutable bytes_hashed : int;
+  mutable lookups : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable misses : int;
+  mutable forced_misses : int;
+  mutable updates : int;
+  mutable invalidations : int;
+  mutable collisions : int;
+}
+
+let create cfg decls =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      if d.lut_id < 0 || d.lut_id > 7 then invalid_arg "Memo_unit.create: LUT id must be 0..7";
+      if Hashtbl.mem tbl d.lut_id then invalid_arg "Memo_unit.create: duplicate LUT id";
+      if Payload.width d.payload > cfg.payload_bytes then
+        invalid_arg
+          (Printf.sprintf
+             "Memo_unit.create: LUT %d needs %d-byte entries but the unit is configured for %d"
+             d.lut_id (Payload.width d.payload) cfg.payload_bytes);
+      Hashtbl.replace tbl d.lut_id d)
+    decls;
+  {
+    cfg;
+    decls = tbl;
+    l1 =
+      Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy
+        ~size_bytes:cfg.l1_bytes ();
+    l2 =
+      Option.map
+        (fun b ->
+          Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy ~size_bytes:b ())
+        cfg.l2_bytes;
+    hvr = Hashtbl.create 8;
+    latched_key = Hashtbl.create 8;
+    latched_fp = Hashtbl.create 8;
+    fingerprints = Hashtbl.create 4096;
+    monitor =
+      {
+        hits_seen = 0;
+        pending = None;
+        window_count = 0;
+        window_bad = 0;
+        comparisons = 0;
+        tripped = false;
+      };
+    adapt =
+      Option.map
+        (fun (a : adaptive_config) ->
+          {
+            countdown = a.profile_period;
+            profiling = false;
+            norm_lookups = 0;
+            norm_hits = 0;
+            deltas = Hashtbl.create 8;
+            pending_cmp = Hashtbl.create 8;
+            samples = Hashtbl.create 8;
+          })
+        cfg.adaptive;
+    last_level = Miss;
+    sends = 0;
+    bytes_hashed = 0;
+    lookups = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    misses = 0;
+    forced_misses = 0;
+    updates = 0;
+    invalidations = 0;
+    collisions = 0;
+  }
+
+let disabled t = t.monitor.tripped
+
+let engines t ~tid lut =
+  match Hashtbl.find_opt t.hvr (lut, tid) with
+  | Some e -> e
+  | None ->
+      let e =
+        ( Crc.Engine.start t.cfg.crc,
+          if t.cfg.collision_tracking then Some (Crc.Engine.start Crc.Poly.crc64_xz)
+          else None )
+      in
+      Hashtbl.replace t.hvr (lut, tid) e;
+      e
+
+let truncated_bits ~rounding ~ty ~trunc (v : Axmemo_ir.Ir.value) =
+  let tr_f32, tr_f64, tr_i64 =
+    match rounding with
+    | Truncate -> (Bits.truncate_f32, Bits.truncate_f64, Bits.truncate_int64)
+    | Nearest -> (Bits.round_f32, Bits.round_f64, Bits.round_int64)
+  in
+  match (ty : Axmemo_ir.Ir.ty), v with
+  | F32, VF x ->
+      (Int64.logand (Int64.of_int32 (Bits.f32_bits (tr_f32 ~bits:trunc x))) 0xFFFFFFFFL, 4)
+  | F64, VF x -> (Bits.f64_bits (tr_f64 ~bits:trunc x), 8)
+  | I32, VI x -> (Int64.logand (tr_i64 ~bits:trunc x) 0xFFFFFFFFL, 4)
+  | I64, VI x -> (tr_i64 ~bits:trunc x, 8)
+  | (F32 | F64), VI _ | (I32 | I64), VF _ ->
+      invalid_arg "Memo_unit.send: value kind does not match declared type"
+
+let extra_truncation t ~lut_id =
+  match t.adapt with
+  | None -> 0
+  | Some a -> Option.value ~default:0 (Hashtbl.find_opt a.deltas lut_id)
+
+let send ?(tid = 0) t ~lut ~ty ~trunc v =
+  if not t.monitor.tripped then begin
+    let trunc = trunc + extra_truncation t ~lut_id:lut in
+    let bits, width = truncated_bits ~rounding:t.cfg.rounding ~ty ~trunc v in
+    let crc, fp = engines t ~tid lut in
+    Crc.Engine.feed_int64 crc ~width bits;
+    Option.iter (fun e -> Crc.Engine.feed_int64 e ~width bits) fp;
+    t.sends <- t.sends + 1;
+    t.bytes_hashed <- t.bytes_hashed + width
+  end
+
+(* Phase machine for the adaptive mode: normal -> profiling -> adjust. *)
+let adapt_tick t =
+  match (t.adapt, t.cfg.adaptive) with
+  | Some a, Some cfg ->
+      a.countdown <- a.countdown - 1;
+      if a.countdown <= 0 then
+        if a.profiling then begin
+          (* Window over: adjust every declared LUT's extra truncation. The
+             rule has hysteresis so the level settles instead of oscillating
+             (every change invalidates the LUT): back off on errors, explore
+             upward only while hits are scarce, otherwise hold. *)
+          let norm_hit_rate =
+            if a.norm_lookups = 0 then 0.0
+            else float_of_int a.norm_hits /. float_of_int a.norm_lookups
+          in
+          Hashtbl.iter
+            (fun lut _decl ->
+              let samples =
+                match Hashtbl.find_opt a.samples lut with Some r -> !r | None -> []
+              in
+              let delta = Option.value ~default:0 (Hashtbl.find_opt a.deltas lut) in
+              let errors_bad =
+                match samples with
+                | [] -> false
+                | s ->
+                    let bad = List.length (List.filter (fun e -> e > cfg.target_error) s) in
+                    float_of_int bad > cfg.bad_fraction *. float_of_int (List.length s)
+              in
+              let fresh =
+                if errors_bad then max 0 (delta - 2)
+                else if norm_hit_rate < 0.4 then min cfg.max_extra_bits (delta + 3)
+                else delta
+              in
+              if fresh <> delta then begin
+                Hashtbl.replace a.deltas lut fresh;
+                (* A different truncation changes every hash: drop the now
+                   unreachable entries. *)
+                Lut.invalidate_lut t.l1 ~lut_id:lut;
+                Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2
+              end)
+            t.decls;
+          a.profiling <- false;
+          a.countdown <- cfg.profile_period;
+          a.norm_lookups <- 0;
+          a.norm_hits <- 0
+        end
+        else begin
+          Hashtbl.reset a.samples;
+          Hashtbl.reset a.pending_cmp;
+          a.profiling <- true;
+          a.countdown <- cfg.profile_length
+        end
+  | _ -> ()
+
+let monitor_should_force t =
+  t.cfg.monitor
+  && t.monitor.hits_seen mod sample_interval = 0
+
+let record_hit_fingerprint t ~lut ~key ~fp =
+  match fp with
+  | None -> ()
+  | Some fp_val -> (
+      match Hashtbl.find_opt t.fingerprints (lut, key) with
+      | Some stored when stored <> fp_val -> t.collisions <- t.collisions + 1
+      | Some _ -> ()
+      | None -> ())
+
+let lookup ?(tid = 0) t ~lut =
+  t.lookups <- t.lookups + 1;
+  adapt_tick t;
+  if t.monitor.tripped then begin
+    t.last_level <- Miss;
+    t.misses <- t.misses + 1;
+    None
+  end
+  else begin
+    let crc, fp_engine = engines t ~tid lut in
+    let key = Crc.Engine.value crc in
+    let fp = Option.map Crc.Engine.value fp_engine in
+    (* The hash register is consumed: the next send starts a fresh hash. *)
+    Hashtbl.remove t.hvr (lut, tid);
+    Hashtbl.replace t.latched_key (lut, tid) key;
+    (match fp with
+    | Some f -> Hashtbl.replace t.latched_fp (lut, tid) f
+    | None -> Hashtbl.remove t.latched_fp (lut, tid));
+    let result =
+      match Lut.lookup t.l1 ~lut_id:lut ~key with
+      | Some payload ->
+          t.last_level <- Hit_l1;
+          Some payload
+      | None -> (
+          match t.l2 with
+          | None ->
+              t.last_level <- Miss;
+              None
+          | Some l2 -> (
+              match Lut.lookup l2 ~lut_id:lut ~key with
+              | Some payload ->
+                  t.last_level <- Hit_l2;
+                  (* Fill the L1 LUT on an L2 hit (inclusive hierarchy). *)
+                  Lut.insert t.l1 ~lut_id:lut ~key ~payload None;
+                  Some payload
+              | None ->
+                  t.last_level <- Miss;
+                  None))
+    in
+    let result =
+      match (t.adapt, result) with
+      | Some a, Some payload when a.profiling ->
+          Hashtbl.replace a.pending_cmp lut (key, payload);
+          t.forced_misses <- t.forced_misses + 1;
+          t.last_level <- Miss;
+          None
+      | Some a, r ->
+          a.norm_lookups <- a.norm_lookups + 1;
+          if r <> None then a.norm_hits <- a.norm_hits + 1;
+          r
+      | None, r -> r
+    in
+    match result with
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+    | Some payload ->
+        t.monitor.hits_seen <- t.monitor.hits_seen + 1;
+        record_hit_fingerprint t ~lut ~key ~fp;
+        if monitor_should_force t then begin
+          (* Forced miss: the program recomputes; [update] will compare. *)
+          t.monitor.pending <- Some (lut, key, payload);
+          t.forced_misses <- t.forced_misses + 1;
+          t.misses <- t.misses + 1;
+          t.last_level <- Miss;
+          None
+        end
+        else begin
+          (match t.last_level with
+          | Hit_l1 -> t.l1_hits <- t.l1_hits + 1
+          | Hit_l2 -> t.l2_hits <- t.l2_hits + 1
+          | Miss -> ());
+          Some payload
+        end
+  end
+
+let monitor_compare t ~lut ~expected_payload ~actual_payload =
+  let m = t.monitor in
+  m.comparisons <- m.comparisons + 1;
+  let kind =
+    match Hashtbl.find_opt t.decls lut with
+    | Some d -> d.payload
+    | None -> Payload.Pi64
+  in
+  let errs =
+    Payload.relative_errors kind ~expected:actual_payload ~actual:expected_payload
+  in
+  let bad = Array.exists (fun e -> e > error_threshold) errs in
+  m.window_count <- m.window_count + 1;
+  if bad then m.window_bad <- m.window_bad + 1;
+  if m.window_count >= window then begin
+    if float_of_int m.window_bad > fraction_threshold *. float_of_int m.window_count
+    then m.tripped <- true;
+    m.window_count <- 0;
+    m.window_bad <- 0
+  end
+
+let update ?(tid = 0) t ~lut payload =
+  if not t.monitor.tripped then begin
+    t.updates <- t.updates + 1;
+    (match t.adapt with
+    | Some a -> (
+        match Hashtbl.find_opt a.pending_cmp lut with
+        | Some (pkey, lut_payload)
+          when Hashtbl.find_opt t.latched_key (lut, tid) = Some pkey ->
+            let kind =
+              match Hashtbl.find_opt t.decls lut with
+              | Some d -> d.payload
+              | None -> Payload.Pi64
+            in
+            let errs = Payload.relative_errors kind ~expected:payload ~actual:lut_payload in
+            let worst = Array.fold_left Float.max 0.0 errs in
+            let bucket =
+              match Hashtbl.find_opt a.samples lut with
+              | Some r -> r
+              | None ->
+                  let r = ref [] in
+                  Hashtbl.add a.samples lut r;
+                  r
+            in
+            bucket := worst :: !bucket;
+            Hashtbl.remove a.pending_cmp lut
+        | Some _ | None -> ())
+    | None -> ());
+    (match t.monitor.pending with
+    | Some (plut, pkey, lut_payload)
+      when plut = lut && Hashtbl.find_opt t.latched_key (lut, tid) = Some pkey ->
+        monitor_compare t ~lut ~expected_payload:lut_payload ~actual_payload:payload;
+        t.monitor.pending <- None
+    | Some _ | None -> ());
+    match Hashtbl.find_opt t.latched_key (lut, tid) with
+    | None -> ()  (* update without a preceding lookup: drop, as hardware would *)
+    | Some key ->
+        Lut.insert t.l1 ~lut_id:lut ~key ~payload None;
+        (match t.l2 with
+        | Some l2 -> Lut.insert l2 ~lut_id:lut ~key ~payload None
+        | None -> ());
+        if t.cfg.collision_tracking then
+          Option.iter
+            (fun fp -> Hashtbl.replace t.fingerprints (lut, key) fp)
+            (Hashtbl.find_opt t.latched_fp (lut, tid))
+  end
+
+let invalidate t ~lut =
+  t.invalidations <- t.invalidations + 1;
+  Lut.invalidate_lut t.l1 ~lut_id:lut;
+  Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2;
+  Hashtbl.iter
+    (fun (l, tid) _ -> if l = lut then Hashtbl.remove t.hvr (l, tid))
+    (Hashtbl.copy t.hvr)
+
+let hooks ?(tid = 0) t : Interp.memo_hooks =
+  {
+    send = (fun ~lut ~ty ~trunc v -> send ~tid t ~lut ~ty ~trunc v);
+    lookup = (fun ~lut -> lookup ~tid t ~lut);
+    update = (fun ~lut payload -> update ~tid t ~lut payload);
+    invalidate = (fun ~lut -> invalidate t ~lut);
+  }
+
+let last_lookup_level t = t.last_level
+
+let stats t =
+  {
+    sends = t.sends;
+    bytes_hashed = t.bytes_hashed;
+    lookups = t.lookups;
+    l1_hits = t.l1_hits;
+    l2_hits = t.l2_hits;
+    misses = t.misses;
+    forced_misses = t.forced_misses;
+    updates = t.updates;
+    invalidations = t.invalidations;
+    collisions = t.collisions;
+    monitor_comparisons = t.monitor.comparisons;
+  }
+
+let hit_rate t =
+  if t.lookups = 0 then 0.0
+  else float_of_int (t.l1_hits + t.l2_hits) /. float_of_int t.lookups
+
+let l1_ways t = Lut.ways t.l1
+
+let lut_entries t =
+  Lut.entries t.l1 @ (match t.l2 with Some l2 -> Lut.entries l2 | None -> [])
+
+let reset t =
+  Lut.invalidate_all t.l1;
+  Option.iter Lut.invalidate_all t.l2;
+  Hashtbl.reset t.hvr;
+  Hashtbl.reset t.latched_key;
+  Hashtbl.reset t.latched_fp;
+  Hashtbl.reset t.fingerprints;
+  t.monitor.hits_seen <- 0;
+  t.monitor.pending <- None;
+  t.monitor.window_count <- 0;
+  t.monitor.window_bad <- 0;
+  t.monitor.comparisons <- 0;
+  t.monitor.tripped <- false;
+  (match (t.adapt, t.cfg.adaptive) with
+  | Some a, Some cfg ->
+      a.countdown <- cfg.profile_period;
+      a.profiling <- false;
+      a.norm_lookups <- 0;
+      a.norm_hits <- 0;
+      Hashtbl.reset a.deltas;
+      Hashtbl.reset a.pending_cmp;
+      Hashtbl.reset a.samples
+  | _ -> ());
+  t.last_level <- Miss;
+  t.sends <- 0;
+  t.bytes_hashed <- 0;
+  t.lookups <- 0;
+  t.l1_hits <- 0;
+  t.l2_hits <- 0;
+  t.misses <- 0;
+  t.forced_misses <- 0;
+  t.updates <- 0;
+  t.invalidations <- 0;
+  t.collisions <- 0

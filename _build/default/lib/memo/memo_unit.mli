@@ -1,0 +1,120 @@
+(** The per-core memoization unit (Section 3).
+
+    Contains the hash value registers (one in-flight CRC per logical LUT;
+    single hardware thread — the paper evaluates one core), the L1 LUT, the
+    optional inclusive L2 LUT carved from last-level-cache ways, and the
+    quality-monitoring unit of Section 6.
+
+    The unit plugs into the interpreter through {!hooks} and reports the
+    latency class of the most recent lookup so the CPU timing model can
+    charge Table 4 latencies. *)
+
+type rounding = Truncate | Nearest
+(** How the approximation maps an input into its cell before hashing:
+    [Truncate] clears the LSBs (the paper's evaluated mechanism); [Nearest]
+    rounds to the nearest cell — the "more sophisticated approach" the paper
+    notes is possible "since the approximation does not affect [the] hashing
+    unit" (Section 3.1). *)
+
+type adaptive_config = {
+  profile_period : int;
+      (** lookups between profiling windows (the paper: "a certain
+          percentage of the execution time") *)
+  profile_length : int;  (** window length, in lookups *)
+  target_error : float;  (** per-sample relative error the window tolerates *)
+  bad_fraction : float;  (** fraction of bad samples that triggers back-off *)
+  max_extra_bits : int;  (** upper bound on the added truncation *)
+}
+
+val default_adaptive : adaptive_config
+(** Profile 100 of every 1000 lookups, 1% error target, 5% bad fraction,
+    up to 20 extra bits. *)
+
+type config = {
+  l1_bytes : int;  (** dedicated SRAM, ≤ 16 KB *)
+  l2_bytes : int option;  (** carved from the LLC; [None] = single level *)
+  payload_bytes : int;  (** 4 or 8; fixes set geometry (8- or 4-way) *)
+  crc : Axmemo_crc.Poly.t;  (** tag hash; CRC-32 by default *)
+  monitor : bool;  (** enable the quality-monitoring unit *)
+  collision_tracking : bool;
+      (** maintain shadow 64-bit input fingerprints to measure hash-collision
+          frequency (a measurement aid, not hardware state) *)
+  policy : Lut.policy;  (** LUT replacement policy (LRU in the paper) *)
+  rounding : rounding;  (** input-cell mapping before hashing *)
+  adaptive : adaptive_config option;
+      (** Section 3.1's "dynamic approach": instead of compile-time-profiled
+          truncation levels, the unit periodically forces a profiling window
+          in which every lookup misses, compares recomputed results against
+          LUT contents, and raises or lowers a per-LUT {e extra} truncation
+          applied on top of the instructions' static level. *)
+}
+
+val default_config : config
+(** 8 KB L1, no L2, 8-byte payloads, CRC-32, monitor on, collision tracking
+    on, no adaptive truncation. *)
+
+type lut_decl = { lut_id : int; payload : Axmemo_ir.Payload.kind }
+(** Static declaration of one logical LUT: its id and how its 8-byte data
+    field is interpreted (needed by the quality monitor to compute relative
+    errors). *)
+
+type level = Hit_l1 | Hit_l2 | Miss
+
+type stats = {
+  sends : int;
+  bytes_hashed : int;
+  lookups : int;
+  l1_hits : int;
+  l2_hits : int;
+  misses : int;  (** includes monitor-forced misses *)
+  forced_misses : int;
+  updates : int;
+  invalidations : int;
+  collisions : int;  (** lookups whose tag matched but whose full-input fingerprint differed *)
+  monitor_comparisons : int;
+}
+
+type t
+
+val create : config -> lut_decl list -> t
+(** [create config decls] builds a unit serving the declared logical LUTs.
+    @raise Invalid_argument on duplicate or out-of-range (0..7) LUT ids. *)
+
+val hooks : ?tid:int -> t -> Axmemo_ir.Interp.memo_hooks
+(** Adapter for {!Axmemo_ir.Interp.create}, bound to one hardware thread
+    (default 0). Under SMT, each thread's instruction stream carries its own
+    TID: hash value registers and latched keys are addressed by
+    {v {LUT_ID, TID} v} (Section 3.2) while the LUT storage itself is shared
+    by the core's threads. *)
+
+val send : ?tid:int -> t -> lut:int -> ty:Axmemo_ir.Ir.ty -> trunc:int -> Axmemo_ir.Ir.value -> unit
+(** TID-explicit variants of the hook operations, for SMT models and tests. *)
+
+val lookup : ?tid:int -> t -> lut:int -> int64 option
+val update : ?tid:int -> t -> lut:int -> int64 -> unit
+val invalidate : t -> lut:int -> unit
+
+val last_lookup_level : t -> level
+(** Latency class of the most recent lookup ([Miss] before any lookup). *)
+
+val disabled : t -> bool
+(** True once the quality monitor has shut memoization off. *)
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** Total (L1 + L2) hits over lookups; 0 when no lookups were made. *)
+
+val l1_ways : t -> int
+(** Associativity of the L1 LUT (for [invalidate] timing). *)
+
+val extra_truncation : t -> lut_id:int -> int
+(** Current adaptive extra-truncation level for one LUT (0 when the unit is
+    not adaptive or has not raised it yet). *)
+
+val lut_entries : t -> (int * int64 * int64) list
+(** Valid [(lut_id, key, payload)] entries across both LUT levels (L1 first);
+    measurement aid for the multi-core no-coherence check. *)
+
+val reset : t -> unit
+(** Invalidate all storage, clear hash registers, stats and monitor state. *)

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Axmemo_cpu Axmemo_ir Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Axmemo_cpu Axmemo_ir Hashtbl

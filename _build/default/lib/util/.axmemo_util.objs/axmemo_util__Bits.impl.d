@@ -1,0 +1,1 @@
+lib/util/bits.ml: Char Int32 Int64 String

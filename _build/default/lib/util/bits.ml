@@ -1,0 +1,50 @@
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let truncate_int64 ~bits v =
+  let bits = clamp 0 63 bits in
+  if bits = 0 then v else Int64.logand v (Int64.shift_left (-1L) bits)
+
+let truncate_int32 ~bits v =
+  let bits = clamp 0 31 bits in
+  if bits = 0 then v else Int32.logand v (Int32.shift_left (-1l) bits)
+
+let f32_bits x = Int32.bits_of_float x
+let f32_of_bits b = Int32.float_of_bits b
+let f64_bits x = Int64.bits_of_float x
+let f64_of_bits b = Int64.float_of_bits b
+
+let truncate_f64 ~bits x = f64_of_bits (truncate_int64 ~bits (f64_bits x))
+
+let truncate_f32 ~bits x = f32_of_bits (truncate_int32 ~bits (f32_bits x))
+
+let round_int64 ~bits v =
+  let bits = clamp 0 62 bits in
+  if bits = 0 then v
+  else
+    let half = Int64.shift_left 1L (bits - 1) in
+    truncate_int64 ~bits (Int64.add v half)
+
+let round_f32 ~bits x =
+  let bits = clamp 0 22 bits in
+  if bits = 0 then f32_of_bits (f32_bits x)
+  else
+    let b = Int64.logand (Int64.of_int32 (f32_bits x)) 0xFFFFFFFFL in
+    let r = Int64.logand (round_int64 ~bits b) 0xFFFFFFFFL in
+    f32_of_bits (Int64.to_int32 r)
+
+let round_f64 ~bits x =
+  let bits = clamp 0 51 bits in
+  if bits = 0 then x else f64_of_bits (round_int64 ~bits (f64_bits x))
+
+let bytes_of_int64 v ~width =
+  if width < 0 || width > 8 then invalid_arg "Bits.bytes_of_int64: width";
+  String.init width (fun i ->
+      Char.chr
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+
+let popcount64 v =
+  let rec go acc v =
+    if v = 0L then acc
+    else go (acc + 1) (Int64.logand v (Int64.sub v 1L))
+  in
+  go 0 v

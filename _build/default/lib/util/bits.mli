@@ -1,0 +1,51 @@
+(** Bit-level helpers: float/int bit conversions and least-significant-bit
+    truncation, the approximation primitive of AxMemo (Section 3.1).
+
+    Truncating [n] LSBs rounds a value down to a coarser precision so that
+    nearby inputs hash to the same CRC value, raising the LUT hit rate at a
+    bounded quality cost. *)
+
+val truncate_int64 : bits:int -> int64 -> int64
+(** [truncate_int64 ~bits v] zeroes the [bits] least significant bits of [v].
+    [bits] outside \[0, 63\] is clamped. *)
+
+val truncate_int32 : bits:int -> int32 -> int32
+(** [truncate_int32 ~bits v] zeroes the [bits] least significant bits. *)
+
+val truncate_f64 : bits:int -> float -> float
+(** [truncate_f64 ~bits x] truncates the [bits] LSBs of the IEEE-754 binary64
+    representation of [x]: a relative-precision rounding for floats. *)
+
+val truncate_f32 : bits:int -> float -> float
+(** [truncate_f32 ~bits x] rounds [x] to binary32 and truncates [bits] LSBs of
+    that representation, returning the result widened back to [float]. *)
+
+val round_int64 : bits:int -> int64 -> int64
+(** [round_int64 ~bits v] rounds [v] to the nearest multiple of [2^bits]
+    (ties away from zero in the bit pattern), the paper's "more sophisticated
+    approach" alternative to plain truncation. *)
+
+val round_f32 : bits:int -> float -> float
+(** [round_f32 ~bits x] rounds the binary32 representation of [x] to the
+    nearest [bits]-LSB cell. *)
+
+val round_f64 : bits:int -> float -> float
+
+val f32_bits : float -> int32
+(** [f32_bits x] is the binary32 bit pattern of [x] (rounded to single). *)
+
+val f32_of_bits : int32 -> float
+(** [f32_of_bits b] reinterprets [b] as a binary32 value. *)
+
+val f64_bits : float -> int64
+(** [f64_bits x] is the binary64 bit pattern of [x]. *)
+
+val f64_of_bits : int64 -> float
+(** [f64_of_bits b] reinterprets [b] as a binary64 value. *)
+
+val bytes_of_int64 : int64 -> width:int -> string
+(** [bytes_of_int64 v ~width] serializes the low [width] bytes of [v] in
+    little-endian order; used to feed values to the CRC unit byte stream. *)
+
+val popcount64 : int64 -> int
+(** [popcount64 v] counts the set bits of [v]. *)

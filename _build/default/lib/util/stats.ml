@@ -1,0 +1,75 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else if Array.exists (fun x -> x <= 0.0) a then 0.0
+  else exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 a /. float_of_int n)
+
+let stddev a =
+  let m = mean a in
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else
+    sqrt (Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a /. float_of_int n)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+
+let cdf a ~points =
+  let n = Array.length a in
+  if n = 0 || points <= 0 then []
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    let sample i =
+      let frac = float_of_int i /. float_of_int (points - 1) in
+      let idx = int_of_float (frac *. float_of_int (n - 1)) in
+      (sorted.(idx), float_of_int (idx + 1) /. float_of_int n)
+    in
+    if points = 1 then [ sample 0 ]
+    else List.init points sample
+  end
+
+let output_error ~reference ~approx =
+  let n = Array.length reference in
+  if n <> Array.length approx then invalid_arg "Stats.output_error: length mismatch";
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = approx.(i) -. reference.(i) in
+    num := !num +. (d *. d);
+    den := !den +. (reference.(i) *. reference.(i))
+  done;
+  if !den = 0.0 then if !num = 0.0 then 0.0 else infinity else !num /. !den
+
+let misclassification_rate ~reference ~approx =
+  let n = Array.length reference in
+  if n <> Array.length approx then
+    invalid_arg "Stats.misclassification_rate: length mismatch";
+  if n = 0 then 0.0
+  else begin
+    let wrong = ref 0 in
+    for i = 0 to n - 1 do
+      if reference.(i) <> approx.(i) then incr wrong
+    done;
+    float_of_int !wrong /. float_of_int n
+  end
+
+let relative_errors ~reference ~approx =
+  let n = Array.length reference in
+  if n <> Array.length approx then invalid_arg "Stats.relative_errors: length mismatch";
+  let eps = 1e-12 in
+  Array.init n (fun i ->
+      abs_float (approx.(i) -. reference.(i)) /. Float.max (abs_float reference.(i)) eps)

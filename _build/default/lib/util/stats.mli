@@ -1,0 +1,33 @@
+(** Small statistics toolkit used by the quality metrics, the quality monitor
+    and the benchmark reports. *)
+
+val mean : float array -> float
+(** [mean a] is the arithmetic mean; 0 on an empty array. *)
+
+val geomean : float array -> float
+(** [geomean a] is the geometric mean of strictly positive values; 0 if any
+    value is non-positive or the array is empty. *)
+
+val stddev : float array -> float
+(** [stddev a] is the population standard deviation. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] returns the [p]-th percentile (0-100) by linear
+    interpolation over the sorted copy of [a]. Raises [Invalid_argument] on an
+    empty array. *)
+
+val cdf : float array -> points:int -> (float * float) list
+(** [cdf a ~points] returns [points] evenly spaced (value, cumulative fraction)
+    pairs describing the empirical CDF of [a], for Figure 10b-style plots. *)
+
+val output_error : reference:float array -> approx:float array -> float
+(** [output_error ~reference ~approx] is the paper's Equation 2:
+    [sum_i (x̂_i - x_i)^2 / sum_i x_i^2]. Arrays must have equal length. *)
+
+val misclassification_rate : reference:bool array -> approx:bool array -> float
+(** [misclassification_rate ~reference ~approx] is the fraction of indices
+    where the two boolean arrays disagree (the Jmeint quality metric). *)
+
+val relative_errors : reference:float array -> approx:float array -> float array
+(** [relative_errors ~reference ~approx] computes |x̂-x| / max(|x|, eps) per
+    element, for the element-wise error CDF. *)

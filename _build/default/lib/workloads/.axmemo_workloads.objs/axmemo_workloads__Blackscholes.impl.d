@@ -1,0 +1,1 @@
+lib/workloads/blackscholes.ml: Array Axmemo_compiler Axmemo_ir Axmemo_util Int32 Int64 Mathlib Workload

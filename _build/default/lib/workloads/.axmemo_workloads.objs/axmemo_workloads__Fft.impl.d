@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Array Axmemo_compiler Axmemo_ir Axmemo_util Int64 Mathlib Workload

@@ -1,0 +1,1 @@
+lib/workloads/hotspot.mli: Axmemo_ir Workload

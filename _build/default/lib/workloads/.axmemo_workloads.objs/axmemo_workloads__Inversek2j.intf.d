@@ -1,0 +1,1 @@
+lib/workloads/inversek2j.mli: Axmemo_ir Axmemo_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/jmeint.mli: Axmemo_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/jpeg.ml: Array Axmemo_compiler Axmemo_ir Axmemo_util Float Int64 List Workload

@@ -1,0 +1,1 @@
+lib/workloads/jpeg.mli: Axmemo_ir Workload

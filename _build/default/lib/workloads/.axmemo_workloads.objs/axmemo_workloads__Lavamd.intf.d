@@ -1,0 +1,1 @@
+lib/workloads/lavamd.mli: Axmemo_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/mathlib.ml: Axmemo_ir List

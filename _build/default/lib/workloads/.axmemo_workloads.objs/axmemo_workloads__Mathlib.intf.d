@@ -1,0 +1,1 @@
+lib/workloads/mathlib.mli: Axmemo_ir

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Blackscholes Fft Hotspot Inversek2j Jmeint Jpeg Kmeans Lavamd List Sobel Srad Workload

@@ -1,0 +1,1 @@
+lib/workloads/sobel.ml: Array Axmemo_compiler Axmemo_ir Axmemo_util Int64 Workload

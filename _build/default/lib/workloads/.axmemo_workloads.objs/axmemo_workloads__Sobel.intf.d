@@ -1,0 +1,1 @@
+lib/workloads/sobel.mli: Axmemo_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/srad.ml: Array Axmemo_compiler Axmemo_ir Axmemo_util Float Int64 Workload

@@ -1,0 +1,1 @@
+lib/workloads/srad.mli: Axmemo_ir Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Axmemo_compiler Axmemo_ir Axmemo_util Float Int32 Mathlib String

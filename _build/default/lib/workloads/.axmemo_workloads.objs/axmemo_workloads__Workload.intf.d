@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Axmemo_compiler Axmemo_ir Axmemo_util

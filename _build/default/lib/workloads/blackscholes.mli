@@ -1,0 +1,12 @@
+(** Blackscholes benchmark (Table 2, row 1). *)
+
+val meta : Workload.meta
+
+val make : Workload.variant -> Workload.instance
+(** Fresh instance with a deterministic synthetic option dataset. *)
+
+val kernel_name : string
+(** Name of the memoized pricing kernel, for tests. *)
+
+val build_kernel : unit -> Axmemo_ir.Ir.func
+val build_cndf : unit -> Axmemo_ir.Ir.func

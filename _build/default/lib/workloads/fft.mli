@@ -1,0 +1,6 @@
+(** FFT benchmark (Table 2). *)
+
+val meta : Workload.meta
+val make : Workload.variant -> Workload.instance
+val kernel_name : string
+val build_kernel : unit -> Axmemo_ir.Ir.func

@@ -1,0 +1,9 @@
+(** JPEG benchmark (Table 2). *)
+
+val meta : Workload.meta
+val make : Workload.variant -> Workload.instance
+val kernel_a_name : string
+val kernel_b_name : string
+val build_kernel_a : unit -> Axmemo_ir.Ir.func
+val build_kernel_b : unit -> Axmemo_ir.Ir.func
+val qtable : int array

@@ -1,0 +1,7 @@
+(** K-means benchmark (Table 2). *)
+
+val meta : Workload.meta
+val make : Workload.variant -> Workload.instance
+val kernel_name : string
+val k_clusters : int
+val build_kernel : centroid_base:int -> Axmemo_ir.Ir.func

@@ -1,0 +1,158 @@
+module Ir = Axmemo_ir.Ir
+module B = Axmemo_ir.Builder
+
+let exp_name = "mx_exp"
+let log_name = "mx_log"
+let sin_name = "mx_sin"
+let cos_name = "mx_cos"
+let atan_name = "mx_atan"
+let atan2_name = "mx_atan2"
+let acos_name = "mx_acos"
+let asin_name = "mx_asin"
+
+let f = B.f32
+
+(* Horner evaluation; [coeffs] from highest degree to the constant term. *)
+let poly b r coeffs =
+  match coeffs with
+  | [] -> invalid_arg "Mathlib.poly: empty"
+  | c0 :: rest ->
+      List.fold_left (fun acc cf -> B.fadd b F32 (f cf) (B.fmul b F32 r acc)) (f c0) rest
+
+let ln2 = 0.6931471805599453
+
+let build_exp () =
+  let b = B.create ~name:exp_name ~pure:true ~params:[ F32 ] ~rets:[ F32 ] () in
+  let x = B.param b 0 in
+  let kf = B.funop b Fround F32 (B.fmul b F32 x (f (1.0 /. ln2))) in
+  let r = B.fsub b F32 x (B.fmul b F32 kf (f ln2)) in
+  (* e^r on |r| <= ln2/2, degree-5 Taylor. *)
+  let p = poly b r [ 1.0 /. 120.0; 1.0 /. 24.0; 1.0 /. 6.0; 0.5; 1.0; 1.0 ] in
+  (* 2^k via exponent-field construction, k clamped to the normal range. *)
+  let k = B.cast b F_to_i kf in
+  let k = B.select b (B.icmp b Ilt I32 k (B.i32 (-126))) (B.i32 (-126)) k in
+  let k = B.select b (B.icmp b Igt I32 k (B.i32 127)) (B.i32 127) k in
+  let bits = B.binop b Shl I32 (B.addi b k (B.i32 127)) (B.i32 23) in
+  let scale = B.cast b F32_of_bits bits in
+  B.ret b [ B.fmul b F32 p scale ];
+  B.finish b
+
+let build_log () =
+  let b = B.create ~name:log_name ~pure:true ~params:[ F32 ] ~rets:[ F32 ] () in
+  let x = B.param b 0 in
+  let bits = B.cast b Bits_of_f32 x in
+  let e = B.subi b (B.binop b And I32 (B.binop b Lshr I32 bits (B.i32 23)) (B.i32 0xFF)) (B.i32 127) in
+  let mbits = B.binop b Or I32 (B.binop b And I32 bits (B.i32 0x7FFFFF)) (B.i32 0x3F800000) in
+  let m = B.cast b F32_of_bits mbits in
+  (* Keep the mantissa near 1 for the series. *)
+  let big = B.fcmp b Fgt F32 m (f 1.41421356) in
+  let m = B.select b big (B.fmul b F32 m (f 0.5)) m in
+  let e = B.select b big (B.addi b e (B.i32 1)) e in
+  let t = B.fdiv b F32 (B.fsub b F32 m (f 1.0)) (B.fadd b F32 m (f 1.0)) in
+  let t2 = B.fmul b F32 t t in
+  (* log(m) = 2t (1 + t^2/3 + t^4/5 + t^6/7) *)
+  let s = poly b t2 [ 1.0 /. 7.0; 1.0 /. 5.0; 1.0 /. 3.0; 1.0 ] in
+  let lm = B.fmul b F32 (B.fmul b F32 (f 2.0) t) s in
+  let ef = B.cast b I_to_f e in
+  B.ret b [ B.fadd b F32 lm (B.fmul b F32 ef (f ln2)) ];
+  B.finish b
+
+let half_pi = 1.5707963267948966
+
+let build_sin () =
+  let b = B.create ~name:sin_name ~pure:true ~params:[ F32 ] ~rets:[ F32 ] () in
+  let x = B.param b 0 in
+  let kf = B.funop b Fround F32 (B.fmul b F32 x (f (1.0 /. half_pi))) in
+  let r = B.fsub b F32 x (B.fmul b F32 kf (f half_pi)) in
+  let q = B.binop b And I32 (B.cast b F_to_i kf) (B.i32 3) in
+  let r2 = B.fmul b F32 r r in
+  let s =
+    B.fmul b F32 r
+      (poly b r2 [ -1.0 /. 5040.0; 1.0 /. 120.0; -1.0 /. 6.0; 1.0 ])
+  in
+  let c = poly b r2 [ -1.0 /. 720.0; 1.0 /. 24.0; -0.5; 1.0 ] in
+  let neg_s = B.funop b Fneg F32 s in
+  let neg_c = B.funop b Fneg F32 c in
+  let q0 = B.icmp b Ieq I32 q (B.i32 0) in
+  let q1 = B.icmp b Ieq I32 q (B.i32 1) in
+  let q2 = B.icmp b Ieq I32 q (B.i32 2) in
+  let res = B.select b q0 s (B.select b q1 c (B.select b q2 neg_s neg_c)) in
+  B.ret b [ res ];
+  B.finish b
+
+let build_cos () =
+  let b = B.create ~name:cos_name ~pure:true ~params:[ F32 ] ~rets:[ F32 ] () in
+  let x = B.param b 0 in
+  let shifted = B.fadd b F32 x (f half_pi) in
+  let r = B.call b sin_name ~rets:1 [ shifted ] in
+  B.ret b r;
+  B.finish b
+
+(* Minimax-style arctangent on [-1, 1] (Abramowitz & Stegun 4.4.49 family). *)
+let atan_poly b z =
+  let z2 = B.fmul b F32 z z in
+  let p = poly b z2 [ 0.0208351; -0.0851330; 0.1801410; -0.3302995; 0.9998660 ] in
+  B.fmul b F32 z p
+
+let build_atan () =
+  let b = B.create ~name:atan_name ~pure:true ~params:[ F32 ] ~rets:[ F32 ] () in
+  let x = B.param b 0 in
+  let ax = B.funop b Fabs F32 x in
+  let outside = B.fcmp b Fgt F32 ax (f 1.0) in
+  let z = B.select b outside (B.fdiv b F32 (f 1.0) x) x in
+  let core = atan_poly b z in
+  let sign_half_pi =
+    B.select b (B.fcmp b Flt F32 x (f 0.0)) (f (-.half_pi)) (f half_pi)
+  in
+  let res = B.select b outside (B.fsub b F32 sign_half_pi core) core in
+  B.ret b [ res ];
+  B.finish b
+
+let build_atan2 () =
+  let b = B.create ~name:atan2_name ~pure:true ~params:[ F32; F32 ] ~rets:[ F32 ] () in
+  let y = B.param b 0 and x = B.param b 1 in
+  let ax = B.funop b Fabs F32 x and ay = B.funop b Fabs F32 y in
+  let swap = B.fcmp b Fgt F32 ay ax in
+  let num = B.select b swap ax ay in
+  let den = B.select b swap ay ax in
+  let z = B.fdiv b F32 num den in
+  let a = atan_poly b z in
+  let a = B.select b swap (B.fsub b F32 (f half_pi) a) a in
+  let a = B.select b (B.fcmp b Flt F32 x (f 0.0)) (B.fsub b F32 (f (2.0 *. half_pi)) a) a in
+  let a = B.select b (B.fcmp b Flt F32 y (f 0.0)) (B.funop b Fneg F32 a) a in
+  let zero_in = B.fcmp b Feq F32 (B.fadd b F32 ax ay) (f 0.0) in
+  B.ret b [ B.select b zero_in (f 0.0) a ];
+  B.finish b
+
+let clamped_sqrt_one_minus_sq b x =
+  let one_m = B.fsub b F32 (f 1.0) (B.fmul b F32 x x) in
+  let one_m = B.select b (B.fcmp b Flt F32 one_m (f 0.0)) (f 0.0) one_m in
+  B.funop b Fsqrt F32 one_m
+
+let build_acos () =
+  let b = B.create ~name:acos_name ~pure:true ~params:[ F32 ] ~rets:[ F32 ] () in
+  let x = B.param b 0 in
+  let s = clamped_sqrt_one_minus_sq b x in
+  let r = B.call b atan2_name ~rets:1 [ s; x ] in
+  B.ret b r;
+  B.finish b
+
+let build_asin () =
+  let b = B.create ~name:asin_name ~pure:true ~params:[ F32 ] ~rets:[ F32 ] () in
+  let x = B.param b 0 in
+  let s = clamped_sqrt_one_minus_sq b x in
+  let r = B.call b atan2_name ~rets:1 [ x; s ] in
+  B.ret b r;
+  B.finish b
+
+let functions () =
+  [
+    build_exp ();
+    build_log ();
+    build_sin ();
+    build_cos ();
+    build_atan ();
+    build_atan2 ();
+    build_acos ();
+    build_asin ();
+  ]

@@ -1,0 +1,27 @@
+(** Transcendental math as IR functions.
+
+    The benchmarks' kernels need exp, log, trigonometry and inverse
+    trigonometry. Real binaries implement these as libm routines of dozens
+    of instructions; representing them as single IR opcodes would understate
+    the dynamic instruction counts AxMemo eliminates (Figure 8). This module
+    therefore provides pure IR implementations — range reduction plus
+    polynomial evaluation, all in binary32 — that kernels call like any
+    other function.
+
+    Accuracy is a few ulp to ~1e-5 relative, far below the benchmarks'
+    quality thresholds; the {e baseline} (non-memoized) run of the same IR
+    is the quality reference, so approximation here does not contaminate the
+    error metric. *)
+
+val exp_name : string
+val log_name : string
+val sin_name : string
+val cos_name : string
+val atan_name : string
+val atan2_name : string
+val acos_name : string
+val asin_name : string
+
+val functions : unit -> Axmemo_ir.Ir.func list
+(** Freshly built copies of every math function; include them in any program
+    whose kernels call the names above. *)

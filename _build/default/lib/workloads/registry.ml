@@ -1,0 +1,18 @@
+let all =
+  [
+    (Blackscholes.meta, Blackscholes.make);
+    (Fft.meta, Fft.make);
+    (Inversek2j.meta, Inversek2j.make);
+    (Jmeint.meta, Jmeint.make);
+    (Jpeg.meta, Jpeg.make);
+    (Kmeans.meta, Kmeans.make);
+    (Sobel.meta, Sobel.make);
+    (Hotspot.meta, Hotspot.make);
+    (Lavamd.meta, Lavamd.make);
+    (Srad.meta, Srad.make);
+  ]
+
+let find name =
+  List.find_opt (fun ((m : Workload.meta), _) -> m.name = name) all
+
+let names = List.map (fun ((m : Workload.meta), _) -> m.name) all

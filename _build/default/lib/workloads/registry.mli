@@ -1,0 +1,9 @@
+(** The evaluated benchmark suite (Table 2), in the paper's order. *)
+
+val all : (Workload.meta * (Workload.variant -> Workload.instance)) list
+(** Every benchmark's metadata and constructor. *)
+
+val find : string -> (Workload.meta * (Workload.variant -> Workload.instance)) option
+(** Look a benchmark up by name. *)
+
+val names : string list

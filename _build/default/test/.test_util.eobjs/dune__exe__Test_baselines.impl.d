@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Axmemo_baselines Axmemo_compiler Axmemo_ir Axmemo_util Axmemo_workloads Int64 QCheck QCheck_alcotest String

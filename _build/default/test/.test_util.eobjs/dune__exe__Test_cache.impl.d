@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Axmemo_cache List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Axmemo_compiler Axmemo_ir Axmemo_memo Axmemo_workloads Int64 List QCheck QCheck_alcotest

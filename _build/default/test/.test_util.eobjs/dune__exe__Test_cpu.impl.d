@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Axmemo_cache Axmemo_cpu Axmemo_ir Int64 List QCheck QCheck_alcotest

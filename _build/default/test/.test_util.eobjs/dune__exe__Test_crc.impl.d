@@ -1,0 +1,1 @@
+test/test_crc.ml: Alcotest Array Axmemo_crc Bytes Char Format Int64 List Printf QCheck QCheck_alcotest String

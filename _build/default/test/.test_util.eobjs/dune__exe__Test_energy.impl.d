@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Array Axmemo_cache Axmemo_cpu Axmemo_energy Axmemo_ir Axmemo_memo Int64 List

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Axmemo Axmemo_compiler Axmemo_crc Axmemo_ir Axmemo_isa Axmemo_memo Axmemo_workloads Hashtbl List Printf

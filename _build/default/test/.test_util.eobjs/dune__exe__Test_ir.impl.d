@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Axmemo_compiler Axmemo_ir Axmemo_util Axmemo_workloads Float Format Int32 Int64 List QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_mathlib.ml: Alcotest Array Axmemo_ir Axmemo_workloads Float List Printf QCheck QCheck_alcotest

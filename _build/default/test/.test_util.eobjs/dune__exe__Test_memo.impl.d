@@ -1,0 +1,1 @@
+test/test_memo.ml: Alcotest Axmemo_ir Axmemo_memo Axmemo_util Int32 Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_trace_ddg.ml: Alcotest Array Axmemo_cpu Axmemo_ddg Axmemo_ir Axmemo_trace Hashtbl List QCheck QCheck_alcotest

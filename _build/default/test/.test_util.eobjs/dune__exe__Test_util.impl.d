@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Axmemo_util Gen Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Axmemo Axmemo_compiler Axmemo_ir Axmemo_util Axmemo_workloads Float Hashtbl Int32 Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,215 @@
+(* Tests for the software-memoization baselines (software CRC LUT and ATM). *)
+
+module Ir = Axmemo_ir.Ir
+module B = Axmemo_ir.Builder
+module Memory = Axmemo_ir.Memory
+module Interp = Axmemo_ir.Interp
+module Transform = Axmemo_compiler.Transform
+module Sw = Axmemo_baselines.Software_memo
+module Atm = Axmemo_baselines.Atm
+module Engine = Axmemo_baselines.Sw_engine
+
+let kernel () =
+  let b = B.create ~name:"k" ~pure:true ~params:[ Ir.F32; Ir.F32 ] ~rets:[ Ir.F32 ] () in
+  let x = B.param b 0 and y = B.param b 1 in
+  B.ret b [ B.fadd b F32 (B.fmul b F32 x y) (B.f32 1.0) ];
+  B.finish b
+
+let driver n =
+  let b = B.create ~name:"main" ~params:[ Ir.I64; Ir.I64 ] ~rets:[] () in
+  let inb = B.param b 0 and outb = B.param b 1 in
+  B.for_loop b ~from:(B.i32 0) ~below:(B.i32 n) (fun i ->
+      let a = B.binop b Add I64 inb (B.cast b Sext_32_64 (B.muli b i (B.i32 8))) in
+      let x = B.load b F32 a 0 and y = B.load b F32 a 4 in
+      let r = match B.call b "k" ~rets:1 [ x; y ] with [ v ] -> v | _ -> assert false in
+      let o = B.binop b Add I64 outb (B.cast b Sext_32_64 (B.muli b i (B.i32 4))) in
+      B.store b F32 ~src:r ~base:o ~offset:0);
+  B.ret b [];
+  B.finish b
+
+let program n = { Ir.funcs = [| driver n; kernel () |] }
+
+let region = { Transform.kernel = "k"; lut_id = 0; truncs = [| 0; 0 |] }
+
+let setup_and_run ?(memoizer = `None) n =
+  let mem = Memory.create () in
+  let inb = Memory.alloc mem ~bytes:(8 * n) ~align:8 in
+  let outb = Memory.alloc mem ~bytes:(4 * n) ~align:8 in
+  for i = 0 to n - 1 do
+    Memory.store_f32 mem (inb + (8 * i)) (float_of_int (i mod 4));
+    Memory.store_f32 mem (inb + (8 * i) + 4) (float_of_int (i mod 3))
+  done;
+  let p = program n in
+  let p =
+    match memoizer with
+    | `None -> p
+    | `Software -> Sw.memoize ~mem ~table_log2:16 ~entry:"main" p [ region ]
+    | `Atm -> Atm.memoize ~mem ~table_log2:16 ~entry:"main" p [ region ]
+  in
+  let t = Interp.create ~program:p ~mem () in
+  ignore (Interp.run t "main" [| VI (Int64.of_int inb); VI (Int64.of_int outb) |]);
+  (p, Array.init n (fun i -> Memory.load_f32 mem (outb + (4 * i))))
+
+let test_software_validates () =
+  let mem = Memory.create () in
+  let p = Sw.memoize ~mem ~table_log2:12 ~entry:"main" (program 4) [ region ] in
+  Alcotest.(check bool) "validates" true (Ir.validate p = Ok ())
+
+let test_software_preserves_outputs () =
+  (* Distinct CRC-32 values on 12 tuples: astronomically unlikely to collide
+     in a 2^16 table? Not quite — the tagless table uses low bits only, but
+     with 12 distinct keys in 65536 slots a collision is ~0.1%; the fixed
+     dataset is collision-free, verified by output equality. *)
+  let _, base = setup_and_run ~memoizer:`None 60 in
+  let _, sw = setup_and_run ~memoizer:`Software 60 in
+  Alcotest.(check bool) "outputs equal" true (base = sw)
+
+let test_software_emits_table_loads () =
+  let mem = Memory.create () in
+  let p = Sw.memoize ~mem ~table_log2:12 ~entry:"main" (program 4) [ region ] in
+  (* Many more loads than before: CRC step-table lookups. *)
+  let count pred =
+    Array.fold_left
+      (fun acc (f : Ir.func) ->
+        Array.fold_left
+          (fun acc (b : Ir.block) ->
+            Array.fold_left (fun acc i -> if pred i then acc + 1 else acc) acc b.instrs)
+          acc f.blocks)
+      0 (p : Ir.program).funcs
+  in
+  let loads = count (function Ir.Load _ -> true | _ -> false) in
+  Alcotest.(check bool) "crc table loads present" true (loads > 8);
+  let memos = count (function Ir.Memo _ -> true | _ -> false) in
+  Alcotest.(check int) "no hardware memo instructions" 0 memos
+
+let test_software_hit_miss_labels () =
+  let mem = Memory.create () in
+  let p = Sw.memoize ~mem ~table_log2:12 ~entry:"main" (program 4) [ region ] in
+  let has_prefix prefix =
+    Array.exists
+      (fun (f : Ir.func) ->
+        Array.exists
+          (fun (b : Ir.block) ->
+            String.length b.label >= String.length prefix
+            && String.sub b.label 0 (String.length prefix) = prefix)
+          f.blocks)
+      (p : Ir.program).funcs
+  in
+  Alcotest.(check bool) "hit label" true (has_prefix Engine.hit_prefix);
+  Alcotest.(check bool) "miss label" true (has_prefix Engine.miss_prefix)
+
+let test_software_hash_matches_real_crc () =
+  (* The emitted IR CRC must agree with the reference engine: rerunning the
+     same distinct tuples twice through the table must hit the second time,
+     which only happens if the IR hash is deterministic; and two different
+     tuples must (on this dataset) not alias. Output equality above already
+     guarantees values; here we check determinism across reruns. *)
+  let _, first = setup_and_run ~memoizer:`Software 30 in
+  let _, second = setup_and_run ~memoizer:`Software 30 in
+  Alcotest.(check bool) "deterministic" true (first = second)
+
+let test_atm_validates_and_runs () =
+  let mem = Memory.create () in
+  let p = Atm.memoize ~mem ~table_log2:12 ~entry:"main" (program 4) [ region ] in
+  Alcotest.(check bool) "validates" true (Ir.validate p = Ok ())
+
+let test_atm_outputs_reasonable () =
+  (* ATM's sampling hash may alias, but on 12 distinct tuples with 8 sampled
+     bytes the fixed dataset stays exact. *)
+  let _, base = setup_and_run ~memoizer:`None 60 in
+  let _, atm = setup_and_run ~memoizer:`Atm 60 in
+  let err = Axmemo_util.Stats.output_error ~reference:base ~approx:atm in
+  Alcotest.(check bool) "small error" true (err < 0.05)
+
+let test_atm_task_overhead_emitted () =
+  let mem = Memory.create () in
+  let plain = program 4 in
+  let p_sw = Sw.memoize ~mem ~table_log2:12 ~entry:"main" plain [ region ] in
+  let p_atm = Atm.memoize ~mem ~table_log2:12 ~entry:"main" plain [ region ] in
+  let stores p =
+    Array.fold_left
+      (fun acc (f : Ir.func) ->
+        Array.fold_left
+          (fun acc (b : Ir.block) ->
+            Array.fold_left
+              (fun acc i -> match i with Ir.Store _ -> acc + 1 | _ -> acc)
+              acc b.instrs)
+          acc f.blocks)
+      0 (p : Ir.program).funcs
+  in
+  (* ATM's task descriptor writes add stores beyond the software scheme's. *)
+  Alcotest.(check bool) "atm has extra stores" true (stores p_atm > stores p_sw)
+
+let test_sampled_bytes_constant () =
+  Alcotest.(check int) "8 bytes sampled" 8 Atm.sampled_bytes
+
+let test_version_barrier () =
+  (* With a barrier between two identical calls, the software scheme must
+     miss the second time (version word changed). Observable through the
+     update count? Simplest: outputs still correct. *)
+  let barrier = Axmemo_workloads.Workload.barrier_func () in
+  let main =
+    let b = B.create ~name:"main" ~params:[] ~rets:[ Ir.F32; Ir.F32 ] () in
+    let r1 = match B.call b "k" ~rets:1 [ B.f32 2.0; B.f32 3.0 ] with [ v ] -> v | _ -> assert false in
+    ignore (B.call b barrier.Ir.fname ~rets:0 []);
+    let r2 = match B.call b "k" ~rets:1 [ B.f32 2.0; B.f32 3.0 ] with [ v ] -> v | _ -> assert false in
+    B.ret b [ r1; r2 ];
+    B.finish b
+  in
+  let p = { Ir.funcs = [| main; kernel (); barrier |] } in
+  let mem = Memory.create () in
+  let p' =
+    Sw.memoize ~mem ~table_log2:12 ~entry:"main" ~barrier:barrier.Ir.fname p [ region ]
+  in
+  Alcotest.(check bool) "validates" true (Ir.validate p' = Ok ());
+  let t = Interp.create ~program:p' ~mem () in
+  match Interp.run t "main" [||] with
+  | [| VF a; VF b |] ->
+      Alcotest.(check (float 1e-6)) "both correct" a b;
+      Alcotest.(check (float 1e-6)) "value" 7.0 a
+  | _ -> Alcotest.fail "expected two floats"
+
+let prop_software_exact_on_random_data =
+  QCheck.Test.make ~name:"software LUT preserves outputs (no truncation)" ~count:15
+    (QCheck.int_range 5 40) (fun n ->
+      let mk memoizer =
+        let mem = Memory.create () in
+        let inb = Memory.alloc mem ~bytes:(8 * n) ~align:8 in
+        let outb = Memory.alloc mem ~bytes:(4 * n) ~align:8 in
+        for i = 0 to n - 1 do
+          Memory.store_f32 mem (inb + (8 * i)) (float_of_int (i * i mod 17));
+          Memory.store_f32 mem (inb + (8 * i) + 4) (float_of_int (i mod 11))
+        done;
+        let p = program n in
+        let p =
+          if memoizer then Sw.memoize ~mem ~table_log2:18 ~entry:"main" p [ region ]
+          else p
+        in
+        let t = Interp.create ~program:p ~mem () in
+        ignore (Interp.run t "main" [| VI (Int64.of_int inb); VI (Int64.of_int outb) |]);
+        Array.init n (fun i -> Memory.load_f32 mem (outb + (4 * i)))
+      in
+      mk false = mk true)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "software",
+        [
+          Alcotest.test_case "validates" `Quick test_software_validates;
+          Alcotest.test_case "preserves outputs" `Quick test_software_preserves_outputs;
+          Alcotest.test_case "emits table loads" `Quick test_software_emits_table_loads;
+          Alcotest.test_case "hit/miss labels" `Quick test_software_hit_miss_labels;
+          Alcotest.test_case "deterministic hash" `Quick test_software_hash_matches_real_crc;
+          Alcotest.test_case "version barrier" `Quick test_version_barrier;
+        ] );
+      ( "atm",
+        [
+          Alcotest.test_case "validates and runs" `Quick test_atm_validates_and_runs;
+          Alcotest.test_case "outputs reasonable" `Quick test_atm_outputs_reasonable;
+          Alcotest.test_case "task overhead" `Quick test_atm_task_overhead_emitted;
+          Alcotest.test_case "sampled bytes" `Quick test_sampled_bytes_constant;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_software_exact_on_random_data ] );
+    ]

@@ -1,0 +1,278 @@
+(* Tests for the AxMemo code transformation and truncation tuning. *)
+
+module Ir = Axmemo_ir.Ir
+module B = Axmemo_ir.Builder
+module Memory = Axmemo_ir.Memory
+module Interp = Axmemo_ir.Interp
+module Payload = Axmemo_ir.Payload
+module Transform = Axmemo_compiler.Transform
+module Tuning = Axmemo_compiler.Tuning
+module MU = Axmemo_memo.Memo_unit
+
+(* kernel k(x, y) = x*y + x, driver maps it over an array. *)
+let kernel () =
+  let b = B.create ~name:"k" ~pure:true ~params:[ Ir.F32; Ir.F32 ] ~rets:[ Ir.F32 ] () in
+  let x = B.param b 0 and y = B.param b 1 in
+  B.ret b [ B.fadd b F32 (B.fmul b F32 x y) x ];
+  B.finish b
+
+let driver n =
+  let b = B.create ~name:"main" ~params:[ Ir.I64; Ir.I64 ] ~rets:[] () in
+  let inb = B.param b 0 and outb = B.param b 1 in
+  B.for_loop b ~from:(B.i32 0) ~below:(B.i32 n) (fun i ->
+      let a = B.binop b Add I64 inb (B.cast b Sext_32_64 (B.muli b i (B.i32 8))) in
+      let x = B.load b F32 a 0 and y = B.load b F32 a 4 in
+      let r =
+        match B.call b "k" ~rets:1 [ x; y ] with [ v ] -> v | _ -> assert false
+      in
+      let o = B.binop b Add I64 outb (B.cast b Sext_32_64 (B.muli b i (B.i32 4))) in
+      B.store b F32 ~src:r ~base:o ~offset:0);
+  B.ret b [];
+  B.finish b
+
+let program n = { Ir.funcs = [| driver n; kernel () |] }
+
+let region = { Transform.kernel = "k"; lut_id = 0; truncs = [| 0; 0 |] }
+
+let count_instrs p pred =
+  Array.fold_left
+    (fun acc (f : Ir.func) ->
+      Array.fold_left
+        (fun acc (b : Ir.block) ->
+          Array.fold_left (fun acc i -> if pred i then acc + 1 else acc) acc b.instrs)
+        acc f.blocks)
+    0 (p : Ir.program).funcs
+
+let test_transform_structure () =
+  let p = Transform.memoize ~entry:"main" (program 4) [ region ] in
+  Alcotest.(check bool) "still validates" true (Ir.validate p = Ok ());
+  let lookups = count_instrs p (function Ir.Memo (Lookup _) -> true | _ -> false) in
+  let updates = count_instrs p (function Ir.Memo (Update _) -> true | _ -> false) in
+  let invs = count_instrs p (function Ir.Memo (Invalidate _) -> true | _ -> false) in
+  Alcotest.(check int) "one lookup per call site" 1 lookups;
+  Alcotest.(check int) "one update" 1 updates;
+  Alcotest.(check int) "invalidate at entry exit" 1 invs
+
+let test_transform_fuses_loads () =
+  let p = Transform.memoize ~entry:"main" (program 4) [ region ] in
+  let ld_crcs = count_instrs p (function Ir.Memo (Ld_crc _) -> true | _ -> false) in
+  let reg_crcs = count_instrs p (function Ir.Memo (Reg_crc _) -> true | _ -> false) in
+  Alcotest.(check int) "both loads fused" 2 ld_crcs;
+  Alcotest.(check int) "no reg_crc needed" 0 reg_crcs
+
+let test_transform_reg_crc_for_computed_args () =
+  (* When the argument is computed (not a load), reg_crc must be used. *)
+  let main =
+    let b = B.create ~name:"main" ~params:[] ~rets:[ Ir.F32 ] () in
+    let x = B.fadd b F32 (B.f32 1.0) (B.f32 2.0) in
+    match B.call b "k" ~rets:1 [ x; x ] with
+    | [ r ] ->
+        B.ret b [ r ];
+        B.finish b
+    | _ -> assert false
+  in
+  let p = Transform.memoize ~entry:"main" { Ir.funcs = [| main; kernel () |] } [ region ] in
+  let reg_crcs = count_instrs p (function Ir.Memo (Reg_crc _) -> true | _ -> false) in
+  Alcotest.(check int) "two reg_crc" 2 reg_crcs
+
+let test_transform_preserves_semantics_exactly () =
+  (* With truncation 0 and a real memo unit, memoized output = baseline
+     output bit for bit (CRC-32 collisions are absent on this tiny set). *)
+  let n = 50 in
+  let run memoized =
+    let mem = Memory.create () in
+    let inb = Memory.alloc mem ~bytes:(8 * n) ~align:8 in
+    let outb = Memory.alloc mem ~bytes:(4 * n) ~align:8 in
+    for i = 0 to n - 1 do
+      Memory.store_f32 mem (inb + (8 * i)) (float_of_int (i mod 7));
+      Memory.store_f32 mem (inb + (8 * i) + 4) (float_of_int (i mod 5))
+    done;
+    let p = program n in
+    let p = if memoized then Transform.memoize ~entry:"main" p [ region ] else p in
+    let memo =
+      if memoized then
+        Some (MU.hooks (MU.create MU.default_config (Transform.lut_decls (program n) [ region ])))
+      else None
+    in
+    let t = Interp.create ?memo ~program:p ~mem () in
+    ignore (Interp.run t "main" [| VI (Int64.of_int inb); VI (Int64.of_int outb) |]);
+    Array.init n (fun i -> Memory.load_f32 mem (outb + (4 * i)))
+  in
+  Alcotest.(check bool) "bit-identical outputs" true (run false = run true)
+
+let test_transform_actually_hits () =
+  let n = 50 in
+  let mem = Memory.create () in
+  let inb = Memory.alloc mem ~bytes:(8 * n) ~align:8 in
+  let outb = Memory.alloc mem ~bytes:(4 * n) ~align:8 in
+  for i = 0 to n - 1 do
+    Memory.store_f32 mem (inb + (8 * i)) (float_of_int (i mod 3));
+    Memory.store_f32 mem (inb + (8 * i) + 4) 1.0
+  done;
+  let p = Transform.memoize ~entry:"main" (program n) [ region ] in
+  let unit = MU.create MU.default_config (Transform.lut_decls (program n) [ region ]) in
+  let t = Interp.create ~memo:(MU.hooks unit) ~program:p ~mem () in
+  ignore (Interp.run t "main" [| VI (Int64.of_int inb); VI (Int64.of_int outb) |]);
+  let s = MU.stats unit in
+  Alcotest.(check int) "one lookup per element" n s.lookups;
+  (* only 3 distinct inputs -> 47 hits *)
+  Alcotest.(check int) "3 misses" 3 s.misses;
+  Alcotest.(check int) "invalidate executed" 1 s.invalidations
+
+let test_zero_truncs () =
+  let r = { Transform.kernel = "k"; lut_id = 0; truncs = [| 5; 9 |] } in
+  Alcotest.(check bool) "zeroed" true ((Transform.zero_truncs r).truncs = [| 0; 0 |])
+
+let test_lut_decls () =
+  match Transform.lut_decls (program 1) [ region ] with
+  | [ d ] ->
+      Alcotest.(check int) "id" 0 d.MU.lut_id;
+      Alcotest.(check bool) "payload kind" true (d.MU.payload = Payload.Pf32)
+  | _ -> Alcotest.fail "expected one decl"
+
+let test_unknown_kernel_rejected () =
+  Alcotest.(check bool) "unknown kernel" true
+    (try
+       ignore
+         (Transform.memoize ~entry:"main" (program 1)
+            [ { Transform.kernel = "nope"; lut_id = 0; truncs = [||] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_impure_kernel_rejected () =
+  let impure =
+    let b = B.create ~name:"imp" ~params:[ Ir.I64 ] ~rets:[ Ir.I32 ] () in
+    B.store b I32 ~src:(B.i32 1) ~base:(B.param b 0) ~offset:0;
+    B.ret b [ B.i32 0 ];
+    B.finish b
+  in
+  let p = { Ir.funcs = [| driver 1; kernel (); impure |] } in
+  Alcotest.(check bool) "impure rejected" true
+    (try
+       ignore
+         (Transform.memoize ~entry:"main" p
+            [ { Transform.kernel = "imp"; lut_id = 0; truncs = [| 0 |] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_truncs_length_mismatch () =
+  Alcotest.(check bool) "length mismatch" true
+    (try
+       ignore
+         (Transform.memoize ~entry:"main" (program 1)
+            [ { Transform.kernel = "k"; lut_id = 0; truncs = [| 0 |] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_barrier_becomes_invalidate () =
+  let barrier = Axmemo_workloads.Workload.barrier_func () in
+  let main =
+    let b = B.create ~name:"main" ~params:[] ~rets:[ Ir.F32 ] () in
+    let r1 =
+      match B.call b "k" ~rets:1 [ B.f32 1.0; B.f32 2.0 ] with
+      | [ v ] -> v
+      | _ -> assert false
+    in
+    ignore (B.call b barrier.Ir.fname ~rets:0 []);
+    let r2 =
+      match B.call b "k" ~rets:1 [ B.f32 1.0; B.f32 2.0 ] with
+      | [ v ] -> v
+      | _ -> assert false
+    in
+    B.ret b [ B.fadd b F32 r1 r2 ];
+    B.finish b
+  in
+  let p = { Ir.funcs = [| main; kernel (); barrier |] } in
+  let p' = Transform.memoize ~barrier:barrier.Ir.fname ~entry:"main" p [ region ] in
+  let invs = count_instrs p' (function Ir.Memo (Invalidate _) -> true | _ -> false) in
+  (* one from the barrier + one at the entry's return *)
+  Alcotest.(check int) "barrier + epilogue invalidates" 2 invs;
+  let barrier_calls =
+    count_instrs p' (function
+      | Ir.Call { callee; _ } -> callee = barrier.Ir.fname
+      | _ -> false)
+  in
+  Alcotest.(check int) "marker call removed" 0 barrier_calls
+
+(* --- tuning --- *)
+
+let test_select_truncation_monotone () =
+  (* error = n/10 as a mock profile; bound 0.35 -> n = 3 *)
+  let n = Tuning.select_truncation ~evaluate:(fun n -> float_of_int n /. 10.0)
+      ~error_bound:0.35 ~max_bits:23
+  in
+  Alcotest.(check int) "largest acceptable" 3 n
+
+let test_select_truncation_zero_when_tight () =
+  let n = Tuning.select_truncation ~evaluate:(fun _ -> 1.0) ~error_bound:0.001 ~max_bits:23 in
+  Alcotest.(check int) "falls back to exact" 0 n
+
+let test_select_truncation_max () =
+  let n = Tuning.select_truncation ~evaluate:(fun _ -> 0.0) ~error_bound:0.001 ~max_bits:16 in
+  Alcotest.(check int) "caps at max_bits" 16 n
+
+let prop_transform_always_validates =
+  QCheck.Test.make ~name:"transformed programs validate" ~count:30 (QCheck.int_range 1 20)
+    (fun n ->
+      let p = Transform.memoize ~entry:"main" (program n) [ region ] in
+      Ir.validate p = Ok ())
+
+let prop_semantics_preserved_random_inputs =
+  QCheck.Test.make ~name:"exact memoization preserves outputs" ~count:20
+    (QCheck.list_of_size (QCheck.Gen.return 20) (QCheck.float_range (-50.0) 50.0))
+    (fun xs ->
+      let xs = Array.of_list xs in
+      let n = Array.length xs / 2 in
+      QCheck.assume (n > 0);
+      let run memoized =
+        let mem = Memory.create () in
+        let inb = Memory.alloc mem ~bytes:(8 * n) ~align:8 in
+        let outb = Memory.alloc mem ~bytes:(4 * n) ~align:8 in
+        for i = 0 to n - 1 do
+          Memory.store_f32 mem (inb + (8 * i)) xs.(2 * i);
+          Memory.store_f32 mem (inb + (8 * i) + 4) xs.((2 * i) + 1)
+        done;
+        let p = program n in
+        let p = if memoized then Transform.memoize ~entry:"main" p [ region ] else p in
+        let memo =
+          if memoized then
+            Some
+              (MU.hooks
+                 (MU.create MU.default_config (Transform.lut_decls (program n) [ region ])))
+          else None
+        in
+        let t = Interp.create ?memo ~program:p ~mem () in
+        ignore (Interp.run t "main" [| VI (Int64.of_int inb); VI (Int64.of_int outb) |]);
+        Array.init n (fun i -> Memory.load_f32 mem (outb + (4 * i)))
+      in
+      run false = run true)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_transform_always_validates; prop_semantics_preserved_random_inputs ]
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "transform",
+        [
+          Alcotest.test_case "structure" `Quick test_transform_structure;
+          Alcotest.test_case "fuses loads" `Quick test_transform_fuses_loads;
+          Alcotest.test_case "reg_crc fallback" `Quick test_transform_reg_crc_for_computed_args;
+          Alcotest.test_case "semantics preserved" `Quick test_transform_preserves_semantics_exactly;
+          Alcotest.test_case "actually hits" `Quick test_transform_actually_hits;
+          Alcotest.test_case "zero truncs" `Quick test_zero_truncs;
+          Alcotest.test_case "lut decls" `Quick test_lut_decls;
+          Alcotest.test_case "unknown kernel" `Quick test_unknown_kernel_rejected;
+          Alcotest.test_case "impure kernel" `Quick test_impure_kernel_rejected;
+          Alcotest.test_case "truncs mismatch" `Quick test_truncs_length_mismatch;
+          Alcotest.test_case "barrier" `Quick test_barrier_becomes_invalidate;
+        ] );
+      ( "tuning",
+        [
+          Alcotest.test_case "monotone search" `Quick test_select_truncation_monotone;
+          Alcotest.test_case "tight bound" `Quick test_select_truncation_zero_when_tight;
+          Alcotest.test_case "max bits" `Quick test_select_truncation_max;
+        ] );
+      ("properties", qsuite);
+    ]

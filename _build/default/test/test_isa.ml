@@ -1,0 +1,98 @@
+(* Tests for the ISA extension encodings and timing parameters. *)
+
+module E = Axmemo_isa.Encoding
+module T = Axmemo_isa.Timing
+
+let all_opcodes = [ E.Op_ld_crc; E.Op_reg_crc; E.Op_lookup; E.Op_update; E.Op_invalidate ]
+
+let test_roundtrip_basic () =
+  let i = { E.opcode = Op_ld_crc; lut_id = 3; trunc = 16; reg = 7; imm12 = -100 } in
+  match E.decode (E.encode i) with
+  | Some d ->
+      Alcotest.(check bool) "fields preserved" true (d = i)
+  | None -> Alcotest.fail "decode failed"
+
+let test_roundtrip_all_opcodes () =
+  List.iter
+    (fun opcode ->
+      let i = { E.opcode; lut_id = 7; trunc = 63; reg = 31; imm12 = 2047 } in
+      Alcotest.(check bool) "roundtrip" true (E.decode (E.encode i) = Some i))
+    all_opcodes
+
+let test_decode_invalid_opcode () =
+  Alcotest.(check bool) "garbage decodes to None" true (E.decode 0l = None)
+
+let test_encode_range_checks () =
+  let base = { E.opcode = E.Op_lookup; lut_id = 0; trunc = 0; reg = 0; imm12 = 0 } in
+  let expect_invalid i =
+    Alcotest.(check bool) "rejected" true
+      (try
+         ignore (E.encode i);
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid { base with lut_id = 8 };
+  expect_invalid { base with trunc = 64 };
+  expect_invalid { base with reg = 32 };
+  expect_invalid { base with imm12 = 2048 };
+  expect_invalid { base with imm12 = -2049 }
+
+let test_distinct_encodings () =
+  let words =
+    List.map
+      (fun opcode ->
+        E.encode { E.opcode; lut_id = 1; trunc = 2; reg = 3; imm12 = 4 })
+      all_opcodes
+  in
+  Alcotest.(check int) "all distinct" (List.length words)
+    (List.length (List.sort_uniq compare words))
+
+let test_mnemonics () =
+  let m =
+    E.mnemonic { E.opcode = Op_lookup; lut_id = 3; trunc = 0; reg = 5; imm12 = 0 }
+  in
+  Alcotest.(check string) "lookup mnemonic" "lookup x5, LUT#3" m
+
+let test_timing_constants () =
+  Alcotest.(check int) "lookup L1" 2 T.lookup_l1_cycles;
+  Alcotest.(check int) "lookup L2" 13 T.lookup_l2_cycles;
+  Alcotest.(check int) "update" 2 T.update_cycles;
+  Alcotest.(check int) "invalidate per way" 1 T.invalidate_cycles_per_way;
+  Alcotest.(check int) "serial byte rate" 1 T.crc_cycles_per_byte;
+  Alcotest.(check int) "unrolled throughput" 4 T.crc_bytes_per_cycle
+
+let test_crc_cycles () =
+  Alcotest.(check int) "0 bytes still 1 cycle" 1 (T.crc_cycles ~bytes:0);
+  Alcotest.(check int) "4 bytes" 1 (T.crc_cycles ~bytes:4);
+  Alcotest.(check int) "5 bytes" 2 (T.crc_cycles ~bytes:5);
+  Alcotest.(check int) "36 bytes" 9 (T.crc_cycles ~bytes:36)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:500
+    QCheck.(
+      quad (int_bound 4) (int_bound 7) (pair (int_bound 63) (int_bound 31))
+        (int_range (-2048) 2047))
+    (fun (op_idx, lut_id, (trunc, reg), imm12) ->
+      let opcode = List.nth all_opcodes op_idx in
+      let i = { E.opcode; lut_id; trunc; reg; imm12 } in
+      E.decode (E.encode i) = Some i)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "roundtrip basic" `Quick test_roundtrip_basic;
+          Alcotest.test_case "roundtrip all opcodes" `Quick test_roundtrip_all_opcodes;
+          Alcotest.test_case "invalid opcode" `Quick test_decode_invalid_opcode;
+          Alcotest.test_case "range checks" `Quick test_encode_range_checks;
+          Alcotest.test_case "distinct encodings" `Quick test_distinct_encodings;
+          Alcotest.test_case "mnemonics" `Quick test_mnemonics;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "table 4 constants" `Quick test_timing_constants;
+          Alcotest.test_case "crc cycles" `Quick test_crc_cycles;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,135 @@
+(* Accuracy tests of the IR math library against the OCaml stdlib. *)
+
+module Ir = Axmemo_ir.Ir
+module Memory = Axmemo_ir.Memory
+module Interp = Axmemo_ir.Interp
+module Mathlib = Axmemo_workloads.Mathlib
+
+let program = { Ir.funcs = Array.of_list (Mathlib.functions ()) }
+
+let call1 name x =
+  let t = Interp.create ~program ~mem:(Memory.create ()) () in
+  match Interp.run t name [| VF x |] with
+  | [| VF r |] -> r
+  | _ -> Alcotest.fail "expected one float result"
+
+let call2 name x y =
+  let t = Interp.create ~program ~mem:(Memory.create ()) () in
+  match Interp.run t name [| VF x; VF y |] with
+  | [| VF r |] -> r
+  | _ -> Alcotest.fail "expected one float result"
+
+let close ?(rel = 2e-4) ?(abs = 2e-4) msg expected actual =
+  let tol = Float.max abs (rel *. abs_float expected) in
+  if abs_float (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.8g, got %.8g (tol %.2g)" msg expected actual tol
+
+let sweep lo hi n f =
+  for i = 0 to n - 1 do
+    let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+    f x
+  done
+
+let test_exp () =
+  sweep (-20.0) 20.0 200 (fun x ->
+      close ~rel:5e-4 (Printf.sprintf "exp %g" x) (exp x) (call1 Mathlib.exp_name x))
+
+let test_exp_extremes () =
+  (* Deep negative arguments underflow gracefully toward zero. *)
+  Alcotest.(check bool) "exp(-100) tiny" true (call1 Mathlib.exp_name (-100.0) < 1e-30)
+
+let test_log () =
+  List.iter
+    (fun x -> close ~abs:1e-4 (Printf.sprintf "log %g" x) (log x) (call1 Mathlib.log_name x))
+    [ 1e-3; 0.1; 0.5; 1.0; 2.0; 2.718281828; 10.0; 1234.5; 1e6 ]
+
+let test_exp_log_inverse () =
+  sweep 0.1 100.0 50 (fun x ->
+      close ~rel:1e-3 "exp(log x) = x" x (call1 Mathlib.exp_name (call1 Mathlib.log_name x)))
+
+let test_sin_cos () =
+  sweep (-20.0) 20.0 400 (fun x ->
+      close ~abs:5e-4 (Printf.sprintf "sin %g" x) (sin x) (call1 Mathlib.sin_name x);
+      close ~abs:5e-4 (Printf.sprintf "cos %g" x) (cos x) (call1 Mathlib.cos_name x))
+
+let test_pythagorean () =
+  sweep (-6.0) 6.0 60 (fun x ->
+      let s = call1 Mathlib.sin_name x and c = call1 Mathlib.cos_name x in
+      close ~abs:1e-3 "sin^2+cos^2" 1.0 ((s *. s) +. (c *. c)))
+
+let test_atan () =
+  sweep (-10.0) 10.0 200 (fun x ->
+      close ~abs:5e-4 (Printf.sprintf "atan %g" x) (atan x) (call1 Mathlib.atan_name x))
+
+let test_atan2_quadrants () =
+  let pts =
+    [ (1.0, 1.0); (1.0, -1.0); (-1.0, 1.0); (-1.0, -1.0); (0.5, 2.0); (2.0, 0.5);
+      (-3.0, 0.7); (0.7, -3.0); (0.0, 1.0); (1.0, 0.0); (-1.0, 0.0) ]
+  in
+  List.iter
+    (fun (y, x) ->
+      close ~abs:1e-3
+        (Printf.sprintf "atan2 %g %g" y x)
+        (atan2 y x) (call2 Mathlib.atan2_name y x))
+    pts
+
+let test_atan2_origin () =
+  Alcotest.(check (float 1e-6)) "atan2(0,0) defined as 0" 0.0
+    (call2 Mathlib.atan2_name 0.0 0.0)
+
+let test_acos_asin () =
+  sweep (-0.999) 0.999 100 (fun x ->
+      close ~abs:2e-3 (Printf.sprintf "acos %g" x) (acos x) (call1 Mathlib.acos_name x);
+      close ~abs:2e-3 (Printf.sprintf "asin %g" x) (asin x) (call1 Mathlib.asin_name x))
+
+let test_acos_bounds () =
+  close ~abs:5e-3 "acos 1" 0.0 (call1 Mathlib.acos_name 1.0);
+  close ~abs:5e-3 "acos -1" Float.pi (call1 Mathlib.acos_name (-1.0))
+
+let test_all_pure_and_valid () =
+  Alcotest.(check bool) "validates" true (Ir.validate program = Ok ());
+  Array.iter
+    (fun (f : Ir.func) -> Alcotest.(check bool) (f.fname ^ " pure") true f.pure)
+    program.funcs
+
+let prop_exp_positive =
+  QCheck.Test.make ~name:"exp is positive" ~count:200 (QCheck.float_range (-30.0) 30.0)
+    (fun x -> call1 Mathlib.exp_name x > 0.0)
+
+let prop_sin_bounded =
+  QCheck.Test.make ~name:"sin in [-1,1]" ~count:200 (QCheck.float_range (-50.0) 50.0)
+    (fun x ->
+      let s = call1 Mathlib.sin_name x in
+      s >= -1.001 && s <= 1.001)
+
+let prop_atan2_range =
+  QCheck.Test.make ~name:"atan2 in (-pi, pi]" ~count:200
+    QCheck.(pair (float_range (-10.) 10.) (float_range (-10.) 10.))
+    (fun (y, x) ->
+      QCheck.assume (abs_float y +. abs_float x > 1e-6);
+      let a = call2 Mathlib.atan2_name y x in
+      a >= -.Float.pi -. 1e-3 && a <= Float.pi +. 1e-3)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_exp_positive; prop_sin_bounded; prop_atan2_range ]
+
+let () =
+  Alcotest.run "mathlib"
+    [
+      ( "accuracy",
+        [
+          Alcotest.test_case "exp" `Quick test_exp;
+          Alcotest.test_case "exp extremes" `Quick test_exp_extremes;
+          Alcotest.test_case "log" `Quick test_log;
+          Alcotest.test_case "exp/log inverse" `Quick test_exp_log_inverse;
+          Alcotest.test_case "sin cos" `Quick test_sin_cos;
+          Alcotest.test_case "pythagorean" `Quick test_pythagorean;
+          Alcotest.test_case "atan" `Quick test_atan;
+          Alcotest.test_case "atan2 quadrants" `Quick test_atan2_quadrants;
+          Alcotest.test_case "atan2 origin" `Quick test_atan2_origin;
+          Alcotest.test_case "acos asin" `Quick test_acos_asin;
+          Alcotest.test_case "acos bounds" `Quick test_acos_bounds;
+          Alcotest.test_case "all pure and valid" `Quick test_all_pure_and_valid;
+        ] );
+      ("properties", qsuite);
+    ]

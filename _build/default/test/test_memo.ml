@@ -1,0 +1,541 @@
+(* Tests for the LUT storage and the memoization unit. *)
+
+module Lut = Axmemo_memo.Lut
+module MU = Axmemo_memo.Memo_unit
+module Ir = Axmemo_ir.Ir
+module Payload = Axmemo_ir.Payload
+
+(* --- Lut --- *)
+
+let test_lut_geometry () =
+  let l8 = Lut.create ~payload_bytes:8 ~size_bytes:4096 () in
+  Alcotest.(check int) "4-way for 8B payloads" 4 (Lut.ways l8);
+  Alcotest.(check int) "64 sets" 64 (Lut.sets l8);
+  Alcotest.(check int) "entries" 256 (Lut.capacity_entries l8);
+  let l4 = Lut.create ~payload_bytes:4 ~size_bytes:4096 () in
+  Alcotest.(check int) "8-way for 4B payloads" 8 (Lut.ways l4);
+  Alcotest.(check int) "entries doubled" 512 (Lut.capacity_entries l4)
+
+let test_lut_geometry_invalid () =
+  Alcotest.(check bool) "bad payload width" true
+    (try
+       ignore (Lut.create ~payload_bytes:6 ~size_bytes:4096 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-multiple size" true
+    (try
+       ignore (Lut.create ~size_bytes:100 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_lut_insert_lookup () =
+  let l = Lut.create ~size_bytes:4096 () in
+  Alcotest.(check (option int64)) "empty miss" None (Lut.lookup l ~lut_id:0 ~key:42L);
+  Lut.insert l ~lut_id:0 ~key:42L ~payload:99L None;
+  Alcotest.(check (option int64)) "hit" (Some 99L) (Lut.lookup l ~lut_id:0 ~key:42L);
+  Alcotest.(check int) "occupancy" 1 (Lut.occupancy l)
+
+let test_lut_id_discrimination () =
+  let l = Lut.create ~size_bytes:4096 () in
+  Lut.insert l ~lut_id:0 ~key:42L ~payload:1L None;
+  Lut.insert l ~lut_id:1 ~key:42L ~payload:2L None;
+  Alcotest.(check (option int64)) "lut 0" (Some 1L) (Lut.lookup l ~lut_id:0 ~key:42L);
+  Alcotest.(check (option int64)) "lut 1" (Some 2L) (Lut.lookup l ~lut_id:1 ~key:42L)
+
+let test_lut_update_in_place () =
+  let l = Lut.create ~size_bytes:4096 () in
+  Lut.insert l ~lut_id:0 ~key:7L ~payload:1L None;
+  Lut.insert l ~lut_id:0 ~key:7L ~payload:2L None;
+  Alcotest.(check (option int64)) "refreshed" (Some 2L) (Lut.lookup l ~lut_id:0 ~key:7L);
+  Alcotest.(check int) "no duplicate" 1 (Lut.occupancy l)
+
+let test_lut_lru_and_evict_hook () =
+  (* One set: size 64 = 1 set of 4 ways (8B payloads). *)
+  let l = Lut.create ~size_bytes:64 () in
+  let evicted = ref [] in
+  let hook ~lut_id:_ ~key ~payload:_ = evicted := key :: !evicted in
+  for k = 0 to 3 do
+    Lut.insert l ~lut_id:0 ~key:(Int64.of_int k) ~payload:0L (Some hook)
+  done;
+  (* touch key 0 so key 1 is LRU *)
+  ignore (Lut.lookup l ~lut_id:0 ~key:0L);
+  Lut.insert l ~lut_id:0 ~key:100L ~payload:0L (Some hook);
+  Alcotest.(check (list int64)) "key 1 evicted" [ 1L ] !evicted;
+  Alcotest.(check (option int64)) "key 0 survives" (Some 0L) (Lut.lookup l ~lut_id:0 ~key:0L)
+
+let test_lut_invalidate_selective () =
+  let l = Lut.create ~size_bytes:4096 () in
+  Lut.insert l ~lut_id:0 ~key:1L ~payload:0L None;
+  Lut.insert l ~lut_id:1 ~key:2L ~payload:0L None;
+  Lut.invalidate_lut l ~lut_id:0;
+  Alcotest.(check (option int64)) "lut 0 gone" None (Lut.lookup l ~lut_id:0 ~key:1L);
+  Alcotest.(check (option int64)) "lut 1 kept" (Some 0L) (Lut.lookup l ~lut_id:1 ~key:2L)
+
+(* --- Memo unit --- *)
+
+let mk_unit ?(monitor = false) ?(l2 = None) () =
+  MU.create
+    { MU.default_config with monitor; l2_bytes = l2 }
+    [ { MU.lut_id = 0; payload = Payload.Pf32 }; { MU.lut_id = 1; payload = Payload.Pf64 } ]
+
+let send u ~lut v =
+  (MU.hooks u).send ~lut ~ty:Ir.F32 ~trunc:0 (Ir.VF v)
+
+let test_unit_miss_update_hit () =
+  let u = mk_unit () in
+  let h = MU.hooks u in
+  send u ~lut:0 1.5;
+  Alcotest.(check (option int64)) "first lookup misses" None (h.lookup ~lut:0);
+  h.update ~lut:0 777L;
+  send u ~lut:0 1.5;
+  Alcotest.(check (option int64)) "same input hits" (Some 777L) (h.lookup ~lut:0);
+  Alcotest.(check bool) "level L1" true (MU.last_lookup_level u = MU.Hit_l1)
+
+let test_unit_different_inputs_miss () =
+  let u = mk_unit () in
+  let h = MU.hooks u in
+  send u ~lut:0 1.5;
+  ignore (h.lookup ~lut:0);
+  h.update ~lut:0 777L;
+  send u ~lut:0 2.5;
+  Alcotest.(check (option int64)) "different input misses" None (h.lookup ~lut:0)
+
+let test_unit_truncation_merges () =
+  let u = mk_unit () in
+  let h = MU.hooks u in
+  let send_t v = h.send ~lut:0 ~ty:Ir.F32 ~trunc:12 (Ir.VF v) in
+  send_t 1.0;
+  ignore (h.lookup ~lut:0);
+  h.update ~lut:0 5L;
+  send_t 1.0000002;
+  Alcotest.(check (option int64)) "nearby input hits after truncation" (Some 5L)
+    (h.lookup ~lut:0)
+
+let test_unit_luts_isolated () =
+  let u = mk_unit () in
+  let h = MU.hooks u in
+  send u ~lut:0 1.5;
+  ignore (h.lookup ~lut:0);
+  h.update ~lut:0 1L;
+  (* same value streamed to lut 1 must not hit lut 0's entry *)
+  send u ~lut:1 1.5;
+  Alcotest.(check (option int64)) "isolated" None (h.lookup ~lut:1)
+
+let test_unit_multi_input_order_matters () =
+  let u = mk_unit () in
+  let h = MU.hooks u in
+  send u ~lut:0 1.0;
+  send u ~lut:0 2.0;
+  ignore (h.lookup ~lut:0);
+  h.update ~lut:0 9L;
+  send u ~lut:0 2.0;
+  send u ~lut:0 1.0;
+  Alcotest.(check (option int64)) "swapped inputs do not alias" None (h.lookup ~lut:0)
+
+let test_unit_invalidate () =
+  let u = mk_unit () in
+  let h = MU.hooks u in
+  send u ~lut:0 1.5;
+  ignore (h.lookup ~lut:0);
+  h.update ~lut:0 1L;
+  h.invalidate ~lut:0;
+  send u ~lut:0 1.5;
+  Alcotest.(check (option int64)) "invalidated" None (h.lookup ~lut:0)
+
+let test_unit_l2_inclusive () =
+  (* Tiny L1 (one set, 4 entries) + large L2: entries evicted from L1 are
+     still found in the L2 LUT and refill L1. *)
+  let u =
+    MU.create
+      { MU.default_config with l1_bytes = 64; l2_bytes = Some 65536; monitor = false }
+      [ { MU.lut_id = 0; payload = Payload.Pf32 } ]
+  in
+  let h = MU.hooks u in
+  let remember v payload =
+    send u ~lut:0 v;
+    ignore (h.lookup ~lut:0);
+    h.update ~lut:0 payload
+  in
+  for k = 0 to 9 do
+    remember (float_of_int k) (Int64.of_int (1000 + k))
+  done;
+  (* key 0 has surely been evicted from the 4-entry L1 by now *)
+  send u ~lut:0 0.0;
+  Alcotest.(check (option int64)) "L2 serves evicted entry" (Some 1000L) (h.lookup ~lut:0);
+  Alcotest.(check bool) "level says L2" true (MU.last_lookup_level u = MU.Hit_l2);
+  (* ...and it was refilled into L1 *)
+  send u ~lut:0 0.0;
+  ignore (h.lookup ~lut:0);
+  Alcotest.(check bool) "refilled to L1" true (MU.last_lookup_level u = MU.Hit_l1)
+
+let test_unit_stats_consistency () =
+  let u = mk_unit () in
+  let h = MU.hooks u in
+  for k = 0 to 19 do
+    send u ~lut:0 (float_of_int (k mod 5));
+    ignore (h.lookup ~lut:0);
+    h.update ~lut:0 (Int64.of_int k)
+  done;
+  let s = MU.stats u in
+  Alcotest.(check int) "lookups" 20 s.lookups;
+  Alcotest.(check int) "hits+misses = lookups" s.lookups (s.l1_hits + s.l2_hits + s.misses);
+  Alcotest.(check int) "sends" 20 s.sends;
+  Alcotest.(check int) "bytes" 80 s.bytes_hashed;
+  Alcotest.(check bool) "hit rate matches" true
+    (abs_float (MU.hit_rate u -. (float_of_int (s.l1_hits + s.l2_hits) /. 20.0)) < 1e-9)
+
+let test_monitor_forces_misses_and_compares () =
+  let u = mk_unit ~monitor:true () in
+  let h = MU.hooks u in
+  (* Same input every time: after the first update, every lookup hits except
+     each 100th hit, which the monitor forces to miss and then compares at
+     the next update. *)
+  let forced = ref 0 in
+  for k = 0 to 350 do
+    send u ~lut:0 1.0;
+    match h.lookup ~lut:0 with
+    | Some _ -> ()
+    | None ->
+        incr forced;
+        ignore k;
+        h.update ~lut:0 (Payload.pack Payload.Pf32 [| Ir.VF 2.0 |])
+  done;
+  let s = MU.stats u in
+  Alcotest.(check int) "forced misses happened" s.forced_misses (!forced - 1);
+  Alcotest.(check bool) "comparisons recorded" true (s.monitor_comparisons >= 1);
+  Alcotest.(check bool) "accurate values: not disabled" false (MU.disabled u)
+
+let test_monitor_trips_on_bad_quality () =
+  let u = mk_unit ~monitor:true () in
+  let h = MU.hooks u in
+  (* Two inputs land in the same truncation cell but compute wildly different
+     outputs (an unsafe truncation choice). Half the forced-miss comparisons
+     see the other input's stored payload -> >10% of a window exceeds 10%
+     relative error -> the unit must disable itself. *)
+  let disabled_seen = ref false in
+  (try
+     for k = 0 to 400_000 do
+       (* period 3, coprime with the 1-in-100 sampling cadence *)
+       let x, out =
+         match k mod 3 with
+         | 0 -> (1.0, 1.0)
+         | 1 -> (1.0000001, 50.0)
+         | _ -> (1.0000002, 100.0)
+       in
+       h.send ~lut:0 ~ty:Ir.F32 ~trunc:12 (Ir.VF x);
+       (match h.lookup ~lut:0 with
+       | Some _ -> ()
+       | None -> h.update ~lut:0 (Payload.pack Payload.Pf32 [| Ir.VF out |]));
+       if MU.disabled u then begin
+         disabled_seen := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "monitor tripped" true !disabled_seen;
+  (* Once disabled, everything misses. *)
+  send u ~lut:0 1.0;
+  Alcotest.(check (option int64)) "disabled = miss" None (h.lookup ~lut:0)
+
+let test_unit_reset () =
+  let u = mk_unit () in
+  let h = MU.hooks u in
+  send u ~lut:0 1.0;
+  ignore (h.lookup ~lut:0);
+  h.update ~lut:0 1L;
+  MU.reset u;
+  Alcotest.(check int) "stats cleared" 0 (MU.stats u).lookups;
+  send u ~lut:0 1.0;
+  Alcotest.(check (option int64)) "storage cleared" None (h.lookup ~lut:0)
+
+let test_duplicate_lut_ids_rejected () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore
+         (MU.create MU.default_config
+            [
+              { MU.lut_id = 0; payload = Payload.Pf32 };
+              { MU.lut_id = 0; payload = Payload.Pf64 };
+            ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- replacement policies --- *)
+
+let test_fifo_ignores_hits () =
+  let l = Lut.create ~policy:Lut.Fifo ~size_bytes:64 () in
+  for k = 0 to 3 do
+    Lut.insert l ~lut_id:0 ~key:(Int64.of_int k) ~payload:0L None
+  done;
+  (* Touch key 0 repeatedly: under FIFO it is still the oldest. *)
+  for _ = 1 to 10 do
+    ignore (Lut.lookup l ~lut_id:0 ~key:0L)
+  done;
+  Lut.insert l ~lut_id:0 ~key:100L ~payload:0L None;
+  Alcotest.(check (option int64)) "oldest evicted despite touches" None
+    (Lut.lookup l ~lut_id:0 ~key:0L)
+
+let test_random_policy_works () =
+  let l = Lut.create ~policy:Lut.Random ~size_bytes:64 () in
+  for k = 0 to 20 do
+    Lut.insert l ~lut_id:0 ~key:(Int64.of_int k) ~payload:(Int64.of_int k) None
+  done;
+  Alcotest.(check int) "set stays full" 4 (Lut.occupancy l);
+  (* Determinism: a second identical run evicts identically. *)
+  let l2 = Lut.create ~policy:Lut.Random ~size_bytes:64 () in
+  for k = 0 to 20 do
+    Lut.insert l2 ~lut_id:0 ~key:(Int64.of_int k) ~payload:(Int64.of_int k) None
+  done;
+  for k = 0 to 20 do
+    let k = Int64.of_int k in
+    Alcotest.(check bool) "deterministic random stream" true
+      (Lut.lookup l ~lut_id:0 ~key:k = Lut.lookup l2 ~lut_id:0 ~key:k)
+  done
+
+(* --- payload width check --- *)
+
+let test_narrow_unit_rejects_wide_payloads () =
+  Alcotest.(check bool) "Pf64 in a 4-byte unit rejected" true
+    (try
+       ignore
+         (MU.create
+            { MU.default_config with payload_bytes = 4 }
+            [ { MU.lut_id = 0; payload = Payload.Pf64 } ]);
+       false
+     with Invalid_argument _ -> true);
+  (* Pf32 fits. *)
+  ignore
+    (MU.create
+       { MU.default_config with payload_bytes = 4 }
+       [ { MU.lut_id = 0; payload = Payload.Pf32 } ])
+
+(* --- adaptive truncation --- *)
+
+let adaptive_cfg =
+  {
+    MU.profile_period = 50;
+    profile_length = 10;
+    target_error = 0.01;
+    bad_fraction = 0.05;
+    max_extra_bits = 20;
+  }
+
+let test_adaptive_raises_truncation () =
+  (* Inputs jitter at the 1e-5 relative level around two centres whose
+     outputs are equal per centre: with zero static truncation nothing hits;
+     the adaptive unit must discover a level that merges the jitter. *)
+  let u =
+    MU.create
+      { MU.default_config with monitor = false; adaptive = Some adaptive_cfg }
+      [ { MU.lut_id = 0; payload = Payload.Pf32 } ]
+  in
+  let h = MU.hooks u in
+  let rng = Axmemo_util.Rng.create 99L in
+  for _ = 1 to 3000 do
+    let centre = if Axmemo_util.Rng.bool rng then 1.0 else 2.0 in
+    let x = centre *. (1.0 +. Axmemo_util.Rng.gaussian rng ~mean:0.0 ~stddev:1e-5) in
+    h.send ~lut:0 ~ty:Ir.F32 ~trunc:0 (Ir.VF x);
+    match h.lookup ~lut:0 with
+    | Some _ -> ()
+    | None -> h.update ~lut:0 (Payload.pack Payload.Pf32 [| Ir.VF (centre *. 10.0) |])
+  done;
+  Alcotest.(check bool) "extra truncation discovered" true
+    (MU.extra_truncation u ~lut_id:0 >= 6);
+  Alcotest.(check bool) "and hits happen" true (MU.hit_rate u > 0.3)
+
+let test_adaptive_backs_off_on_errors () =
+  (* Three inputs alias under heavy truncation but produce wildly different
+     outputs: exploration must back off instead of settling high. *)
+  let u =
+    MU.create
+      { MU.default_config with monitor = false; adaptive = Some adaptive_cfg }
+      [ { MU.lut_id = 0; payload = Payload.Pf32 } ]
+  in
+  let h = MU.hooks u in
+  for k = 0 to 20_000 do
+    let x, out =
+      match k mod 3 with
+      | 0 -> (1.0, 1.0)
+      | 1 -> (1.001, 100.0)
+      | _ -> (1.002, 1000.0)
+    in
+    h.send ~lut:0 ~ty:Ir.F32 ~trunc:0 (Ir.VF x);
+    match h.lookup ~lut:0 with
+    | Some _ -> ()
+    | None -> h.update ~lut:0 (Payload.pack Payload.Pf32 [| Ir.VF out |])
+  done;
+  (* Merging these needs ~13 truncated bits; the error feedback must keep the
+     level below that. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "level kept low (%d)" (MU.extra_truncation u ~lut_id:0))
+    true
+    (MU.extra_truncation u ~lut_id:0 < 13)
+
+let test_adaptive_reset () =
+  let u =
+    MU.create
+      { MU.default_config with monitor = false; adaptive = Some adaptive_cfg }
+      [ { MU.lut_id = 0; payload = Payload.Pf32 } ]
+  in
+  let h = MU.hooks u in
+  for k = 0 to 500 do
+    h.send ~lut:0 ~ty:Ir.F32 ~trunc:0 (Ir.VF (float_of_int k));
+    (match h.lookup ~lut:0 with
+    | Some _ -> ()
+    | None -> h.update ~lut:0 1L)
+  done;
+  MU.reset u;
+  Alcotest.(check int) "delta cleared" 0 (MU.extra_truncation u ~lut_id:0)
+
+(* --- rounding mode --- *)
+
+let test_nearest_rounding_merges_across_boundary () =
+  (* Two inputs straddling a truncation-cell boundary: truncation separates
+     them, nearest-rounding maps both to the shared cell centre. *)
+  let mk rounding =
+    MU.create
+      { MU.default_config with monitor = false; rounding }
+      [ { MU.lut_id = 0; payload = Payload.Pf32 } ]
+  in
+  (* Find a pair of f32 values in adjacent truncate-cells but within half a
+     round-cell of each other. *)
+  let bits = 12 in
+  let below = Axmemo_util.Bits.f32_of_bits (Int32.of_int ((0x3F800 lsl 12) - 1)) in
+  let above = Axmemo_util.Bits.f32_of_bits (Int32.of_int (0x3F800 lsl 12)) in
+  let run rounding =
+    let u = mk rounding in
+    let h = MU.hooks u in
+    h.send ~lut:0 ~ty:Ir.F32 ~trunc:bits (Ir.VF below);
+    ignore (h.lookup ~lut:0);
+    h.update ~lut:0 7L;
+    h.send ~lut:0 ~ty:Ir.F32 ~trunc:bits (Ir.VF above);
+    h.lookup ~lut:0
+  in
+  Alcotest.(check (option int64)) "truncation separates" None (run MU.Truncate);
+  Alcotest.(check (option int64)) "nearest merges" (Some 7L) (run MU.Nearest)
+
+(* --- SMT thread contexts --- *)
+
+let test_smt_interleaved_sends () =
+  (* Two hardware threads stream inputs to the same logical LUT in an
+     interleaved order; the {LUT_ID, TID}-addressed hash registers must keep
+     the two in-flight hashes apart (Section 3.2). *)
+  let u = mk_unit () in
+  let s ~tid v = MU.send ~tid u ~lut:0 ~ty:Ir.F32 ~trunc:0 (Ir.VF v) in
+  (* Thread 0 computes hash(1,2); thread 1 computes hash(3,4), interleaved. *)
+  s ~tid:0 1.0;
+  s ~tid:1 3.0;
+  s ~tid:0 2.0;
+  s ~tid:1 4.0;
+  Alcotest.(check (option int64)) "t0 misses" None (MU.lookup ~tid:0 u ~lut:0);
+  MU.update ~tid:0 u ~lut:0 12L;
+  Alcotest.(check (option int64)) "t1 misses" None (MU.lookup ~tid:1 u ~lut:0);
+  MU.update ~tid:1 u ~lut:0 34L;
+  (* Non-interleaved replays find the right entries: storage is shared. *)
+  s ~tid:1 1.0;
+  s ~tid:1 2.0;
+  Alcotest.(check (option int64)) "t1 hits t0's entry" (Some 12L) (MU.lookup ~tid:1 u ~lut:0);
+  s ~tid:0 3.0;
+  s ~tid:0 4.0;
+  Alcotest.(check (option int64)) "t0 hits t1's entry" (Some 34L) (MU.lookup ~tid:0 u ~lut:0)
+
+let test_smt_interleaving_would_corrupt_without_tid () =
+  (* Sanity check of the test itself: the same interleaving pushed through a
+     single thread id produces different (garbled) hashes. *)
+  let u = mk_unit () in
+  let s v = MU.send ~tid:0 u ~lut:0 ~ty:Ir.F32 ~trunc:0 (Ir.VF v) in
+  s 1.0;
+  s 3.0;
+  s 2.0;
+  s 4.0;
+  ignore (MU.lookup ~tid:0 u ~lut:0);
+  MU.update ~tid:0 u ~lut:0 99L;
+  s 1.0;
+  s 2.0;
+  Alcotest.(check (option int64)) "garbled stream does not alias clean one" None
+    (MU.lookup ~tid:0 u ~lut:0)
+
+(* --- properties --- *)
+
+let prop_store_then_lookup =
+  QCheck.Test.make ~name:"update followed by identical stream hits" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 6) (float_range (-100.) 100.)) int64)
+    (fun (inputs, payload) ->
+      let u = mk_unit () in
+      let h = MU.hooks u in
+      let stream () = List.iter (fun v -> send u ~lut:0 v) inputs in
+      stream ();
+      ignore (h.lookup ~lut:0);
+      h.update ~lut:0 payload;
+      stream ();
+      h.lookup ~lut:0 = Some payload)
+
+let prop_lut_occupancy_bounded =
+  QCheck.Test.make ~name:"occupancy never exceeds capacity" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 300) (int_bound 10_000))
+    (fun keys ->
+      let l = Lut.create ~size_bytes:256 () in
+      List.iter
+        (fun k -> Lut.insert l ~lut_id:0 ~key:(Int64.of_int k) ~payload:0L None)
+        keys;
+      Lut.occupancy l <= Lut.capacity_entries l)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_store_then_lookup; prop_lut_occupancy_bounded ]
+
+let () =
+  Alcotest.run "memo"
+    [
+      ( "lut",
+        [
+          Alcotest.test_case "geometry" `Quick test_lut_geometry;
+          Alcotest.test_case "geometry invalid" `Quick test_lut_geometry_invalid;
+          Alcotest.test_case "insert/lookup" `Quick test_lut_insert_lookup;
+          Alcotest.test_case "lut id in tag" `Quick test_lut_id_discrimination;
+          Alcotest.test_case "update in place" `Quick test_lut_update_in_place;
+          Alcotest.test_case "lru + evict hook" `Quick test_lut_lru_and_evict_hook;
+          Alcotest.test_case "selective invalidate" `Quick test_lut_invalidate_selective;
+        ] );
+      ( "unit",
+        [
+          Alcotest.test_case "miss/update/hit" `Quick test_unit_miss_update_hit;
+          Alcotest.test_case "different inputs miss" `Quick test_unit_different_inputs_miss;
+          Alcotest.test_case "truncation merges" `Quick test_unit_truncation_merges;
+          Alcotest.test_case "luts isolated" `Quick test_unit_luts_isolated;
+          Alcotest.test_case "input order matters" `Quick test_unit_multi_input_order_matters;
+          Alcotest.test_case "invalidate" `Quick test_unit_invalidate;
+          Alcotest.test_case "two-level inclusive" `Quick test_unit_l2_inclusive;
+          Alcotest.test_case "stats consistency" `Quick test_unit_stats_consistency;
+          Alcotest.test_case "reset" `Quick test_unit_reset;
+          Alcotest.test_case "duplicate ids" `Quick test_duplicate_lut_ids_rejected;
+        ] );
+      ( "quality monitor",
+        [
+          Alcotest.test_case "forced misses" `Quick test_monitor_forces_misses_and_compares;
+          Alcotest.test_case "trips on bad quality" `Quick test_monitor_trips_on_bad_quality;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "fifo ignores hits" `Quick test_fifo_ignores_hits;
+          Alcotest.test_case "random deterministic" `Quick test_random_policy_works;
+          Alcotest.test_case "payload width check" `Quick test_narrow_unit_rejects_wide_payloads;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "nearest merges across boundary" `Quick
+            test_nearest_rounding_merges_across_boundary;
+        ] );
+      ( "smt",
+        [
+          Alcotest.test_case "interleaved sends" `Quick test_smt_interleaved_sends;
+          Alcotest.test_case "tid separation matters" `Quick
+            test_smt_interleaving_would_corrupt_without_tid;
+        ] );
+      ( "adaptive truncation",
+        [
+          Alcotest.test_case "raises truncation" `Quick test_adaptive_raises_truncation;
+          Alcotest.test_case "backs off on errors" `Quick test_adaptive_backs_off_on_errors;
+          Alcotest.test_case "reset" `Quick test_adaptive_reset;
+        ] );
+      ("properties", qsuite);
+    ]

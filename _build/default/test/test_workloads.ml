@@ -1,0 +1,326 @@
+(* Per-benchmark tests: every workload builds, validates, runs, and agrees
+   with an independent OCaml oracle where one is available. *)
+
+module W = Axmemo_workloads
+module Workload = W.Workload
+module Ir = Axmemo_ir.Ir
+module Memory = Axmemo_ir.Memory
+module Interp = Axmemo_ir.Interp
+module Rng = Axmemo_util.Rng
+module Stats = Axmemo_util.Stats
+
+let run_baseline (instance : Workload.instance) =
+  let t = Interp.create ~program:instance.program ~mem:instance.mem () in
+  ignore (Interp.run t instance.entry instance.args);
+  instance.read_outputs ()
+
+let floats = function
+  | Workload.Floats f -> f
+  | Workload.Bools _ -> Alcotest.fail "expected float outputs"
+
+let bools = function
+  | Workload.Bools b -> b
+  | Workload.Floats _ -> Alcotest.fail "expected bool outputs"
+
+(* --- generic checks over the whole registry --- *)
+
+let test_registry_complete () =
+  Alcotest.(check int) "ten benchmarks" 10 (List.length W.Registry.all);
+  Alcotest.(check (list string)) "paper order"
+    [ "blackscholes"; "fft"; "inversek2j"; "jmeint"; "jpeg"; "kmeans"; "sobel";
+      "hotspot"; "lavamd"; "srad" ]
+    W.Registry.names
+
+let test_find () =
+  Alcotest.(check bool) "find hit" true (W.Registry.find "sobel" <> None);
+  Alcotest.(check bool) "find miss" true (W.Registry.find "nope" = None)
+
+let generic_checks name make () =
+  let (instance : Workload.instance) = make Workload.Sample in
+  Alcotest.(check bool) "program validates" true (Ir.validate instance.program = Ok ());
+  (* Every region kernel exists, is pure, and trunc arities match. *)
+  List.iter
+    (fun (r : Axmemo_compiler.Transform.region) ->
+      let k = Ir.find_func instance.program r.kernel in
+      Alcotest.(check bool) (r.kernel ^ " pure") true k.pure;
+      Alcotest.(check int) "trunc arity" (Array.length k.params) (Array.length r.truncs))
+    instance.regions;
+  let out = run_baseline instance in
+  (match out with
+  | Workload.Floats f ->
+      Alcotest.(check bool) "non-empty" true (Array.length f > 0);
+      Alcotest.(check bool) "all finite" true (Array.for_all Float.is_finite f);
+      let distinct = Array.length (Array.of_seq (Hashtbl.to_seq_keys (
+        let h = Hashtbl.create 16 in
+        Array.iter (fun v -> Hashtbl.replace h v ()) f; h))) in
+      Alcotest.(check bool) "not constant" true (distinct > 1)
+  | Workload.Bools b -> Alcotest.(check bool) "non-empty" true (Array.length b > 0));
+  ignore name
+
+let test_sample_eval_disjoint () =
+  (* Sample and Eval datasets must differ (disjoint input sets, Section 5). *)
+  let a = floats (run_baseline (W.Blackscholes.make Workload.Sample)) in
+  let b = floats (run_baseline (W.Blackscholes.make Workload.Eval)) in
+  Alcotest.(check bool) "different sizes or content" true
+    (Array.length a <> Array.length b || a <> b)
+
+(* --- blackscholes oracle: closed-form prices --- *)
+
+let cndf x =
+  let l = abs_float x in
+  let k = 1.0 /. (1.0 +. (0.2316419 *. l)) in
+  let poly =
+    k
+    *. (0.319381530
+       +. (k *. (-0.356563782 +. (k *. (1.781477937 +. (k *. (-1.821255978 +. (k *. 1.330274429))))))))
+  in
+  let w = 1.0 -. (0.3989422804 *. exp (-0.5 *. l *. l) *. poly) in
+  if x < 0.0 then 1.0 -. w else w
+
+let bs_price s k r v t otype =
+  let d1 = (log (s /. k) +. ((r +. (0.5 *. v *. v)) *. t)) /. (v *. sqrt t) in
+  let d2 = d1 -. (v *. sqrt t) in
+  let call = (s *. cndf d1) -. (k *. exp (-.r *. t) *. cndf d2) in
+  if otype > 0.5 then
+    (k *. exp (-.r *. t) *. (1.0 -. cndf d2)) -. (s *. (1.0 -. cndf d1))
+  else call
+
+let test_blackscholes_oracle () =
+  let instance = W.Blackscholes.make Workload.Sample in
+  (* Re-read the packed option records before running. *)
+  let in_base =
+    match instance.args.(0) with Ir.VI v -> Int64.to_int v | _ -> assert false
+  in
+  let n = 4000 in
+  let expected =
+    Array.init n (fun i ->
+        let f j = Memory.load_f32 instance.mem (in_base + (24 * i) + (4 * j)) in
+        bs_price (f 0) (f 1) (f 2) (f 3) (f 4) (f 5))
+  in
+  let got = floats (run_baseline instance) in
+  let err = Stats.output_error ~reference:expected ~approx:got in
+  Alcotest.(check bool) (Printf.sprintf "Er vs closed form = %.2g" err) true (err < 1e-3)
+
+(* --- fft oracle: Parseval's theorem --- *)
+
+let test_fft_parseval () =
+  let instance = W.Fft.make Workload.Sample in
+  let n = 1024 in
+  let re0 =
+    match instance.args.(0) with
+    | Ir.VI v -> Workload.read_f32s instance.mem ~base:(Int64.to_int v) ~count:n
+    | _ -> assert false
+  in
+  let input_energy = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 re0 in
+  let out = floats (run_baseline instance) in
+  let output_energy = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 out in
+  let ratio = output_energy /. (float_of_int n *. input_energy) in
+  Alcotest.(check bool) (Printf.sprintf "Parseval ratio %.4f" ratio) true
+    (abs_float (ratio -. 1.0) < 0.01)
+
+(* --- inversek2j oracle: forward(inverse(x)) = x --- *)
+
+let test_inversek2j_roundtrip () =
+  let instance = W.Inversek2j.make Workload.Sample in
+  let rng = Rng.create 5L in
+  let targets = W.Inversek2j.generate_targets rng ~poses:700 ~total:6000 in
+  let out = floats (run_baseline instance) in
+  let l1 = W.Inversek2j.l1 and l2 = W.Inversek2j.l2 in
+  let max_err = ref 0.0 in
+  Array.iteri
+    (fun i (x, y) ->
+      let th1 = out.(2 * i) and th2 = out.((2 * i) + 1) in
+      let x' = (l1 *. cos th1) +. (l2 *. cos (th1 +. th2)) in
+      let y' = (l1 *. sin th1) +. (l2 *. sin (th1 +. th2)) in
+      let e = sqrt (((x -. x') ** 2.0) +. ((y -. y') ** 2.0)) in
+      if e > !max_err then max_err := e)
+    targets;
+  (* millimetre workspace; the f32 + polynomial pipeline keeps the position
+     error well under a millimetre *)
+  Alcotest.(check bool) (Printf.sprintf "max fk error %.4f mm" !max_err) true
+    (!max_err < 1.0)
+
+(* --- jmeint oracle: hand-constructed cases through the kernel --- *)
+
+let run_jmeint_kernel coords =
+  let program = { Ir.funcs = [| W.Jmeint.build_kernel () |] } in
+  let t = Interp.create ~program ~mem:(Memory.create ()) () in
+  match Interp.run t W.Jmeint.kernel_name (Array.map (fun v -> Ir.VF v) coords) with
+  | [| VI r |] -> r <> 0L
+  | _ -> Alcotest.fail "expected one int"
+
+let test_jmeint_known_cases () =
+  (* Two triangles crossing through each other. *)
+  let crossing =
+    [| 0.0; 0.0; 0.0; 2.0; 0.0; 0.0; 0.0; 2.0; 0.0;
+       0.5; 0.5; -1.0; 0.5; 0.5; 1.0; 1.5; 0.5; 0.0 |]
+  in
+  Alcotest.(check bool) "crossing detected" true (run_jmeint_kernel crossing);
+  (* Far apart. *)
+  let disjoint =
+    [| 0.0; 0.0; 0.0; 1.0; 0.0; 0.0; 0.0; 1.0; 0.0;
+       10.0; 10.0; 10.0; 11.0; 10.0; 10.0; 10.0; 11.0; 10.0 |]
+  in
+  Alcotest.(check bool) "disjoint rejected" false (run_jmeint_kernel disjoint);
+  (* Parallel planes, overlapping in x-y but separated in z. *)
+  let parallel =
+    [| 0.0; 0.0; 0.0; 1.0; 0.0; 0.0; 0.0; 1.0; 0.0;
+       0.0; 0.0; 1.0; 1.0; 0.0; 1.0; 0.0; 1.0; 1.0 |]
+  in
+  Alcotest.(check bool) "parallel rejected" false (run_jmeint_kernel parallel)
+
+let test_jmeint_classes_present () =
+  let out = bools (run_baseline (W.Jmeint.make Workload.Sample)) in
+  Alcotest.(check bool) "both classes occur" true
+    (Array.exists (fun b -> b) out && Array.exists not out)
+
+(* --- jpeg: quantization zeroes high frequencies of a smooth image --- *)
+
+let test_jpeg_sparsity () =
+  let out = floats (run_baseline (W.Jpeg.make Workload.Sample)) in
+  let zeros = Array.fold_left (fun acc v -> if v = 0.0 then acc + 1 else acc) 0 out in
+  let frac = float_of_int zeros /. float_of_int (Array.length out) in
+  Alcotest.(check bool) (Printf.sprintf "zero fraction %.2f" frac) true (frac > 0.3);
+  Alcotest.(check bool) "some nonzero coefficients" true (frac < 0.99)
+
+let test_jpeg_qtable () =
+  Alcotest.(check int) "64 entries" 64 (Array.length W.Jpeg.qtable);
+  Alcotest.(check int) "annex K corner" 16 W.Jpeg.qtable.(0)
+
+(* --- kmeans: centroids stay in the colour cube and separate --- *)
+
+let test_kmeans_centroids () =
+  let instance = W.Kmeans.make Workload.Sample in
+  let out = floats (run_baseline instance) in
+  (* outputs are the clustered image: every pixel equals one of k centroids *)
+  let distinct = Hashtbl.create 16 in
+  let n = Array.length out / 3 in
+  for i = 0 to n - 1 do
+    Hashtbl.replace distinct (out.(3 * i), out.((3 * i) + 1), out.((3 * i) + 2)) ()
+  done;
+  Alcotest.(check bool) "at most k distinct colours" true
+    (Hashtbl.length distinct <= W.Kmeans.k_clusters);
+  Alcotest.(check bool) "at least 2 clusters used" true (Hashtbl.length distinct >= 2);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in colour range" true (v >= 0.0 && v <= 256.0))
+    out
+
+(* --- sobel oracle: direct convolution --- *)
+
+let test_sobel_oracle () =
+  let instance = W.Sobel.make Workload.Sample in
+  let width = 64 and height = 64 in
+  let rng = Rng.create 7L in
+  let img = Workload.synth_image rng ~width ~height ~tones:14 ~slope:0.05 () in
+  let f32 x = Int32.float_of_bits (Int32.bits_of_float x) in
+  let expected = Array.make (width * height) 0.0 in
+  for y = 1 to height - 2 do
+    for x = 1 to width - 2 do
+      let p dy dx = f32 img.(((y + dy) * width) + x + dx) in
+      let gx = p (-1) 1 +. (2.0 *. p 0 1) +. p 1 1 -. (p (-1) (-1) +. (2.0 *. p 0 (-1)) +. p 1 (-1)) in
+      let gy = p 1 (-1) +. (2.0 *. p 1 0) +. p 1 1 -. (p (-1) (-1) +. (2.0 *. p (-1) 0) +. p (-1) 1) in
+      let m = sqrt ((gx *. gx) +. (gy *. gy)) in
+      expected.((y * width) + x) <- Float.min 255.0 m
+    done
+  done;
+  let got = floats (run_baseline instance) in
+  let err = Stats.output_error ~reference:expected ~approx:got in
+  Alcotest.(check bool) (Printf.sprintf "Er vs direct convolution %.2g" err) true
+    (err < 1e-4)
+
+(* --- hotspot: bounded, converging temperatures --- *)
+
+let test_hotspot_sane () =
+  let out = floats (run_baseline (W.Hotspot.make Workload.Sample)) in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "plausible temperature" true (v > 0.0 && v < 500.0))
+    out
+
+(* --- lavamd: forces finite, lattice symmetry keeps them bounded --- *)
+
+let test_lavamd_sane () =
+  let out = floats (run_baseline (W.Lavamd.make Workload.Sample)) in
+  Alcotest.(check bool) "nonzero forces" true (Array.exists (fun v -> abs_float v > 1e-6) out);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "bounded" true (abs_float v < 1e4))
+    out
+
+(* --- srad: diffusion reduces variance --- *)
+
+let test_srad_denoises () =
+  let instance = W.Srad.make Workload.Sample in
+  let side = 48 in
+  let j_base =
+    match instance.args.(0) with Ir.VI v -> Int64.to_int v | _ -> assert false
+  in
+  let before = Workload.read_f32s instance.mem ~base:j_base ~count:(side * side) in
+  let var_before = Stats.stddev before in
+  let after = floats (run_baseline instance) in
+  let var_after = Stats.stddev after in
+  Alcotest.(check bool)
+    (Printf.sprintf "stddev %.2f -> %.2f" var_before var_after)
+    true
+    (var_after < var_before)
+
+(* --- memoized smoke: every workload through the full runner --- *)
+
+let memoized_smoke ((meta : Workload.meta), make) () =
+  let base = Axmemo.Runner.run Baseline (make Workload.Sample) in
+  let r = Axmemo.Runner.run Axmemo.Runner.l1_8k (make Workload.Sample) in
+  if meta.name = "jmeint" then
+    Alcotest.(check bool) "jmeint stays cold" true (r.hit_rate < 0.01)
+  else
+    Alcotest.(check bool)
+      (Printf.sprintf "%s finds reuse (%.3f)" meta.name r.hit_rate)
+      true (r.hit_rate > 0.05);
+  Alcotest.(check bool) "monitor stays quiet" false r.memo_disabled;
+  let loss = Workload.quality_loss ~reference:base.outputs ~approx:r.outputs in
+  Alcotest.(check bool) (Printf.sprintf "%s loss %.4f bounded" meta.name loss) true
+    (loss < 0.05)
+
+(* --- synth_image generator properties --- *)
+
+let prop_synth_image_in_range =
+  QCheck.Test.make ~name:"synth_image stays in [0,255]" ~count:20 QCheck.int64 (fun seed ->
+      let rng = Rng.create seed in
+      let img = Workload.synth_image rng ~width:32 ~height:32 () in
+      Array.for_all (fun v -> v >= 0.0 && v <= 255.0) img)
+
+let () =
+  let generic =
+    List.map
+      (fun ((m : Workload.meta), make) ->
+        Alcotest.test_case m.name `Quick (generic_checks m.name make))
+      W.Registry.all
+  in
+  Alcotest.run "workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "sample/eval disjoint" `Quick test_sample_eval_disjoint;
+        ] );
+      ("builds and runs", generic);
+      ( "oracles",
+        [
+          Alcotest.test_case "blackscholes closed form" `Quick test_blackscholes_oracle;
+          Alcotest.test_case "fft parseval" `Quick test_fft_parseval;
+          Alcotest.test_case "inversek2j roundtrip" `Quick test_inversek2j_roundtrip;
+          Alcotest.test_case "jmeint known cases" `Quick test_jmeint_known_cases;
+          Alcotest.test_case "jmeint classes" `Quick test_jmeint_classes_present;
+          Alcotest.test_case "jpeg sparsity" `Quick test_jpeg_sparsity;
+          Alcotest.test_case "jpeg qtable" `Quick test_jpeg_qtable;
+          Alcotest.test_case "kmeans centroids" `Quick test_kmeans_centroids;
+          Alcotest.test_case "sobel convolution" `Quick test_sobel_oracle;
+          Alcotest.test_case "hotspot bounded" `Quick test_hotspot_sane;
+          Alcotest.test_case "lavamd forces" `Quick test_lavamd_sane;
+          Alcotest.test_case "srad denoises" `Quick test_srad_denoises;
+        ] );
+      ( "memoized smoke",
+        List.map
+          (fun ((m : Workload.meta), _ as wl) ->
+            Alcotest.test_case m.name `Slow (memoized_smoke wl))
+          W.Registry.all );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_synth_image_in_range ]);
+    ]
