@@ -1,0 +1,23 @@
+# Developer entry points. `make check` is the one-stop gate: full build,
+# test suite, and the perf smoke (bounded so a hung pool cannot wedge CI).
+
+SMOKE_TIMEOUT ?= 900
+JOBS ?= 4
+
+.PHONY: all build test smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+smoke: build
+	timeout $(SMOKE_TIMEOUT) dune exec bench/main.exe -- --perf-smoke --jobs $(JOBS)
+
+check: build test smoke
+
+clean:
+	dune clean

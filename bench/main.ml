@@ -5,7 +5,11 @@
    Usage:
      bench/main.exe                 run everything
      bench/main.exe fig7a fig9 ...  run selected experiments
+     bench/main.exe --jobs N ...    fan the simulation matrix over N domains
+                                    (default: the host's core count)
      bench/main.exe --micro         Bechamel microbenchmarks (Table 5 units)
+     bench/main.exe --perf-smoke    small fixed matrix; prints wall-clock +
+                                    throughput and writes BENCH_PR1.json
 
    Experiment ids: table1 table2 table3 table4 table5 fig7a fig7b fig8 fig9
                    fig10a fig10b fig11 atm l2sens *)
@@ -16,6 +20,8 @@ module Runner = Axmemo.Runner
 module Analysis = Axmemo.Analysis
 module Table = Axmemo_util.Table
 module Stats = Axmemo_util.Stats
+module Pool = Axmemo_util.Pool
+module Interp = Axmemo_ir.Interp
 module Machine = Axmemo_cpu.Machine
 module Hierarchy = Axmemo_cache.Hierarchy
 module Timing = Axmemo_isa.Timing
@@ -41,7 +47,19 @@ let hw_configs =
 
 let all_columns = hw_configs @ [ Runner.software_default; Runner.atm_default ]
 
-(* Every (benchmark, config) simulation runs once and is cached. *)
+(* --jobs N; None = the host's recommended domain count. *)
+let pool_jobs : int option ref = ref None
+
+let jobs () = match !pool_jobs with Some j -> j | None -> Pool.default_jobs ()
+
+let instance_of name =
+  let _, make = Option.get (W.Registry.find name) in
+  make Workload.Eval
+
+(* Every (benchmark, config) simulation runs once and is cached. The cache
+   is only ever touched from the main domain: [prewarm] fans the simulations
+   themselves out over worker domains and files the results here serially,
+   and [result] is the serial fall-back for cells no experiment declared. *)
 let cache : (string * string, Runner.result) Hashtbl.t = Hashtbl.create 128
 
 let result name config =
@@ -49,10 +67,37 @@ let result name config =
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-      let _, make = Option.get (W.Registry.find name) in
-      let r = Runner.run config (make Workload.Eval) in
+      let r = Runner.run config (instance_of name) in
       Hashtbl.replace cache key r;
       r
+
+(* Run an experiment's missing (benchmark, config) cells as one parallel
+   matrix before its (serial) formatting code pulls them from the cache.
+   Each cell gets its own fresh instance — the domain-safety contract of
+   [Runner.run_matrix]. *)
+let prewarm pairs =
+  let seen = Hashtbl.create 32 in
+  let missing =
+    List.filter
+      (fun (n, c) ->
+        let key = (n, Runner.config_label c) in
+        if Hashtbl.mem cache key || Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      pairs
+  in
+  if missing <> [] then begin
+    let cells = List.map (fun (n, c) -> (c, instance_of n)) missing in
+    let results = Runner.run_matrix ~jobs:(jobs ()) cells in
+    List.iter2
+      (fun (n, c) r -> Hashtbl.replace cache (n, Runner.config_label c) r)
+      missing results
+  end
+
+(* The full suite crossed with a config list, for experiment declarations. *)
+let suite_cells cfgs = List.concat_map (fun n -> List.map (fun c -> (n, c)) cfgs) names
 
 let baseline name = result name Runner.Baseline
 
@@ -65,8 +110,9 @@ let average xs = Stats.mean (Array.of_list xs)
 
 let table1 () =
   heading "Table 1: DDDG analysis (sample inputs)";
+  (* Each analysis owns its trace and instance, so the rows fan out too. *)
   let rows =
-    List.map
+    Pool.run ~jobs:(jobs ())
       (fun ((meta : Workload.meta), make) ->
         let r = Analysis.analyze ~max_entries:60_000 make in
         [
@@ -312,30 +358,31 @@ let atm () =
   Printf.printf "geometric mean: %s (paper: 0.8x)\n"
     (Table.fmt_x (Stats.geomean (Array.of_list speedups)))
 
+let l2sens_full =
+  Runner.Hw_memo
+    {
+      l1_bytes = 8 * 1024;
+      l2_bytes = Some (256 * 1024);
+      approximate = true;
+      monitor = true;
+      total_l2 = None;
+      adaptive = false;
+    }
+
+let l2sens_halved =
+  Runner.Hw_memo
+    {
+      l1_bytes = 8 * 1024;
+      l2_bytes = Some (256 * 1024);
+      approximate = true;
+      monitor = true;
+      total_l2 = Some (512 * 1024);
+      adaptive = false;
+    }
+
 let l2sens () =
   heading "Section 6.2: sensitivity to total L2 size (256KB L2 LUT)";
-  let full =
-    Runner.Hw_memo
-      {
-        l1_bytes = 8 * 1024;
-        l2_bytes = Some (256 * 1024);
-        approximate = true;
-        monitor = true;
-        total_l2 = None;
-        adaptive = false;
-      }
-  in
-  let halved =
-    Runner.Hw_memo
-      {
-        l1_bytes = 8 * 1024;
-        l2_bytes = Some (256 * 1024);
-        approximate = true;
-        monitor = true;
-        total_l2 = Some (512 * 1024);
-        adaptive = false;
-      }
-  in
+  let full = l2sens_full and halved = l2sens_halved in
   let degr = ref [] in
   let rows =
     List.map
@@ -377,15 +424,16 @@ let custom ?(l1 = 8 * 1024) ?(l2 = None) ?(payload = 8) ?(crc = Axmemo_crc.Poly.
       crc_bytes_per_cycle = crc_bpc;
     }
 
+let ablation_crc_columns =
+  [
+    custom ~crc:Axmemo_crc.Poly.crc16_ccitt "CRC-16";
+    custom ~crc:Axmemo_crc.Poly.crc32 "CRC-32";
+    custom ~crc:Axmemo_crc.Poly.crc64_xz "CRC-64";
+  ]
+
 let ablation_crc () =
   heading "Ablation: CRC tag width (Section 3.1: \"CRC can work in many sizes\")";
-  let columns =
-    [
-      custom ~crc:Axmemo_crc.Poly.crc16_ccitt "CRC-16";
-      custom ~crc:Axmemo_crc.Poly.crc32 "CRC-32";
-      custom ~crc:Axmemo_crc.Poly.crc64_xz "CRC-64";
-    ]
-  in
+  let columns = ablation_crc_columns in
   let rows =
     List.map
       (fun name ->
@@ -414,15 +462,16 @@ let ablation_crc () =
      paper's conclusion that 32 bits is \"generally large enough\" shows as a\n\
      zero collision column.\n"
 
+let ablation_policy_columns =
+  [
+    custom ~policy:Axmemo_memo.Lut.Lru "LRU";
+    custom ~policy:Axmemo_memo.Lut.Fifo "FIFO";
+    custom ~policy:Axmemo_memo.Lut.Random "Random";
+  ]
+
 let ablation_policy () =
   heading "Ablation: LUT replacement policy (paper: LRU)";
-  let columns =
-    [
-      custom ~policy:Axmemo_memo.Lut.Lru "LRU";
-      custom ~policy:Axmemo_memo.Lut.Fifo "FIFO";
-      custom ~policy:Axmemo_memo.Lut.Random "Random";
-    ]
-  in
+  let columns = ablation_policy_columns in
   let rows =
     List.map
       (fun name ->
@@ -435,10 +484,13 @@ let ablation_policy () =
     ~header:[ "Benchmark (hit rate @ L1 8KB)"; "LRU"; "FIFO"; "Random" ]
     rows
 
+let ablation_serial_crc = custom ~l2:(Some (512 * 1024)) ~crc_bpc:1 "serial-crc"
+let ablation_unrolled_crc = custom ~l2:(Some (512 * 1024)) ~crc_bpc:4 "unrolled-crc"
+
 let ablation_throughput () =
   heading "Ablation: CRC unit throughput (serial 1 B/cycle vs 4x-unrolled, Section 6.1)";
-  let serial = custom ~l2:(Some (512 * 1024)) ~crc_bpc:1 "serial-crc" in
-  let unrolled = custom ~l2:(Some (512 * 1024)) ~crc_bpc:4 "unrolled-crc" in
+  let serial = ablation_serial_crc in
+  let unrolled = ablation_unrolled_crc in
   let rows =
     List.map
       (fun name ->
@@ -460,13 +512,17 @@ let ablation_throughput () =
     "Wide-input blocks (Sobel 36B, Jmeint 72B) pay the serial unit's drain\n\
      time on every lookup; the 4x unroll is what keeps hash latency hidden.\n"
 
+(* Only benchmarks whose kernels produce a single 4-byte output can use the
+   narrow configuration. *)
+let payload_eligible = [ "blackscholes"; "sobel"; "hotspot"; "lavamd"; "srad" ]
+let ablation_narrow = custom ~l1:(4 * 1024) ~payload:4 "4B-entries"
+let ablation_wide = custom ~l1:(4 * 1024) ~payload:8 "8B-entries"
+
 let ablation_payload () =
   heading "Ablation: LUT entry width - 8-way x 4B vs 4-way x 8B sets (Section 3.3)";
-  (* Only benchmarks whose kernels produce a single 4-byte output can use the
-     narrow configuration. *)
-  let eligible = [ "blackscholes"; "sobel"; "hotspot"; "lavamd"; "srad" ] in
-  let narrow = custom ~l1:(4 * 1024) ~payload:4 "4B-entries" in
-  let wide = custom ~l1:(4 * 1024) ~payload:8 "8B-entries" in
+  let eligible = payload_eligible in
+  let narrow = ablation_narrow in
+  let wide = ablation_wide in
   let rows =
     List.map
       (fun name ->
@@ -482,25 +538,26 @@ let ablation_payload () =
     "Four-byte entries double both associativity and capacity in entries for\n\
      single-output kernels - the reason the set format is configurable.\n"
 
+let ablation_truncate = custom ~l2:(Some (512 * 1024)) "cell-truncate"
+
+let ablation_nearest =
+  Runner.Hw_custom
+    {
+      label = "cell-nearest";
+      unit_cfg =
+        {
+          Axmemo_memo.Memo_unit.default_config with
+          l2_bytes = Some (512 * 1024);
+          rounding = Axmemo_memo.Memo_unit.Nearest;
+        };
+      approximate = true;
+      crc_bytes_per_cycle = Timing.crc_bytes_per_cycle;
+    }
+
 let ablation_rounding () =
   heading "Ablation: truncate-down vs round-to-nearest cells (Section 3.1 note)";
-  let truncate =
-    custom ~l2:(Some (512 * 1024)) "cell-truncate"
-  in
-  let nearest =
-    Runner.Hw_custom
-      {
-        label = "cell-nearest";
-        unit_cfg =
-          {
-            Axmemo_memo.Memo_unit.default_config with
-            l2_bytes = Some (512 * 1024);
-            rounding = Axmemo_memo.Memo_unit.Nearest;
-          };
-        approximate = true;
-        crc_bytes_per_cycle = Timing.crc_bytes_per_cycle;
-      }
-  in
+  let truncate = ablation_truncate in
+  let nearest = ablation_nearest in
   let rows =
     List.map
       (fun name ->
@@ -524,14 +581,15 @@ let ablation_rounding () =
     "Nearest-cell rounding centres each cell on its representative, halving\n\
      the worst-case input perturbation at identical hash cost.\n"
 
+(* The adaptive run starts from zero truncation (approximate = false zeroes
+   the static levels) and must discover a usable level on its own. *)
+let ablation_adaptive_cfg =
+  custom ~l2:(Some (512 * 1024)) ~approximate:false
+    ~adaptive:(Some Axmemo_memo.Memo_unit.default_adaptive) "adaptive-from-zero"
+
 let ablation_adaptive () =
   heading "Ablation: compile-time truncation vs the runtime dynamic approach (Section 3.1)";
-  (* The adaptive run starts from zero truncation (approximate = false zeroes
-     the static levels) and must discover a usable level on its own. *)
-  let adaptive =
-    custom ~l2:(Some (512 * 1024)) ~approximate:false
-      ~adaptive:(Some Axmemo_memo.Memo_unit.default_adaptive) "adaptive-from-zero"
-  in
+  let adaptive = ablation_adaptive_cfg in
   let rows =
     List.map
       (fun name ->
@@ -629,48 +687,215 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Perf smoke: a small fixed matrix timed serially and in parallel, plus a
+   direct measurement of the interpreter's allocation-free hook path against
+   the event-allocating legacy calling convention. Results go to stdout and
+   BENCH_PR1.json so the perf trajectory is tracked across PRs. *)
+
+let smoke_names = [ "blackscholes"; "inversek2j"; "sobel" ]
+let smoke_configs = [ Runner.Baseline; Runner.l1_8k; Runner.software_default ]
+
+let smoke_cells () =
+  List.concat_map
+    (fun n ->
+      let _, make = Option.get (W.Registry.find n) in
+      List.map (fun c -> (c, make Workload.Sample)) smoke_configs)
+    smoke_names
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* One baseline simulation of [name], timed, with either the flat hook
+   calling convention or the legacy per-event allocation. Same program, same
+   pipeline model — the delta is the interpreter hot path alone. *)
+let timed_interp_run ~flat name =
+  let _, make = Option.get (W.Registry.find name) in
+  let instance = make Workload.Eval in
+  let hierarchy = Hierarchy.(create hpi_default) in
+  let pipe =
+    Axmemo_cpu.Pipeline.create ~program:instance.program ~hierarchy ()
+  in
+  let interp =
+    if flat then
+      Axmemo_ir.Interp.create
+        ~hooks:(Axmemo_cpu.Pipeline.hooks pipe)
+        ~program:instance.program ~mem:instance.mem ()
+    else
+      Axmemo_ir.Interp.create
+        ~hook:(Axmemo_cpu.Pipeline.hook pipe)
+        ~program:instance.program ~mem:instance.mem ()
+  in
+  let (), dt = wall (fun () -> ignore (Interp.run interp instance.entry instance.args)) in
+  (dt, Interp.steps interp)
+
+let perf_smoke () =
+  heading "Perf smoke (fixed small matrix)";
+  let cells = smoke_cells () in
+  let ncells = List.length cells in
+  (* Warm-up pass: CRC step tables, allocator, code paths. *)
+  ignore (Runner.run_matrix ~jobs:1 (smoke_cells ()));
+  let serial, t_serial = wall (fun () -> Runner.run_matrix ~jobs:1 (smoke_cells ())) in
+  let njobs = match !pool_jobs with Some j -> j | None -> 4 in
+  let par, t_par = wall (fun () -> Runner.run_matrix ~jobs:njobs (smoke_cells ())) in
+  let identical =
+    List.for_all2
+      (fun (a : Runner.result) (b : Runner.result) ->
+        a.cycles = b.cycles && a.hits = b.hits && a.lookups = b.lookups
+        && a.energy.Axmemo_energy.Model.total_pj
+           = b.energy.Axmemo_energy.Model.total_pj
+        && a.outputs = b.outputs)
+      serial par
+  in
+  let dyn =
+    List.fold_left (fun acc (r : Runner.result) -> acc + r.dyn_normal + r.dyn_memo) 0 serial
+  in
+  let best f = List.fold_left (fun acc () -> min acc (f ())) infinity [ (); (); () ] in
+  let t_event = best (fun () -> fst (timed_interp_run ~flat:false "blackscholes")) in
+  let t_flat = best (fun () -> fst (timed_interp_run ~flat:true "blackscholes")) in
+  let throughput = float_of_int dyn /. t_serial /. 1e6 in
+  let speedup = t_serial /. t_par in
+  Printf.printf "matrix           %d cells (%s x %s), sample datasets\n" ncells
+    (String.concat "," smoke_names)
+    (String.concat "," (List.map Runner.config_label smoke_configs));
+  Printf.printf "serial           %.3f s (%.1f Minstr/s over %d dynamic instructions)\n"
+    t_serial throughput dyn;
+  Printf.printf "parallel         %.3f s with --jobs %d => %.2fx (host domains: %d)\n"
+    t_par njobs speedup
+    (Pool.default_jobs ());
+  Printf.printf "bit-identical    %b\n" identical;
+  Printf.printf
+    "interp fast path %.3f s flat-hook vs %.3f s event-hook => %.2fx single-thread\n"
+    t_flat t_event (t_event /. t_flat);
+  let oc = open_out "BENCH_PR1.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"pr\": 1,\n\
+    \  \"subject\": \"parallel experiment matrix + allocation-free interpreter hot path\",\n\
+    \  \"host_domains\": %d,\n\
+    \  \"matrix\": { \"benchmarks\": [%s], \"configs\": [%s], \"cells\": %d },\n\
+    \  \"jobs\": %d,\n\
+    \  \"serial_seconds\": %.4f,\n\
+    \  \"parallel_seconds\": %.4f,\n\
+    \  \"parallel_speedup\": %.4f,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"dynamic_instructions\": %d,\n\
+    \  \"serial_minstr_per_sec\": %.4f,\n\
+    \  \"hook_event_seconds\": %.4f,\n\
+    \  \"hook_flat_seconds\": %.4f,\n\
+    \  \"interp_fastpath_speedup\": %.4f\n\
+     }\n"
+    (Pool.default_jobs ())
+    (String.concat ", " (List.map (Printf.sprintf "%S") smoke_names))
+    (String.concat ", "
+       (List.map (fun c -> Printf.sprintf "%S" (Runner.config_label c)) smoke_configs))
+    ncells njobs t_serial t_par speedup identical dyn throughput t_event t_flat
+    (t_event /. t_flat);
+  close_out oc;
+  Printf.printf "wrote BENCH_PR1.json\n";
+  if not identical then begin
+    Printf.eprintf "FATAL: parallel results differ from serial results\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Each experiment declares the (benchmark, config) cells it reads so the
+   driver can prewarm them as one parallel matrix. [result] still covers
+   anything undeclared, serially. *)
+
+let no_cells () = []
 
 let experiments =
   [
-    ("table1", table1);
-    ("table2", table2);
-    ("table3", table3);
-    ("table4", table4);
-    ("table5", table5);
-    ("fig7a", fig7a);
-    ("fig7b", fig7b);
-    ("fig8", fig8);
-    ("fig9", fig9);
-    ("fig10a", fig10a);
-    ("fig10b", fig10b);
-    ("fig11", fig11);
-    ("atm", atm);
-    ("l2sens", l2sens);
-    ("ablation_crc", ablation_crc);
-    ("ablation_policy", ablation_policy);
-    ("ablation_throughput", ablation_throughput);
-    ("ablation_payload", ablation_payload);
-    ("ablation_rounding", ablation_rounding);
-    ("ablation_adaptive", ablation_adaptive);
+    ("table1", no_cells, table1);
+    ("table2", no_cells, table2);
+    ("table3", no_cells, table3);
+    ("table4", no_cells, table4);
+    ("table5", no_cells, table5);
+    ("fig7a", (fun () -> suite_cells (Runner.Baseline :: all_columns)), fig7a);
+    ("fig7b", (fun () -> suite_cells (Runner.Baseline :: all_columns)), fig7b);
+    ("fig8", (fun () -> suite_cells (Runner.Baseline :: all_columns)), fig8);
+    ("fig9", (fun () -> suite_cells (Runner.Baseline :: all_columns)), fig9);
+    ("fig10a", (fun () -> suite_cells (Runner.Baseline :: all_columns)), fig10a);
+    ( "fig10b",
+      (fun () -> suite_cells [ Runner.Baseline; Runner.l1_8k_l2_512k ]),
+      fig10b );
+    ( "fig11",
+      (fun () -> suite_cells [ Runner.Baseline; Runner.l1_8k_l2_512k; cfg_noapprox ]),
+      fig11 );
+    ("atm", (fun () -> suite_cells [ Runner.Baseline; Runner.atm_default ]), atm);
+    ("l2sens", (fun () -> suite_cells [ l2sens_full; l2sens_halved ]), l2sens);
+    ( "ablation_crc",
+      (fun () -> suite_cells (Runner.Baseline :: ablation_crc_columns)),
+      ablation_crc );
+    ( "ablation_policy",
+      (fun () -> suite_cells ablation_policy_columns),
+      ablation_policy );
+    ( "ablation_throughput",
+      (fun () ->
+        suite_cells [ Runner.Baseline; ablation_serial_crc; ablation_unrolled_crc ]),
+      ablation_throughput );
+    ( "ablation_payload",
+      (fun () ->
+        List.concat_map
+          (fun n -> [ (n, ablation_narrow); (n, ablation_wide) ])
+          (List.filter (fun n -> List.mem n payload_eligible) names)),
+      ablation_payload );
+    ( "ablation_rounding",
+      (fun () -> suite_cells [ Runner.Baseline; ablation_truncate; ablation_nearest ]),
+      ablation_rounding );
+    ( "ablation_adaptive",
+      (fun () ->
+        suite_cells [ Runner.Baseline; Runner.l1_8k_l2_512k; ablation_adaptive_cfg ]),
+      ablation_adaptive );
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n -> pool_jobs := Some (max 1 n)
+    | None ->
+        Printf.eprintf "--jobs expects an integer, got %S\n" s;
+        exit 1
+  in
+  let rec strip_jobs acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest ->
+        set_jobs n;
+        strip_jobs acc rest
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs expects an integer argument\n";
+        exit 1
+    | a :: rest when String.starts_with ~prefix:"--jobs=" a ->
+        set_jobs (String.sub a 7 (String.length a - 7));
+        strip_jobs acc rest
+    | a :: rest -> strip_jobs (a :: acc) rest
+  in
+  let args = strip_jobs [] argv in
   if List.mem "--micro" args then micro ()
+  else if List.mem "--perf-smoke" args then perf_smoke ()
   else begin
-    let selected = List.filter (fun a -> a <> "--micro") args in
+    let selected = List.filter (fun a -> a <> "--micro" && a <> "--perf-smoke") args in
     let to_run =
       if selected = [] then experiments
       else
         List.filter_map
           (fun a ->
-            match List.assoc_opt a experiments with
-            | Some f -> Some (a, f)
+            match
+              List.find_opt (fun (id, _, _) -> id = a) experiments
+            with
+            | Some e -> Some e
             | None ->
                 Printf.eprintf "unknown experiment %s (known: %s)\n" a
-                  (String.concat " " (List.map fst experiments));
+                  (String.concat " " (List.map (fun (id, _, _) -> id) experiments));
                 exit 1)
           selected
     in
-    List.iter (fun (_, f) -> f ()) to_run
+    List.iter
+      (fun (_, cells, f) ->
+        prewarm (cells ());
+        f ())
+      to_run
   end

@@ -121,9 +121,18 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ bench_arg $ config_arg $ variant_arg)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the simulation matrix over $(docv) worker domains (default: \
+           the host's recommended domain count).")
+
 let sweep_cmd =
   let doc = "Run every configuration over the suite (or one benchmark)." in
-  let run bench sample =
+  let run bench sample jobs =
     let variant = variant_of sample in
     let selected =
       match bench with
@@ -134,29 +143,46 @@ let sweep_cmd =
       [ Runner.l1_4k; Runner.l1_8k; Runner.l1_8k_l2_256k; Runner.l1_8k_l2_512k;
         Runner.software_default; Runner.atm_default ]
     in
+    (* Every cell — baseline included — with a fresh instance, fanned out as
+       one matrix; rows are then grouped back per benchmark. *)
+    let cells =
+      List.concat_map
+        (fun ((_ : W.Workload.meta), make) ->
+          List.map (fun cfg -> (cfg, make variant)) (Runner.Baseline :: configs))
+        selected
+    in
+    let results = Runner.run_matrix ?jobs cells in
+    let per_bench = 1 + List.length configs in
     let header = [ "benchmark"; "config"; "speedup"; "esave"; "hit"; "loss" ] in
     let rows =
-      List.concat_map
-        (fun ((m : W.Workload.meta), make) ->
-          let base = Runner.run Baseline (make variant) in
-          List.map
-            (fun cfg ->
-              let r = Runner.run cfg (make variant) in
-              [
-                m.name;
-                r.label;
-                Table.fmt_x (Runner.speedup ~baseline:base r);
-                Table.fmt_x (Runner.energy_saving ~baseline:base r);
-                Table.fmt_pct r.hit_rate;
-                Printf.sprintf "%.1e"
-                  (W.Workload.quality_loss ~reference:base.outputs ~approx:r.outputs);
-              ])
-            configs)
-        selected
+      List.concat
+        (List.mapi
+           (fun i ((m : W.Workload.meta), _) ->
+             let chunk =
+               List.filteri
+                 (fun j _ -> j >= i * per_bench && j < (i + 1) * per_bench)
+                 results
+             in
+             let base = List.hd chunk in
+             List.map
+               (fun (r : Runner.result) ->
+                 [
+                   m.name;
+                   r.label;
+                   Table.fmt_x (Runner.speedup ~baseline:base r);
+                   Table.fmt_x (Runner.energy_saving ~baseline:base r);
+                   Table.fmt_pct r.hit_rate;
+                   Printf.sprintf "%.1e"
+                     (W.Workload.quality_loss ~reference:base.outputs
+                        ~approx:r.outputs);
+                 ])
+               (List.tl chunk))
+           selected)
     in
     Table.print ~align:[ Left; Left; Right; Right; Right; Right ] ~header rows
   in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ bench_opt_arg $ variant_arg)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ bench_opt_arg $ variant_arg $ jobs_arg)
 
 let analyze_cmd =
   let doc = "DDDG candidate analysis on the sample dataset (Table 1 row)." in

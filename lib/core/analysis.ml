@@ -18,7 +18,7 @@ let analyze ?(max_entries = 30_000) ?(params = { Axmemo_ddg.Ddg.default_params w
     Trace.create ~max_entries ~machine:Axmemo_cpu.Machine.hpi ~program:instance.program ()
   in
   let interp =
-    Interp.create ~hook:(Trace.hook trace) ~program:instance.program ~mem:instance.mem ()
+    Interp.create ~hooks:(Trace.hooks trace) ~program:instance.program ~mem:instance.mem ()
   in
   ignore (Interp.run interp instance.entry instance.args);
   let analysis = Ddg.analyze ~params (Trace.entries trace) in

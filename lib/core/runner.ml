@@ -100,30 +100,29 @@ let speedup ~baseline other = float_of_int baseline.cycles /. float_of_int other
 
 let energy_saving ~baseline other = baseline.energy.Model.total_pj /. other.energy.Model.total_pj
 
-(* Block-label based hit counting for the software schemes. *)
+(* Block-label based hit counting for the software schemes. Returns a flat
+   [fname bidx iidx] callback for composition into an [Interp.hooks]
+   observer. *)
 let sw_hit_counter program =
   let hit_sites = Hashtbl.create 64 and miss_sites = Hashtbl.create 64 in
   Array.iter
     (fun (f : Ir.func) ->
       Array.iteri
         (fun bidx (b : Ir.block) ->
-          let starts p = String.length b.label >= String.length p
-                         && String.sub b.label 0 (String.length p) = p in
-          if starts Axmemo_baselines.Sw_engine.hit_prefix then
-            Hashtbl.replace hit_sites (f.fname, bidx) ()
-          else if starts Axmemo_baselines.Sw_engine.miss_prefix then
-            Hashtbl.replace miss_sites (f.fname, bidx) ())
+          if String.starts_with ~prefix:Axmemo_baselines.Sw_engine.hit_prefix b.label
+          then Hashtbl.replace hit_sites (f.fname, bidx) ()
+          else if
+            String.starts_with ~prefix:Axmemo_baselines.Sw_engine.miss_prefix b.label
+          then Hashtbl.replace miss_sites (f.fname, bidx) ())
         f.blocks)
     (program : Ir.program).funcs;
   let hits = ref 0 and misses = ref 0 in
-  let hook (ev : Interp.event) =
-    match ev with
-    | Exec { fname; bidx; iidx = 0; _ } ->
-        if Hashtbl.mem hit_sites (fname, bidx) then incr hits
-        else if Hashtbl.mem miss_sites (fname, bidx) then incr misses
-    | Exec _ | Enter _ | Leave _ | Term _ -> ()
+  let on_exec fname bidx iidx =
+    if iidx = 0 then
+      if Hashtbl.mem hit_sites (fname, bidx) then incr hits
+      else if Hashtbl.mem miss_sites (fname, bidx) then incr misses
   in
-  (hook, hits, misses)
+  (on_exec, hits, misses)
 
 let finish ~label ~pipeline_stats ~hierarchy ~memo_stats ~l1_lut_bytes ~lookups ~hits
     ~collisions ~memo_disabled ~outputs ~machine =
@@ -187,7 +186,7 @@ let run_hw ~label ~(unit_cfg : Memo_unit.config) ~approximate ~total_l2
       ~l1_lut_ways:(Memo_unit.l1_ways unit) ~crc_bytes_per_cycle ~program ~hierarchy ()
   in
   let interp =
-    Interp.create ~memo:(Memo_unit.hooks unit) ~hook:(Pipeline.hook pipe) ~program
+    Interp.create ~memo:(Memo_unit.hooks unit) ~hooks:(Pipeline.hooks pipe) ~program
       ~mem:instance.mem ()
   in
   ignore (Interp.run interp instance.entry instance.args);
@@ -204,7 +203,7 @@ let run config (instance : Workload.instance) =
       let hierarchy = Hierarchy.(create hpi_default) in
       let pipe = Pipeline.create ~machine ~program:instance.program ~hierarchy () in
       let interp =
-        Interp.create ~hook:(Pipeline.hook pipe) ~program:instance.program
+        Interp.create ~hooks:(Pipeline.hooks pipe) ~program:instance.program
           ~mem:instance.mem ()
       in
       ignore (Interp.run interp instance.entry instance.args);
@@ -238,14 +237,29 @@ let run config (instance : Workload.instance) =
       in
       let hierarchy = Hierarchy.(create hpi_default) in
       let pipe = Pipeline.create ~machine ~program ~hierarchy () in
-      let count_hook, hits, misses = sw_hit_counter program in
-      let hook ev =
-        Pipeline.hook pipe ev;
-        count_hook ev
+      let count_exec, hits, misses = sw_hit_counter program in
+      let ph = Pipeline.hooks pipe in
+      let hooks =
+        {
+          ph with
+          Interp.on_exec =
+            (fun fname bidx iidx instr addr ->
+              ph.Interp.on_exec fname bidx iidx instr addr;
+              count_exec fname bidx iidx);
+        }
       in
-      let interp = Interp.create ~hook ~program ~mem:instance.mem () in
+      let interp = Interp.create ~hooks ~program ~mem:instance.mem () in
       ignore (Interp.run interp instance.entry instance.args);
       let lookups = !hits + !misses in
       finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
         ~l1_lut_bytes:(kb 8) ~lookups ~hits:!hits ~collisions:0 ~memo_disabled:false
         ~outputs:(instance.read_outputs ()) ~machine
+
+(* Parallel experiment matrix. Every (config, instance) cell is an
+   independent simulation: each owns its Memory.t (inside the instance),
+   Hierarchy.t, Pipeline.t and Memo_unit.t, so cells fan out over a
+   Axmemo_util.Pool of domains with no shared mutable state. Results keep
+   the input order and are bit-identical to a serial [List.map (run ...)]
+   because the simulator is deterministic and cells never interact. *)
+let run_matrix ?jobs cells =
+  Axmemo_util.Pool.run ?jobs (fun (config, instance) -> run config instance) cells

@@ -71,6 +71,22 @@ val run : config -> Axmemo_workloads.Workload.instance -> result
 (** [run config instance] transforms (if needed), simulates, and collects.
     The instance's memory is mutated by the run. *)
 
+val run_matrix :
+  ?jobs:int ->
+  (config * Axmemo_workloads.Workload.instance) list ->
+  result list
+(** [run_matrix ~jobs cells] simulates every (configuration, instance) cell,
+    fanning out over [jobs] worker domains ({!Axmemo_util.Pool}; default:
+    the host's recommended domain count, [1] runs serially on the calling
+    domain). Results keep the input order and are bit-identical to the
+    serial path: each cell owns all of its mutable state, so scheduling
+    cannot affect outcomes.
+
+    Domain-safety contract: every cell must have its own
+    {!Axmemo_workloads.Workload.instance} — instances embed the simulated
+    memory and are mutated by the run, so sharing one across cells is a
+    race (and wrong even serially). *)
+
 val speedup : baseline:result -> result -> float
 (** Cycle ratio baseline/other. *)
 

@@ -339,23 +339,39 @@ let exec_term t (term : Ir.terminator) =
       t.last_ret_ready <- max ready c;
       count t C_call_ret
 
+let on_enter t fname =
+  let nregs = try Hashtbl.find t.nregs_of fname with Not_found -> 64 in
+  let binding = t.pending_call in
+  t.pending_call <- None;
+  let ready = Array.make nregs (max t.pending_args_ready t.slot_cycle) in
+  t.frames <- { ready; call_binding = binding } :: t.frames
+
+let on_leave t _fname =
+  match t.frames with
+  | [] -> ()
+  | frame :: rest ->
+      t.frames <- rest;
+      (match frame.call_binding with
+      | Some (dsts, caller_ready) ->
+          Array.iter (fun r -> caller_ready.(r) <- t.last_ret_ready) dsts
+      | None -> ())
+
+(* Allocation-free attachment: flat callbacks, no event record per
+   instruction. Preferred on the simulation hot path. *)
+let hooks t : Interp.hooks =
+  {
+    Interp.on_enter = on_enter t;
+    on_leave = on_leave t;
+    on_exec = (fun _fname _bidx _iidx instr addr -> exec_instr t instr addr);
+    on_term = (fun _fname _bidx term -> exec_term t term);
+  }
+
+(* Event-based convenience form, kept for observers that want a reified
+   event stream; allocates one event per callback upstream. *)
 let hook t (ev : Interp.event) =
   match ev with
-  | Enter { fname } ->
-      let nregs = try Hashtbl.find t.nregs_of fname with Not_found -> 64 in
-      let binding = t.pending_call in
-      t.pending_call <- None;
-      let ready = Array.make nregs (max t.pending_args_ready t.slot_cycle) in
-      t.frames <- { ready; call_binding = binding } :: t.frames
-  | Leave _ -> (
-      match t.frames with
-      | [] -> ()
-      | frame :: rest ->
-          t.frames <- rest;
-          (match frame.call_binding with
-          | Some (dsts, caller_ready) ->
-              Array.iter (fun r -> caller_ready.(r) <- t.last_ret_ready) dsts
-          | None -> ()))
+  | Enter { fname } -> on_enter t fname
+  | Leave { fname } -> on_leave t fname
   | Exec { instr; addr; _ } -> exec_instr t instr addr
   | Term { term; _ } -> exec_term t term
 

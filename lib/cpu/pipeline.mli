@@ -56,8 +56,13 @@ val create :
     [crc_bytes_per_cycle] defaults to the unrolled unit's 4 (Table 4 /
     Section 6.1); pass 1 to model the plain serial-per-byte unit. *)
 
+val hooks : t -> Axmemo_ir.Interp.hooks
+(** Allocation-free attachment; pass as the interpreter's [hooks]. This is
+    the hot-path form: no event record is built per dynamic instruction. *)
+
 val hook : t -> Axmemo_ir.Interp.event -> unit
-(** Feed one event; pass as the interpreter's [hook]. *)
+(** Feed one event; pass as the interpreter's [hook]. Convenience/legacy
+    form of {!hooks} — each event costs an allocation upstream. *)
 
 val stats : t -> stats
 

@@ -7,8 +7,12 @@ let reflect ~bits v =
   !r
 
 (* Step tables are memoized per parameterisation: building one models loading
-   the constants RAM of the parallel hardware unit. *)
+   the constants RAM of the parallel hardware unit. The cache is shared by
+   every engine in the process, so it is mutex-guarded: parallel simulations
+   (Axmemo_util.Pool workers) all start engines concurrently. Tables are
+   immutable once published. *)
 let table_cache : (string, int64 array) Hashtbl.t = Hashtbl.create 8
+let table_cache_mutex = Mutex.create ()
 
 let build_table (p : Poly.t) =
   let mask = Poly.mask p in
@@ -38,12 +42,17 @@ let build_table (p : Poly.t) =
   table
 
 let table (p : Poly.t) =
-  match Hashtbl.find_opt table_cache p.name with
-  | Some t -> t
-  | None ->
-      let t = build_table p in
-      Hashtbl.add table_cache p.name t;
-      t
+  Mutex.lock table_cache_mutex;
+  let t =
+    match Hashtbl.find_opt table_cache p.name with
+    | Some t -> t
+    | None ->
+        let t = build_table p in
+        Hashtbl.add table_cache p.name t;
+        t
+  in
+  Mutex.unlock table_cache_mutex;
+  t
 
 type t = {
   poly : Poly.t;

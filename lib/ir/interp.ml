@@ -11,26 +11,108 @@ type event =
   | Exec of { fname : string; bidx : int; iidx : int; instr : Ir.instr; addr : int }
   | Term of { fname : string; bidx : int; term : Ir.terminator }
 
+type hooks = {
+  on_enter : string -> unit;
+  on_leave : string -> unit;
+  on_exec : string -> int -> int -> Ir.instr -> int -> unit;
+  on_term : string -> int -> Ir.terminator -> unit;
+}
+
+let hooks_of_event_fn f =
+  {
+    on_enter = (fun fname -> f (Enter { fname }));
+    on_leave = (fun fname -> f (Leave { fname }));
+    on_exec =
+      (fun fname bidx iidx instr addr -> f (Exec { fname; bidx; iidx; instr; addr }));
+    on_term = (fun fname bidx term -> f (Term { fname; bidx; term }));
+  }
+
+let combine_hooks a b =
+  {
+    on_enter =
+      (fun fname ->
+        a.on_enter fname;
+        b.on_enter fname);
+    on_leave =
+      (fun fname ->
+        a.on_leave fname;
+        b.on_leave fname);
+    on_exec =
+      (fun fname bidx iidx instr addr ->
+        a.on_exec fname bidx iidx instr addr;
+        b.on_exec fname bidx iidx instr addr);
+    on_term =
+      (fun fname bidx term ->
+        a.on_term fname bidx term;
+        b.on_term fname bidx term);
+  }
+
+(* Terminators with block labels pre-resolved to indices: the inner loop
+   follows a branch with an array access instead of a Hashtbl.find on the
+   label string. *)
+type rterm =
+  | Rjmp of int
+  | Rbr of { cond : Ir.operand; if_true : int; if_false : int }
+  | Rbr_memo of { on_hit : int; on_miss : int }
+  | Rret of Ir.operand array
+
+type cblock = {
+  instrs : Ir.instr array;
+  rterm : rterm;
+  term : Ir.terminator;  (* original form, handed to the hook *)
+}
+
+type cfunc = { fn : Ir.func; cblocks : cblock array }
+
 type t = {
   program : Ir.program;
   mem : Memory.t;
   memo : memo_hooks option;
-  hook : (event -> unit) option;
+  hooks : hooks option;
   max_steps : int;
-  funcs : (string, Ir.func * (string, int) Hashtbl.t) Hashtbl.t;
+  funcs : (string, cfunc) Hashtbl.t;
   mutable memo_flag : bool;
   mutable nsteps : int;
 }
 
-let create ?memo ?hook ?(max_steps = 2_000_000_000) ~program ~mem () =
+let compile_func (f : Ir.func) =
+  let labels = Hashtbl.create 16 in
+  Array.iteri (fun i (b : Ir.block) -> Hashtbl.replace labels b.label i) f.blocks;
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "Interp: unknown label %s in %s" l f.fname)
+  in
+  let cblocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        let rterm =
+          match b.term with
+          | Ir.Jmp l -> Rjmp (resolve l)
+          | Ir.Br { cond; if_true; if_false } ->
+              Rbr { cond; if_true = resolve if_true; if_false = resolve if_false }
+          | Ir.Br_memo { on_hit; on_miss } ->
+              Rbr_memo { on_hit = resolve on_hit; on_miss = resolve on_miss }
+          | Ir.Ret ops -> Rret ops
+        in
+        { instrs = b.instrs; rterm; term = b.term })
+      f.blocks
+  in
+  { fn = f; cblocks }
+
+let create ?memo ?hook ?hooks ?(max_steps = 2_000_000_000) ~program ~mem () =
+  let hooks =
+    match (hook, hooks) with
+    | None, None -> None
+    | Some f, None -> Some (hooks_of_event_fn f)
+    | None, Some h -> Some h
+    | Some f, Some h -> Some (combine_hooks (hooks_of_event_fn f) h)
+  in
   let funcs = Hashtbl.create 16 in
   Array.iter
-    (fun (f : Ir.func) ->
-      let labels = Hashtbl.create 16 in
-      Array.iteri (fun i (b : Ir.block) -> Hashtbl.replace labels b.label i) f.blocks;
-      Hashtbl.replace funcs f.fname (f, labels))
+    (fun (f : Ir.func) -> Hashtbl.replace funcs f.fname (compile_func f))
     (program : Ir.program).funcs;
-  { program; mem; memo; hook; max_steps; funcs; memo_flag = false; nsteps = 0 }
+  { program; mem; memo; hooks; max_steps; funcs; memo_flag = false; nsteps = 0 }
 
 let steps t = t.nsteps
 
@@ -131,90 +213,28 @@ let eval_cast op v =
   | Sext_32_64 -> Ir.VI (sext32 (vi v))
   | Trunc_64_32 -> Ir.VI (sext32 (vi v))
 
-let rec exec_func t (fn : Ir.func) labels (args : Ir.value array) : Ir.value array =
-  let regs = Array.make fn.nregs (Ir.VI 0L) in
-  Array.iteri (fun i (r, _) -> regs.(r) <- args.(i)) fn.params;
-  (match t.hook with Some h -> h (Enter { fname = fn.fname }) | None -> ());
-  let operand = function Ir.Reg r -> regs.(r) | Ir.Imm v -> v in
-  let rec run_block bidx =
-    let block = fn.blocks.(bidx) in
-    let instrs = block.instrs in
-    let n = Array.length instrs in
-    for iidx = 0 to n - 1 do
-      let instr = instrs.(iidx) in
-      t.nsteps <- t.nsteps + 1;
-      if t.nsteps > t.max_steps then failwith "Interp: step limit exceeded";
-      let addr = ref (-1) in
-      (match instr with
-      | Const { dst; value; _ } -> regs.(dst) <- value
-      | Mov { dst; src } -> regs.(dst) <- operand src
-      | Binop { op; ty; dst; a; b } -> regs.(dst) <- eval_binop op ty (operand a) (operand b)
-      | Fbinop { op; ty; dst; a; b } ->
-          regs.(dst) <- eval_fbinop op ty (operand a) (operand b)
-      | Funop { op; ty; dst; a } -> regs.(dst) <- eval_funop op ty (operand a)
-      | Icmp { op; dst; a; b; _ } -> regs.(dst) <- eval_icmp op (operand a) (operand b)
-      | Fcmp { op; dst; a; b; _ } -> regs.(dst) <- eval_fcmp op (operand a) (operand b)
-      | Select { dst; cond; if_true; if_false } ->
-          regs.(dst) <- (if vi (operand cond) <> 0L then operand if_true else operand if_false)
-      | Cast { op; dst; src } -> regs.(dst) <- eval_cast op (operand src)
-      | Load { ty; dst; base; offset } ->
-          let a = Int64.to_int (vi (operand base)) + offset in
-          addr := a;
-          regs.(dst) <- Memory.load t.mem ty a
-      | Store { ty; src; base; offset } ->
-          let a = Int64.to_int (vi (operand base)) + offset in
-          addr := a;
-          Memory.store t.mem ty a (operand src)
-      | Call { callee; dsts; args } ->
-          (* The call event fires before the callee runs so a timing consumer
-             sees events in issue order. *)
-          (match t.hook with
-          | Some h -> h (Exec { fname = fn.fname; bidx; iidx; instr; addr = -1 })
-          | None -> ());
-          let g, glabels =
-            match Hashtbl.find_opt t.funcs callee with
-            | Some fg -> fg
-            | None -> failwith ("Interp: unknown function " ^ callee)
-          in
-          let results = exec_func t g glabels (Array.map operand args) in
-          Array.iteri (fun i dst -> regs.(dst) <- results.(i)) dsts
-      | Memo m -> exec_memo t regs operand addr m);
-      (match instr with
-      | Call _ -> ()
-      | _ -> (
-          match t.hook with
-          | Some h -> h (Exec { fname = fn.fname; bidx; iidx; instr; addr = !addr })
-          | None -> ()))
-    done;
-    (match t.hook with
-    | Some h -> h (Term { fname = fn.fname; bidx; term = block.term })
-    | None -> ());
-    match block.term with
-    | Jmp l -> run_block (Hashtbl.find labels l)
-    | Br { cond; if_true; if_false } ->
-        if vi (operand cond) <> 0L then run_block (Hashtbl.find labels if_true)
-        else run_block (Hashtbl.find labels if_false)
-    | Br_memo { on_hit; on_miss } ->
-        if t.memo_flag then run_block (Hashtbl.find labels on_hit)
-        else run_block (Hashtbl.find labels on_miss)
-    | Ret ops -> Array.map operand ops
-  in
-  let results = run_block 0 in
-  (match t.hook with Some h -> h (Leave { fname = fn.fname }) | None -> ());
-  results
+let[@inline] operand regs = function Ir.Reg r -> regs.(r) | Ir.Imm v -> v
 
-and exec_memo t regs operand addr (m : Ir.memo_instr) =
+let callee_func t callee =
+  match Hashtbl.find_opt t.funcs callee with
+  | Some cf -> cf
+  | None -> failwith ("Interp: unknown function " ^ callee)
+
+let exec_memo t regs (m : Ir.memo_instr) : int =
   match m with
   | Ld_crc { dst; ty; base; offset; lut; trunc } ->
-      let a = Int64.to_int (vi (operand base)) + offset in
-      addr := a;
+      let a = Int64.to_int (vi (operand regs base)) + offset in
       let v = Memory.load t.mem ty a in
       regs.(dst) <- v;
-      (match t.memo with Some mh -> mh.send ~lut ~ty ~trunc v | None -> ())
-  | Reg_crc { src; ty; lut; trunc } -> (
-      match t.memo with Some mh -> mh.send ~lut ~ty ~trunc (operand src) | None -> ())
-  | Lookup { dst; lut } -> (
-      match t.memo with
+      (match t.memo with Some mh -> mh.send ~lut ~ty ~trunc v | None -> ());
+      a
+  | Reg_crc { src; ty; lut; trunc } ->
+      (match t.memo with
+      | Some mh -> mh.send ~lut ~ty ~trunc (operand regs src)
+      | None -> ());
+      -1
+  | Lookup { dst; lut } ->
+      (match t.memo with
       | Some mh -> (
           match mh.lookup ~lut with
           | Some payload ->
@@ -225,16 +245,137 @@ and exec_memo t regs operand addr (m : Ir.memo_instr) =
               regs.(dst) <- VI 0L)
       | None ->
           t.memo_flag <- false;
-          regs.(dst) <- VI 0L)
-  | Update { src; lut } -> (
-      match t.memo with Some mh -> mh.update ~lut (vi (operand src)) | None -> ())
-  | Invalidate { lut } -> (
-      match t.memo with Some mh -> mh.invalidate ~lut | None -> ())
+          regs.(dst) <- VI 0L);
+      -1
+  | Update { src; lut } ->
+      (match t.memo with
+      | Some mh -> mh.update ~lut (vi (operand regs src))
+      | None -> ());
+      -1
+  | Invalidate { lut } ->
+      (match t.memo with Some mh -> mh.invalidate ~lut | None -> ());
+      -1
+
+(* Executes one non-call instruction; returns the effective address for
+   memory instructions, -1 otherwise. No event record is allocated: flat
+   arguments carry what the hook needs. [Call] is handled by the block
+   drivers because it recurses and fires its hook before the callee runs. *)
+let exec_simple t regs (instr : Ir.instr) : int =
+  match instr with
+  | Const { dst; value; _ } ->
+      regs.(dst) <- value;
+      -1
+  | Mov { dst; src } ->
+      regs.(dst) <- operand regs src;
+      -1
+  | Binop { op; ty; dst; a; b } ->
+      regs.(dst) <- eval_binop op ty (operand regs a) (operand regs b);
+      -1
+  | Fbinop { op; ty; dst; a; b } ->
+      regs.(dst) <- eval_fbinop op ty (operand regs a) (operand regs b);
+      -1
+  | Funop { op; ty; dst; a } ->
+      regs.(dst) <- eval_funop op ty (operand regs a);
+      -1
+  | Icmp { op; dst; a; b; _ } ->
+      regs.(dst) <- eval_icmp op (operand regs a) (operand regs b);
+      -1
+  | Fcmp { op; dst; a; b; _ } ->
+      regs.(dst) <- eval_fcmp op (operand regs a) (operand regs b);
+      -1
+  | Select { dst; cond; if_true; if_false } ->
+      regs.(dst) <-
+        (if vi (operand regs cond) <> 0L then operand regs if_true
+         else operand regs if_false);
+      -1
+  | Cast { op; dst; src } ->
+      regs.(dst) <- eval_cast op (operand regs src);
+      -1
+  | Load { ty; dst; base; offset } ->
+      let a = Int64.to_int (vi (operand regs base)) + offset in
+      regs.(dst) <- Memory.load t.mem ty a;
+      a
+  | Store { ty; src; base; offset } ->
+      let a = Int64.to_int (vi (operand regs base)) + offset in
+      Memory.store t.mem ty a (operand regs src);
+      a
+  | Memo m -> exec_memo t regs m
+  | Call _ -> assert false
+
+(* The block drivers are specialized on hook presence: the hooked variant
+   pays the per-instruction hook calls, the plain variant's loop contains no
+   option match and no hook dispatch at all. Dispatch happens once per
+   function call in [exec_func]. *)
+let rec exec_func t (cf : cfunc) (args : Ir.value array) : Ir.value array =
+  let fn = cf.fn in
+  let regs = Array.make fn.nregs (Ir.VI 0L) in
+  Array.iteri (fun i (r, _) -> regs.(r) <- args.(i)) fn.params;
+  match t.hooks with
+  | None -> run_plain t cf regs 0
+  | Some h ->
+      h.on_enter fn.fname;
+      let results = run_hooked t h cf regs 0 in
+      h.on_leave fn.fname;
+      results
+
+and run_plain t cf regs bidx : Ir.value array =
+  let block = cf.cblocks.(bidx) in
+  let instrs = block.instrs in
+  let n = Array.length instrs in
+  for iidx = 0 to n - 1 do
+    let instr = instrs.(iidx) in
+    t.nsteps <- t.nsteps + 1;
+    if t.nsteps > t.max_steps then failwith "Interp: step limit exceeded";
+    match instr with
+    | Call { callee; dsts; args } ->
+        let g = callee_func t callee in
+        let results = exec_func t g (Array.map (operand regs) args) in
+        Array.iteri (fun i dst -> regs.(dst) <- results.(i)) dsts
+    | _ -> ignore (exec_simple t regs instr)
+  done;
+  match block.rterm with
+  | Rjmp b -> run_plain t cf regs b
+  | Rbr { cond; if_true; if_false } ->
+      run_plain t cf regs (if vi (operand regs cond) <> 0L then if_true else if_false)
+  | Rbr_memo { on_hit; on_miss } ->
+      run_plain t cf regs (if t.memo_flag then on_hit else on_miss)
+  | Rret ops -> Array.map (operand regs) ops
+
+and run_hooked t h cf regs bidx : Ir.value array =
+  let fname = cf.fn.fname in
+  let block = cf.cblocks.(bidx) in
+  let instrs = block.instrs in
+  let n = Array.length instrs in
+  for iidx = 0 to n - 1 do
+    let instr = instrs.(iidx) in
+    t.nsteps <- t.nsteps + 1;
+    if t.nsteps > t.max_steps then failwith "Interp: step limit exceeded";
+    match instr with
+    | Call { callee; dsts; args } ->
+        (* The call event fires before the callee runs so a timing consumer
+           sees events in issue order. *)
+        h.on_exec fname bidx iidx instr (-1);
+        let g = callee_func t callee in
+        let results = exec_func t g (Array.map (operand regs) args) in
+        Array.iteri (fun i dst -> regs.(dst) <- results.(i)) dsts
+    | _ ->
+        let addr = exec_simple t regs instr in
+        h.on_exec fname bidx iidx instr addr
+  done;
+  h.on_term fname bidx block.term;
+  match block.rterm with
+  | Rjmp b -> run_hooked t h cf regs b
+  | Rbr { cond; if_true; if_false } ->
+      run_hooked t h cf regs
+        (if vi (operand regs cond) <> 0L then if_true else if_false)
+  | Rbr_memo { on_hit; on_miss } ->
+      run_hooked t h cf regs (if t.memo_flag then on_hit else on_miss)
+  | Rret ops -> Array.map (operand regs) ops
 
 let run t fname args =
   match Hashtbl.find_opt t.funcs fname with
   | None -> failwith ("Interp: unknown function " ^ fname)
-  | Some (fn, labels) ->
-      if Array.length args <> Array.length fn.params then
+  | Some cf ->
+      if Array.length args <> Array.length cf.fn.params then
         failwith ("Interp: bad argument count for " ^ fname);
-      exec_func t fn labels args
+      exec_func t cf args

@@ -1,9 +1,19 @@
 (** IR interpreter.
 
-    Executes a program functionally and, through an optional event hook,
-    drives the tracer (for DDDG construction) and the CPU timing model. The
-    memoization unit is attached as a record of callbacks so this library
-    stays independent of the hardware model. *)
+    Executes a program functionally and, through optional hooks, drives the
+    tracer (for DDDG construction) and the CPU timing model. The memoization
+    unit is attached as a record of callbacks so this library stays
+    independent of the hardware model.
+
+    Performance notes (the hot path of every simulation):
+    - block labels are resolved to integer indices once at {!create}, so
+      taking a branch is an array access, not a [Hashtbl.find];
+    - the observer interface is the flat-argument {!hooks} record — no event
+      record is allocated per dynamic instruction (the variant-based
+      {!event}/[?hook] form remains as a convenience adapter and does pay
+      one allocation per event);
+    - the interpreter loop is specialized on hook presence at function-call
+      granularity, so a hook-free run has no per-instruction hook dispatch. *)
 
 type memo_hooks = {
   send : lut:int -> ty:Ir.ty -> trunc:int -> Ir.value -> unit;
@@ -25,19 +35,44 @@ type event =
   | Term of { fname : string; bidx : int; term : Ir.terminator }
       (** A terminator executed (control-flow edge taken). *)
 
+type hooks = {
+  on_enter : string -> unit;  (** function entered *)
+  on_leave : string -> unit;  (** function left *)
+  on_exec : string -> int -> int -> Ir.instr -> int -> unit;
+      (** [on_exec fname bidx iidx instr addr]: one instruction executed;
+          the arguments mirror the [Exec] event fields. For a [Call] the
+          hook fires before the callee runs (issue order), with [addr = -1]. *)
+  on_term : string -> int -> Ir.terminator -> unit;
+      (** [on_term fname bidx term]: a terminator executed. *)
+}
+(** Allocation-free observer calling convention: each callback receives flat
+    arguments instead of a freshly allocated {!event}. *)
+
+val hooks_of_event_fn : (event -> unit) -> hooks
+(** Adapt an event-consuming closure to the flat interface (allocates one
+    event per callback — the legacy cost). *)
+
+val combine_hooks : hooks -> hooks -> hooks
+(** Fan one execution out to two observers, first-before-second. *)
+
 type t
 
 val create :
   ?memo:memo_hooks ->
   ?hook:(event -> unit) ->
+  ?hooks:hooks ->
   ?max_steps:int ->
   program:Ir.program ->
   mem:Memory.t ->
   unit ->
   t
-(** [create ~program ~mem ()] prepares an execution context. [max_steps]
-    (default [2_000_000_000]) bounds total executed instructions as a runaway
-    guard. *)
+(** [create ~program ~mem ()] prepares an execution context, pre-resolving
+    every terminator label to a block index. [max_steps] (default
+    [2_000_000_000]) bounds total executed instructions as a runaway guard.
+    [hooks] is the allocation-free observer; [hook] is the event-based
+    convenience form (adapted internally). If both are given, [hook] fires
+    first.
+    @raise Failure if a terminator references an unknown label. *)
 
 val run : t -> string -> Ir.value array -> Ir.value array
 (** [run t fname args] calls function [fname] with [args] and returns its

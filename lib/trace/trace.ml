@@ -164,59 +164,77 @@ let record t fname bidx iidx (instr : Ir.instr) addr =
     end
   end
 
-let hook t (ev : Interp.event) =
-  match ev with
-  | Enter { fname } ->
-      let params =
-        match Hashtbl.find_opt t.params_of fname with Some p -> p | None -> [||]
-      in
-      let vals = Hashtbl.create 64 in
-      (match t.pending_dsts with
-      | Some _ ->
+let on_enter t fname =
+  let params =
+    match Hashtbl.find_opt t.params_of fname with Some p -> p | None -> [||]
+  in
+  let vals = Hashtbl.create 64 in
+  (match t.pending_dsts with
+  | Some _ ->
+      Array.iteri
+        (fun i r ->
+          if i < Array.length t.pending_args then
+            Hashtbl.replace vals r t.pending_args.(i))
+        params
+  | None -> ());
+  let caller_vals =
+    match t.frames with f :: _ -> Some f.vals | [] -> None
+  in
+  t.frames <-
+    { vals; call_dsts = t.pending_dsts; caller_vals = (match t.pending_dsts with Some _ -> caller_vals | None -> None) }
+    :: t.frames;
+  t.pending_dsts <- None;
+  t.pending_args <- [||]
+
+let on_leave t _fname =
+  match t.frames with
+  | [] -> ()
+  | frame :: rest ->
+      t.frames <- rest;
+      (match (frame.call_dsts, frame.caller_vals) with
+      | Some dsts, Some cvals ->
           Array.iteri
             (fun i r ->
-              if i < Array.length t.pending_args then
-                Hashtbl.replace vals r t.pending_args.(i))
-            params
-      | None -> ());
-      let caller_vals =
-        match t.frames with f :: _ -> Some f.vals | [] -> None
-      in
-      t.frames <-
-        { vals; call_dsts = t.pending_dsts; caller_vals = (match t.pending_dsts with Some _ -> caller_vals | None -> None) }
-        :: t.frames;
-      t.pending_dsts <- None;
-      t.pending_args <- [||]
-  | Leave _ -> (
-      match t.frames with
-      | [] -> ()
-      | frame :: rest ->
-          t.frames <- rest;
-          (match (frame.call_dsts, frame.caller_vals) with
-          | Some dsts, Some cvals ->
-              Array.iteri
-                (fun i r ->
-                  if i < Array.length t.last_ret then Hashtbl.replace cvals r t.last_ret.(i))
-                dsts
-          | _ -> ()))
-  | Exec { fname; bidx; iidx; instr; addr } -> (
-      match instr with
-      | Call { dsts; args; _ } ->
-          (* No vertex: the call is inlined into the trace; remember the
-             argument producers for parameter binding at Enter. *)
-          t.pending_args <-
-            Array.map
-              (fun o ->
-                match producer_of_operand t o with Some id -> id | None -> fresh_ext t)
-              args;
-          t.pending_dsts <- Some dsts
-      | _ -> record t fname bidx iidx instr addr)
-  | Term { term = Ret ops; _ } ->
+              if i < Array.length t.last_ret then Hashtbl.replace cvals r t.last_ret.(i))
+            dsts
+      | _ -> ())
+
+let on_exec t fname bidx iidx (instr : Ir.instr) addr =
+  match instr with
+  | Call { dsts; args; _ } ->
+      (* No vertex: the call is inlined into the trace; remember the
+         argument producers for parameter binding at Enter. *)
+      t.pending_args <-
+        Array.map
+          (fun o ->
+            match producer_of_operand t o with Some id -> id | None -> fresh_ext t)
+          args;
+      t.pending_dsts <- Some dsts
+  | _ -> record t fname bidx iidx instr addr
+
+let on_term t _fname _bidx (term : Ir.terminator) =
+  match term with
+  | Ret ops ->
       t.last_ret <-
         Array.map
           (fun o -> match producer_of_operand t o with Some id -> id | None -> fresh_ext t)
           ops
-  | Term _ -> ()
+  | Jmp _ | Br _ | Br_memo _ -> ()
+
+let hooks t : Interp.hooks =
+  {
+    Interp.on_enter = on_enter t;
+    on_leave = on_leave t;
+    on_exec = on_exec t;
+    on_term = on_term t;
+  }
+
+let hook t (ev : Interp.event) =
+  match ev with
+  | Enter { fname } -> on_enter t fname
+  | Leave { fname } -> on_leave t fname
+  | Exec { fname; bidx; iidx; instr; addr } -> on_exec t fname bidx iidx instr addr
+  | Term { fname; bidx; term } -> on_term t fname bidx term
 
 let entries t = Array.sub t.buf 0 t.count
 

@@ -32,8 +32,13 @@ val create :
     silently after [max_entries] (default 400_000) to bound analysis cost.
     [program] provides parameter registers for cross-call renaming. *)
 
+val hooks : t -> Axmemo_ir.Interp.hooks
+(** Allocation-free attachment; pass as the interpreter's [hooks] during a
+    {e sample-input} run. *)
+
 val hook : t -> Axmemo_ir.Interp.event -> unit
-(** Attach as the interpreter hook during a {e sample-input} run. *)
+(** Attach as the interpreter hook during a {e sample-input} run
+    (event-based convenience form of {!hooks}). *)
 
 val entries : t -> entry array
 (** Recorded entries in execution order. *)

@@ -1,0 +1,123 @@
+type t = {
+  njobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+  mutable joined : bool;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Workers drain the queue even after [stop] is raised, so a shutdown never
+   drops submitted work. *)
+let worker t () =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec await () =
+      match Queue.take_opt t.queue with
+      | Some job ->
+          Mutex.unlock t.mutex;
+          Some job
+      | None ->
+          if t.stop then begin
+            Mutex.unlock t.mutex;
+            None
+          end
+          else begin
+            Condition.wait t.work_available t.mutex;
+            await ()
+          end
+    in
+    match await () with
+    | None -> ()
+    | Some job ->
+        job ();
+        next ()
+  in
+  next ()
+
+let create ?jobs () =
+  let njobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  let t =
+    {
+      njobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [||];
+      joined = false;
+    }
+  in
+  t.domains <- Array.init njobs (fun _ -> Domain.spawn (worker t));
+  t
+
+let jobs t = t.njobs
+
+let submit t job =
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add job t.queue;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  if not t.joined then begin
+    t.joined <- true;
+    Array.iter Domain.join t.domains
+  end
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let error = Atomic.make None in
+      let remaining = Atomic.make n in
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      let task i () =
+        (try results.(i) <- Some (f arr.(i))
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set error None (Some (e, bt))));
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_mutex;
+          Condition.broadcast done_cond;
+          Mutex.unlock done_mutex
+        end
+      in
+      for i = 0 to n - 1 do
+        submit t (task i)
+      done;
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      (match Atomic.get error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map (function Some r -> r | None -> assert false) results)
+
+let run ?jobs f xs =
+  let njobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when njobs = 1 -> List.map f xs
+  | _ ->
+      let t = create ~jobs:(min njobs (List.length xs)) () in
+      Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t f xs)

@@ -1,0 +1,50 @@
+(** Fixed pool of worker domains (OCaml 5 [Domain]) with a shared job queue.
+
+    Built for the embarrassingly parallel experiment matrix: every
+    (benchmark, configuration) simulation is independent, so the runner fans
+    cells out over a small, fixed set of domains. The pool is deliberately
+    minimal — a mutex-protected FIFO drained by [jobs] workers — because
+    simulation jobs run for milliseconds to minutes; queue overhead is
+    irrelevant.
+
+    Domain-safety contract for submitted jobs: a job must only touch state
+    it owns (each simulation owns its [Memory.t], [Hierarchy.t],
+    [Memo_unit.t], ...). Shared read-only data (programs, configuration
+    records) is fine. The only library-level shared mutable state, the CRC
+    step-table cache, is internally mutex-guarded. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The host's recommended domain count ({!Domain.recommended_domain_count}). *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains (default
+    {!default_jobs}, clamped to at least 1) that block until work is
+    submitted. Call {!shutdown} when done; a leaked pool keeps its domains
+    alive. *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a job. Exceptions escaping a bare submitted job terminate the
+    worker's current job silently only through {!map}'s capture; prefer
+    {!map}/{!run} which propagate them.
+    @raise Invalid_argument if the pool was shut down. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element on the pool's workers and
+    blocks until all are done. Results keep the input order. If any
+    application raised, the first captured exception is re-raised (with its
+    backtrace) after all jobs finish. *)
+
+val shutdown : t -> unit
+(** Drain remaining jobs, stop the workers, and join their domains.
+    Idempotent. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [run ~jobs f xs] is {!map} on a transient pool of
+    [min jobs (length xs)] workers, shut down before returning. [jobs <= 1]
+    (or a single-element list) degenerates to [List.map f xs] on the calling
+    domain — bit-identical results, no domains spawned. *)

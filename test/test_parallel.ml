@@ -1,0 +1,128 @@
+(* Tests for the domain pool and the parallel experiment matrix.
+
+   The contract under test is bit-identity: [Runner.run_matrix ~jobs:n] must
+   return exactly what the serial path returns, for any n, and repeated runs
+   must be deterministic. Speedup is deliberately NOT asserted — it depends
+   on host core count (CI may pin us to one). *)
+
+module Pool = Axmemo_util.Pool
+module Runner = Axmemo.Runner
+module Workload = Axmemo_workloads.Workload
+module Registry = Axmemo_workloads.Registry
+module Model = Axmemo_energy.Model
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 Fun.id in
+  let ys = Pool.run ~jobs:4 (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs) ys
+
+let test_pool_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Pool.run ~jobs:4 Fun.id []);
+  Alcotest.(check (list int)) "single" [ 7 ] (Pool.run ~jobs:4 Fun.id [ 7 ])
+
+let test_pool_jobs_one_serial () =
+  (* jobs:1 must not spawn domains: side effects happen on the calling
+     domain, in order. *)
+  let seen = ref [] in
+  let self = Domain.self () in
+  let ok = ref true in
+  ignore
+    (Pool.run ~jobs:1
+       (fun x ->
+         if Domain.self () <> self then ok := false;
+         seen := x :: !seen)
+       [ 1; 2; 3 ]);
+  Alcotest.(check bool) "calling domain" true !ok;
+  Alcotest.(check (list int)) "in order" [ 3; 2; 1 ] !seen
+
+exception Boom
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "re-raised" Boom (fun () ->
+      ignore (Pool.run ~jobs:4 (fun x -> if x = 5 then raise Boom else x) (List.init 10 Fun.id)))
+
+let test_pool_reuse () =
+  let p = Pool.create ~jobs:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let a = Pool.map p (fun x -> x + 1) [ 1; 2; 3 ] in
+      let b = Pool.map p string_of_int [ 4; 5 ] in
+      Alcotest.(check (list int)) "first map" [ 2; 3; 4 ] a;
+      Alcotest.(check (list string)) "second map" [ "4"; "5" ] b)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity of the experiment matrix *)
+
+let matrix_names = [ "blackscholes"; "inversek2j"; "sobel" ]
+let matrix_configs = [ Runner.Baseline; Runner.l1_8k; Runner.software_default ]
+
+let cells () =
+  List.concat_map
+    (fun n ->
+      let _, make = Option.get (Registry.find n) in
+      List.map (fun c -> (c, make Workload.Sample)) matrix_configs)
+    matrix_names
+
+let floats_identical a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let outputs_identical (a : Workload.outputs) (b : Workload.outputs) =
+  match (a, b) with
+  | Workload.Floats x, Workload.Floats y ->
+      Array.length x = Array.length y
+      && Array.for_all2 (fun u v -> floats_identical u v) x y
+  | Workload.Bools x, Workload.Bools y -> x = y
+  | _ -> false
+
+let check_identical i (a : Runner.result) (b : Runner.result) =
+  let tag name = Printf.sprintf "cell %d %s %s" i a.label name in
+  Alcotest.(check string) (tag "label") a.label b.label;
+  Alcotest.(check int) (tag "cycles") a.cycles b.cycles;
+  Alcotest.(check bool) (tag "seconds") true (floats_identical a.seconds b.seconds);
+  Alcotest.(check int) (tag "dyn_normal") a.dyn_normal b.dyn_normal;
+  Alcotest.(check int) (tag "dyn_memo") a.dyn_memo b.dyn_memo;
+  Alcotest.(check int) (tag "lookups") a.lookups b.lookups;
+  Alcotest.(check int) (tag "hits") a.hits b.hits;
+  Alcotest.(check bool) (tag "hit_rate") true (floats_identical a.hit_rate b.hit_rate);
+  Alcotest.(check int) (tag "collisions") a.collisions b.collisions;
+  Alcotest.(check bool) (tag "memo_disabled") a.memo_disabled b.memo_disabled;
+  Alcotest.(check bool)
+    (tag "energy")
+    true
+    (floats_identical a.energy.Model.total_pj b.energy.Model.total_pj);
+  Alcotest.(check bool) (tag "outputs") true (outputs_identical a.outputs b.outputs)
+
+let test_matrix_parallel_matches_serial () =
+  let serial = Runner.run_matrix ~jobs:1 (cells ()) in
+  let parallel = Runner.run_matrix ~jobs:4 (cells ()) in
+  Alcotest.(check int) "same length" (List.length serial) (List.length parallel);
+  List.iteri (fun i (a, b) -> check_identical i a b)
+    (List.combine serial parallel)
+
+let test_matrix_deterministic () =
+  let a = Runner.run_matrix ~jobs:4 (cells ()) in
+  let b = Runner.run_matrix ~jobs:4 (cells ()) in
+  List.iteri (fun i (x, y) -> check_identical i x y) (List.combine a b)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_single;
+          Alcotest.test_case "jobs=1 stays serial" `Quick test_pool_jobs_one_serial;
+          Alcotest.test_case "exceptions propagate" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "pool is reusable" `Quick test_pool_reuse;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "parallel == serial (bit-identical)" `Slow
+            test_matrix_parallel_matches_serial;
+          Alcotest.test_case "parallel runs deterministic" `Slow
+            test_matrix_deterministic;
+        ] );
+    ]
