@@ -26,6 +26,8 @@ module Machine = Axmemo_cpu.Machine
 module Hierarchy = Axmemo_cache.Hierarchy
 module Timing = Axmemo_isa.Timing
 module Synthesis = Axmemo_energy.Synthesis
+module Json = Axmemo_util.Json
+module Report = Axmemo_telemetry.Report
 
 let benchmarks = W.Registry.all
 let names = W.Registry.names
@@ -768,34 +770,78 @@ let perf_smoke () =
   Printf.printf
     "interp fast path %.3f s flat-hook vs %.3f s event-hook => %.2fx single-thread\n"
     t_flat t_event (t_event /. t_flat);
-  let oc = open_out "BENCH_PR1.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"pr\": 1,\n\
-    \  \"subject\": \"parallel experiment matrix + allocation-free interpreter hot path\",\n\
-    \  \"host_domains\": %d,\n\
-    \  \"matrix\": { \"benchmarks\": [%s], \"configs\": [%s], \"cells\": %d },\n\
-    \  \"jobs\": %d,\n\
-    \  \"serial_seconds\": %.4f,\n\
-    \  \"parallel_seconds\": %.4f,\n\
-    \  \"parallel_speedup\": %.4f,\n\
-    \  \"bit_identical\": %b,\n\
-    \  \"dynamic_instructions\": %d,\n\
-    \  \"serial_minstr_per_sec\": %.4f,\n\
-    \  \"hook_event_seconds\": %.4f,\n\
-    \  \"hook_flat_seconds\": %.4f,\n\
-    \  \"interp_fastpath_speedup\": %.4f\n\
-     }\n"
-    (Pool.default_jobs ())
-    (String.concat ", " (List.map (Printf.sprintf "%S") smoke_names))
-    (String.concat ", "
-       (List.map (fun c -> Printf.sprintf "%S" (Runner.config_label c)) smoke_configs))
-    ncells njobs t_serial t_par speedup identical dyn throughput t_event t_flat
-    (t_event /. t_flat);
-  close_out oc;
+  (* Untimed telemetry pass over the same matrix: supplies the per-cell
+     metric snapshots of the shared run-report schema, and doubles as a
+     check that attaching telemetry does not perturb results. *)
+  let telem = Runner.run_matrix_telemetry ~jobs:1 (smoke_cells ()) in
+  let telem_identical =
+    List.for_all2
+      (fun (a : Runner.result) ((b : Runner.result), _) ->
+        a.cycles = b.cycles && a.hits = b.hits && a.lookups = b.lookups
+        && a.outputs = b.outputs)
+      serial telem
+  in
+  Printf.printf "telemetry-inert  %b\n" telem_identical;
+  let cell_benchmarks =
+    List.concat_map (fun n -> List.map (fun _ -> n) smoke_configs) smoke_names
+  in
+  let report_runs =
+    List.map2
+      (fun bench ((r : Runner.result), snapshot) ->
+        {
+          Report.benchmark = bench;
+          config = r.label;
+          summary =
+            [
+              ("cycles", Json.Int r.cycles);
+              ("seconds", Json.Float r.seconds);
+              ("dyn_normal", Json.Int r.dyn_normal);
+              ("dyn_memo", Json.Int r.dyn_memo);
+              ("energy_pj", Json.Float r.energy.Axmemo_energy.Model.total_pj);
+              ("lookups", Json.Int r.lookups);
+              ("hits", Json.Int r.hits);
+              ("hit_rate", Json.Float r.hit_rate);
+            ];
+          metrics = snapshot;
+        })
+      cell_benchmarks telem
+  in
+  let extra =
+    [
+      ("pr", Json.Int 1);
+      ( "subject",
+        Json.Str "parallel experiment matrix + allocation-free interpreter hot path" );
+      ("host_domains", Json.Int (Pool.default_jobs ()));
+      ( "matrix",
+        Json.Obj
+          [
+            ("benchmarks", Json.Arr (List.map (fun n -> Json.Str n) smoke_names));
+            ( "configs",
+              Json.Arr
+                (List.map (fun c -> Json.Str (Runner.config_label c)) smoke_configs) );
+            ("cells", Json.Int ncells);
+          ] );
+      ("jobs", Json.Int njobs);
+      ("serial_seconds", Json.Float t_serial);
+      ("parallel_seconds", Json.Float t_par);
+      ("parallel_speedup", Json.Float speedup);
+      ("bit_identical", Json.Bool identical);
+      ("telemetry_identical", Json.Bool telem_identical);
+      ("dynamic_instructions", Json.Int dyn);
+      ("serial_minstr_per_sec", Json.Float throughput);
+      ("hook_event_seconds", Json.Float t_event);
+      ("hook_flat_seconds", Json.Float t_flat);
+      ("interp_fastpath_speedup", Json.Float (t_event /. t_flat));
+    ]
+  in
+  Report.write ~extra "BENCH_PR1.json" report_runs;
   Printf.printf "wrote BENCH_PR1.json\n";
   if not identical then begin
     Printf.eprintf "FATAL: parallel results differ from serial results\n";
+    exit 1
+  end;
+  if not telem_identical then begin
+    Printf.eprintf "FATAL: telemetry-attached results differ from plain results\n";
     exit 1
   end
 

@@ -11,6 +11,9 @@ module W = Axmemo_workloads
 module Runner = Axmemo.Runner
 module Analysis = Axmemo.Analysis
 module Table = Axmemo_util.Table
+module Json = Axmemo_util.Json
+module Report = Axmemo_telemetry.Report
+module Tracer = Axmemo_telemetry.Tracer
 open Cmdliner
 
 let config_of_string = function
@@ -78,6 +81,59 @@ let variant_arg =
 
 let variant_of flag = if flag then W.Workload.Sample else W.Workload.Eval
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a versioned JSON run report (metrics + summary) to $(docv).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE"
+        ~doc:"Write the scalar metric matrix as CSV to $(docv).")
+
+let chrome_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a cycle-timeline in Chrome trace-event format to $(docv) \
+           (load in chrome://tracing or Perfetto).")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "quiet" ] ~doc:"Suppress the human-readable tables on stdout.")
+
+(* Flat scalar facts of one run, shared by the [run] and [sweep] reports. *)
+let summary_of ?base (r : Runner.result) =
+  [
+    ("cycles", Json.Int r.cycles);
+    ("seconds", Json.Float r.seconds);
+    ("dyn_normal", Json.Int r.dyn_normal);
+    ("dyn_memo", Json.Int r.dyn_memo);
+    ("energy_pj", Json.Float r.energy.total_pj);
+    ("lookups", Json.Int r.lookups);
+    ("hits", Json.Int r.hits);
+    ("hit_rate", Json.Float r.hit_rate);
+    ("collisions", Json.Int r.collisions);
+    ("memo_disabled", Json.Bool r.memo_disabled);
+  ]
+  @
+  match base with
+  | None -> []
+  | Some (b : Runner.result) ->
+      [
+        ("speedup", Json.Float (Runner.speedup ~baseline:b r));
+        ("energy_saving", Json.Float (Runner.energy_saving ~baseline:b r));
+        ( "quality_loss",
+          Json.Float (W.Workload.quality_loss ~reference:b.outputs ~approx:r.outputs) );
+      ]
+
 let print_result ~base (r : Runner.result) =
   Printf.printf "configuration    %s\n" r.label;
   Printf.printf "cycles           %d (%.3f ms at 2 GHz)\n" r.cycles (1e3 *. r.seconds);
@@ -108,7 +164,7 @@ let list_cmd =
 
 let run_cmd =
   let doc = "Simulate one benchmark under one configuration." in
-  let run bench config sample =
+  let run bench config sample metrics csv chrome_trace quiet =
     let _, make = Option.get (W.Registry.find bench) in
     let variant = variant_of sample in
     let base =
@@ -116,10 +172,35 @@ let run_cmd =
       | Runner.Baseline -> None
       | _ -> Some (Runner.run Baseline (make variant))
     in
-    let r = Runner.run config (make variant) in
-    print_result ~base r
+    let want_telemetry = metrics <> None || csv <> None || chrome_trace <> None in
+    if want_telemetry then begin
+      let r, snapshot, tracer =
+        Runner.run_telemetry ~trace:(chrome_trace <> None) config (make variant)
+      in
+      if not quiet then print_result ~base r;
+      let report_run =
+        {
+          Report.benchmark = bench;
+          config = r.label;
+          summary = summary_of ?base r;
+          metrics = snapshot;
+        }
+      in
+      Option.iter (fun path -> Report.write path [ report_run ]) metrics;
+      Option.iter (fun path -> Report.write_csv path [ report_run ]) csv;
+      match (tracer, chrome_trace) with
+      | Some tr, Some path -> Tracer.write tr path
+      | _ -> ()
+    end
+    else begin
+      let r = Runner.run config (make variant) in
+      if not quiet then print_result ~base r
+    end
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ bench_arg $ config_arg $ variant_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ bench_arg $ config_arg $ variant_arg $ metrics_arg $ csv_arg
+      $ chrome_trace_arg $ quiet_arg)
 
 let jobs_arg =
   Arg.(
@@ -132,7 +213,7 @@ let jobs_arg =
 
 let sweep_cmd =
   let doc = "Run every configuration over the suite (or one benchmark)." in
-  let run bench sample jobs =
+  let run bench sample jobs metrics csv quiet =
     let variant = variant_of sample in
     let selected =
       match bench with
@@ -151,38 +232,71 @@ let sweep_cmd =
           List.map (fun cfg -> (cfg, make variant)) (Runner.Baseline :: configs))
         selected
     in
-    let results = Runner.run_matrix ?jobs cells in
-    let per_bench = 1 + List.length configs in
-    let header = [ "benchmark"; "config"; "speedup"; "esave"; "hit"; "loss" ] in
-    let rows =
-      List.concat
-        (List.mapi
-           (fun i ((m : W.Workload.meta), _) ->
-             let chunk =
-               List.filteri
-                 (fun j _ -> j >= i * per_bench && j < (i + 1) * per_bench)
-                 results
-             in
-             let base = List.hd chunk in
-             List.map
-               (fun (r : Runner.result) ->
-                 [
-                   m.name;
-                   r.label;
-                   Table.fmt_x (Runner.speedup ~baseline:base r);
-                   Table.fmt_x (Runner.energy_saving ~baseline:base r);
-                   Table.fmt_pct r.hit_rate;
-                   Printf.sprintf "%.1e"
-                     (W.Workload.quality_loss ~reference:base.outputs
-                        ~approx:r.outputs);
-                 ])
-               (List.tl chunk))
-           selected)
+    let want_report = metrics <> None || csv <> None in
+    (* Per-cell snapshots ride the same pool fan-out; without a report
+       request the plain path avoids the registry work entirely. *)
+    let results, snapshots =
+      if want_report then
+        let pairs = Runner.run_matrix_telemetry ?jobs cells in
+        (List.map fst pairs, List.map snd pairs)
+      else (Runner.run_matrix ?jobs cells, [])
     in
-    Table.print ~align:[ Left; Left; Right; Right; Right; Right ] ~header rows
+    let per_bench = 1 + List.length configs in
+    let chunk_of i l =
+      List.filteri (fun j _ -> j >= i * per_bench && j < (i + 1) * per_bench) l
+    in
+    if not quiet then begin
+      let header = [ "benchmark"; "config"; "speedup"; "esave"; "hit"; "loss" ] in
+      let rows =
+        List.concat
+          (List.mapi
+             (fun i ((m : W.Workload.meta), _) ->
+               let chunk = chunk_of i results in
+               let base = List.hd chunk in
+               List.map
+                 (fun (r : Runner.result) ->
+                   [
+                     m.name;
+                     r.label;
+                     Table.fmt_x (Runner.speedup ~baseline:base r);
+                     Table.fmt_x (Runner.energy_saving ~baseline:base r);
+                     Table.fmt_pct r.hit_rate;
+                     Printf.sprintf "%.1e"
+                       (W.Workload.quality_loss ~reference:base.outputs
+                          ~approx:r.outputs);
+                   ])
+                 (List.tl chunk))
+             selected)
+      in
+      Table.print ~align:[ Left; Left; Right; Right; Right; Right ] ~header rows
+    end;
+    if want_report then begin
+      let report_runs =
+        List.concat
+          (List.mapi
+             (fun i ((m : W.Workload.meta), _) ->
+               let rs = chunk_of i results and snaps = chunk_of i snapshots in
+               let base = List.hd rs in
+               List.map2
+                 (fun (r : Runner.result) snapshot ->
+                   let base = if r.label = base.label then None else Some base in
+                   {
+                     Report.benchmark = m.name;
+                     config = r.label;
+                     summary = summary_of ?base r;
+                     metrics = snapshot;
+                   })
+                 rs snaps)
+             selected)
+      in
+      Option.iter (fun path -> Report.write path report_runs) metrics;
+      Option.iter (fun path -> Report.write_csv path report_runs) csv
+    end
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ bench_opt_arg $ variant_arg $ jobs_arg)
+    Term.(
+      const run $ bench_opt_arg $ variant_arg $ jobs_arg $ metrics_arg $ csv_arg
+      $ quiet_arg)
 
 let analyze_cmd =
   let doc = "DDDG candidate analysis on the sample dataset (Table 1 row)." in

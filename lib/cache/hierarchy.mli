@@ -28,7 +28,12 @@ val carve_l2 : config -> lut_bytes:int -> config
 
 type t
 
-val create : config -> t
+val create : ?metrics:Axmemo_telemetry.Registry.t -> config -> t
+(** With [?metrics], registers instruments under [cache.*]: a live
+    [cache.read_latency] histogram (one bucket per service level —
+    L1 hit, L2 hit, DRAM) and end-of-run stat mirrors written by
+    {!flush_metrics}. Latency results are bit-identical either way. *)
+
 val config : t -> config
 
 val read : t -> addr:int -> int
@@ -44,3 +49,8 @@ val l2 : t -> Sa_cache.t
 
 val invalidate_all : t -> unit
 val reset_stats : t -> unit
+
+val flush_metrics : t -> unit
+(** Mirror both caches' {!Sa_cache.stats} into the attached registry
+    ([cache.l1.accesses], [cache.l1.hits], ... [cache.l2.writes]). Call
+    once, when the run ends. No-op without an attached registry. *)

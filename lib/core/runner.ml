@@ -6,6 +6,8 @@ module Memo_unit = Axmemo_memo.Memo_unit
 module Model = Axmemo_energy.Model
 module Transform = Axmemo_compiler.Transform
 module Workload = Axmemo_workloads.Workload
+module Registry = Axmemo_telemetry.Registry
+module Tracer = Axmemo_telemetry.Tracer
 
 type config =
   | Baseline
@@ -149,10 +151,23 @@ let finish ~label ~pipeline_stats ~hierarchy ~memo_stats ~l1_lut_bytes ~lookups 
 
 let machine = Axmemo_cpu.Machine.hpi
 
+(* Function-activation spans plus optional per-exec instants, fanned out
+   after the pipeline's own hooks so the tracer clock reads post-charge
+   cycle counts. *)
+let trace_hooks tr ~instant_of_exec : Interp.hooks =
+  {
+    Interp.on_enter = (fun fname -> Tracer.begin_span tr fname);
+    on_leave = (fun fname -> Tracer.end_span tr fname);
+    on_exec = instant_of_exec;
+    on_term = (fun _ _ _ -> ());
+  }
+
+let no_instants _fname _bidx _iidx _instr _addr = ()
+
 (* Shared hardware-memoization path: Hw_memo and Hw_custom differ only in how
    the unit configuration is assembled. *)
-let run_hw ~label ~(unit_cfg : Memo_unit.config) ~approximate ~total_l2
-    ~crc_bytes_per_cycle (instance : Workload.instance) =
+let run_hw ?metrics ?(trace = false) ~label ~(unit_cfg : Memo_unit.config) ~approximate
+    ~total_l2 ~crc_bytes_per_cycle (instance : Workload.instance) =
   let regions =
     if approximate then instance.regions
     else List.map Transform.zero_truncs instance.regions
@@ -173,8 +188,10 @@ let run_hw ~label ~(unit_cfg : Memo_unit.config) ~approximate ~total_l2
     | None -> hier_base
     | Some lut -> Hierarchy.carve_l2 hier_base ~lut_bytes:lut
   in
-  let hierarchy = Hierarchy.create hier_cfg in
-  let unit = Memo_unit.create unit_cfg (Transform.lut_decls instance.program regions) in
+  let hierarchy = Hierarchy.create ?metrics hier_cfg in
+  let unit =
+    Memo_unit.create ?metrics unit_cfg (Transform.lut_decls instance.program regions)
+  in
   let lookup_level () =
     match Memo_unit.last_lookup_level unit with
     | Memo_unit.Hit_l1 -> `L1
@@ -182,34 +199,74 @@ let run_hw ~label ~(unit_cfg : Memo_unit.config) ~approximate ~total_l2
     | Memo_unit.Miss -> `Miss
   in
   let pipe =
-    Pipeline.create ~machine ~lookup_level ~l2_lut_present:(unit_cfg.l2_bytes <> None)
-      ~l1_lut_ways:(Memo_unit.l1_ways unit) ~crc_bytes_per_cycle ~program ~hierarchy ()
+    Pipeline.create ?metrics ~machine ~lookup_level
+      ~l2_lut_present:(unit_cfg.l2_bytes <> None) ~l1_lut_ways:(Memo_unit.l1_ways unit)
+      ~crc_bytes_per_cycle ~program ~hierarchy ()
+  in
+  let tracer =
+    if trace then Some (Tracer.create ~clock:(fun () -> Pipeline.cycles pipe) ())
+    else None
+  in
+  let hooks =
+    match tracer with
+    | None -> Pipeline.hooks pipe
+    | Some tr ->
+        (* The lookup's memo hook has already run when [on_exec] fires, so
+           [last_lookup_level] names the level that serviced it. *)
+        let lut_instant _fname _bidx _iidx (instr : Ir.instr) _addr =
+          match instr with
+          | Ir.Memo (Ir.Lookup _) -> (
+              match Memo_unit.last_lookup_level unit with
+              | Memo_unit.Hit_l1 -> Tracer.instant tr "lut_hit_l1"
+              | Memo_unit.Hit_l2 -> Tracer.instant tr "lut_hit_l2"
+              | Memo_unit.Miss -> Tracer.instant tr "lut_miss")
+          | Ir.Memo (Ir.Invalidate _) -> Tracer.instant tr "lut_invalidate"
+          | _ -> ()
+        in
+        Interp.combine_hooks (Pipeline.hooks pipe)
+          (trace_hooks tr ~instant_of_exec:lut_instant)
   in
   let interp =
-    Interp.create ~memo:(Memo_unit.hooks unit) ~hooks:(Pipeline.hooks pipe) ~program
-      ~mem:instance.mem ()
+    Interp.create ~memo:(Memo_unit.hooks unit) ~hooks ~program ~mem:instance.mem ()
   in
   ignore (Interp.run interp instance.entry instance.args);
+  Memo_unit.flush_metrics unit;
+  Pipeline.flush_metrics pipe;
+  Hierarchy.flush_metrics hierarchy;
   let ms = Memo_unit.stats unit in
-  finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:(Some ms)
-    ~l1_lut_bytes:unit_cfg.l1_bytes ~lookups:ms.lookups ~hits:(ms.l1_hits + ms.l2_hits)
-    ~collisions:ms.collisions ~memo_disabled:(Memo_unit.disabled unit)
-    ~outputs:(instance.read_outputs ()) ~machine
+  ( finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:(Some ms)
+      ~l1_lut_bytes:unit_cfg.l1_bytes ~lookups:ms.lookups ~hits:(ms.l1_hits + ms.l2_hits)
+      ~collisions:ms.collisions ~memo_disabled:(Memo_unit.disabled unit)
+      ~outputs:(instance.read_outputs ()) ~machine,
+    tracer )
 
-let run config (instance : Workload.instance) =
+let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
   let label = config_label config in
   match config with
   | Baseline ->
-      let hierarchy = Hierarchy.(create hpi_default) in
-      let pipe = Pipeline.create ~machine ~program:instance.program ~hierarchy () in
-      let interp =
-        Interp.create ~hooks:(Pipeline.hooks pipe) ~program:instance.program
-          ~mem:instance.mem ()
+      let hierarchy = Hierarchy.create ?metrics Hierarchy.hpi_default in
+      let pipe =
+        Pipeline.create ?metrics ~machine ~program:instance.program ~hierarchy ()
       in
+      let tracer =
+        if trace then Some (Tracer.create ~clock:(fun () -> Pipeline.cycles pipe) ())
+        else None
+      in
+      let hooks =
+        match tracer with
+        | None -> Pipeline.hooks pipe
+        | Some tr ->
+            Interp.combine_hooks (Pipeline.hooks pipe)
+              (trace_hooks tr ~instant_of_exec:no_instants)
+      in
+      let interp = Interp.create ~hooks ~program:instance.program ~mem:instance.mem () in
       ignore (Interp.run interp instance.entry instance.args);
-      finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
-        ~l1_lut_bytes:(kb 8) ~lookups:0 ~hits:0 ~collisions:0 ~memo_disabled:false
-        ~outputs:(instance.read_outputs ()) ~machine
+      Pipeline.flush_metrics pipe;
+      Hierarchy.flush_metrics hierarchy;
+      ( finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
+          ~l1_lut_bytes:(kb 8) ~lookups:0 ~hits:0 ~collisions:0 ~memo_disabled:false
+          ~outputs:(instance.read_outputs ()) ~machine,
+        tracer )
   | Hw_memo { l1_bytes; l2_bytes; approximate; monitor; total_l2; adaptive } ->
       let unit_cfg =
         {
@@ -220,10 +277,11 @@ let run config (instance : Workload.instance) =
           adaptive = (if adaptive then Some Memo_unit.default_adaptive else None);
         }
       in
-      run_hw ~label ~unit_cfg ~approximate ~total_l2
+      run_hw ?metrics ~trace ~label ~unit_cfg ~approximate ~total_l2
         ~crc_bytes_per_cycle:Axmemo_isa.Timing.crc_bytes_per_cycle instance
   | Hw_custom { label; unit_cfg; approximate; crc_bytes_per_cycle } ->
-      run_hw ~label ~unit_cfg ~approximate ~total_l2:None ~crc_bytes_per_cycle instance
+      run_hw ?metrics ~trace ~label ~unit_cfg ~approximate ~total_l2:None
+        ~crc_bytes_per_cycle instance
   | Software { table_log2 } | Atm { table_log2 } ->
       let sw_memoize =
         match config with
@@ -235,8 +293,12 @@ let run config (instance : Workload.instance) =
         sw_memoize ~mem:instance.mem ~table_log2 ~entry:instance.entry
           ?barrier:instance.barrier instance.program instance.regions
       in
-      let hierarchy = Hierarchy.(create hpi_default) in
-      let pipe = Pipeline.create ~machine ~program ~hierarchy () in
+      let hierarchy = Hierarchy.create ?metrics Hierarchy.hpi_default in
+      let pipe = Pipeline.create ?metrics ~machine ~program ~hierarchy () in
+      let tracer =
+        if trace then Some (Tracer.create ~clock:(fun () -> Pipeline.cycles pipe) ())
+        else None
+      in
       let count_exec, hits, misses = sw_hit_counter program in
       let ph = Pipeline.hooks pipe in
       let hooks =
@@ -248,12 +310,27 @@ let run config (instance : Workload.instance) =
               count_exec fname bidx iidx);
         }
       in
+      let hooks =
+        match tracer with
+        | None -> hooks
+        | Some tr -> Interp.combine_hooks hooks (trace_hooks tr ~instant_of_exec:no_instants)
+      in
       let interp = Interp.create ~hooks ~program ~mem:instance.mem () in
       ignore (Interp.run interp instance.entry instance.args);
+      Pipeline.flush_metrics pipe;
+      Hierarchy.flush_metrics hierarchy;
       let lookups = !hits + !misses in
-      finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
-        ~l1_lut_bytes:(kb 8) ~lookups ~hits:!hits ~collisions:0 ~memo_disabled:false
-        ~outputs:(instance.read_outputs ()) ~machine
+      ( finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
+          ~l1_lut_bytes:(kb 8) ~lookups ~hits:!hits ~collisions:0 ~memo_disabled:false
+          ~outputs:(instance.read_outputs ()) ~machine,
+        tracer )
+
+let run config instance = fst (run_impl config instance)
+
+let run_telemetry ?(trace = false) config instance =
+  let reg = Registry.create () in
+  let result, tracer = run_impl ~metrics:reg ~trace config instance in
+  (result, Registry.snapshot reg, tracer)
 
 (* Parallel experiment matrix. Every (config, instance) cell is an
    independent simulation: each owns its Memory.t (inside the instance),
@@ -263,3 +340,15 @@ let run config (instance : Workload.instance) =
    because the simulator is deterministic and cells never interact. *)
 let run_matrix ?jobs cells =
   Axmemo_util.Pool.run ?jobs (fun (config, instance) -> run config instance) cells
+
+(* Telemetry composes with the pool because each worker builds the cell's
+   registry on its own domain — no instrument is ever shared. Snapshots
+   come back in input (cell) order, so any downstream [Registry.merge] is
+   deterministic and independent of [jobs]. *)
+let run_matrix_telemetry ?jobs cells =
+  Axmemo_util.Pool.run ?jobs
+    (fun (config, instance) ->
+      let reg = Registry.create () in
+      let result, _ = run_impl ~metrics:reg config instance in
+      (result, Registry.snapshot reg))
+    cells

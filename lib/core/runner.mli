@@ -71,6 +71,18 @@ val run : config -> Axmemo_workloads.Workload.instance -> result
 (** [run config instance] transforms (if needed), simulates, and collects.
     The instance's memory is mutated by the run. *)
 
+val run_telemetry :
+  ?trace:bool ->
+  config ->
+  Axmemo_workloads.Workload.instance ->
+  result * Axmemo_telemetry.Registry.snapshot * Axmemo_telemetry.Tracer.t option
+(** [run_telemetry config instance] is {!run} with a metrics registry
+    attached to the memo unit, pipeline, and cache hierarchy; the snapshot
+    is taken after the end-of-run flushes. With [~trace:true] a cycle-clock
+    {!Axmemo_telemetry.Tracer} also records function-activation spans and
+    LUT hit/miss instants. Telemetry is observational only: the [result] is
+    bit-identical to {!run} on a fresh instance. *)
+
 val run_matrix :
   ?jobs:int ->
   (config * Axmemo_workloads.Workload.instance) list ->
@@ -86,6 +98,16 @@ val run_matrix :
     {!Axmemo_workloads.Workload.instance} — instances embed the simulated
     memory and are mutated by the run, so sharing one across cells is a
     race (and wrong even serially). *)
+
+val run_matrix_telemetry :
+  ?jobs:int ->
+  (config * Axmemo_workloads.Workload.instance) list ->
+  (result * Axmemo_telemetry.Registry.snapshot) list
+(** {!run_matrix} with a per-cell metrics registry. Each worker domain owns
+    the registries of the cells it runs (no instrument is shared across
+    domains), and snapshots return in input order, so merging them — and
+    any report built from them — is byte-identical between serial and
+    parallel execution. *)
 
 val speedup : baseline:result -> result -> float
 (** Cycle ratio baseline/other. *)

@@ -2,6 +2,7 @@ module Ir = Axmemo_ir.Ir
 module Interp = Axmemo_ir.Interp
 module Hierarchy = Axmemo_cache.Hierarchy
 module Timing = Axmemo_isa.Timing
+module Registry = Axmemo_telemetry.Registry
 
 type instr_class =
   | C_ialu
@@ -34,6 +35,20 @@ type frame = {
       (* (dst registers, caller's ready array) to fill at Leave *)
 }
 
+(* Telemetry attachment: live CRC back-pressure samples plus per-class
+   occupancy-cycle attribution, mirrored into counters by [flush_metrics].
+   Purely observational — timing results are bit-identical either way. *)
+type telem = {
+  class_cycles : int array;  (* occupancy cycles charged per class *)
+  count_c : Registry.counter array;  (* pipeline.class.<name>.count *)
+  cycles_c : Registry.counter array;  (* pipeline.class.<name>.cycles *)
+  total_cycles_c : Registry.counter;
+  crc_stall_c : Registry.counter;
+  dyn_normal_c : Registry.counter;
+  dyn_memo_c : Registry.counter;
+  crc_stall_s : Registry.series;  (* stall magnitude over issue cycles *)
+}
+
 type t = {
   machine : Machine.t;
   hier : Hierarchy.t;
@@ -60,6 +75,7 @@ type t = {
   counts : int array;  (* indexed by class *)
   mutable dyn_normal : int;
   mutable dyn_memo : int;
+  telem : telem option;
 }
 
 let class_index = function
@@ -86,7 +102,42 @@ let all_classes =
     C_memo_branch;
   ]
 
-let create ?(machine = Machine.hpi) ?lookup_level ?(l2_lut_present = false)
+let class_name = function
+  | C_ialu -> "ialu"
+  | C_imul -> "imul"
+  | C_idiv -> "idiv"
+  | C_fp -> "fp"
+  | C_fdiv_sqrt -> "fdiv_sqrt"
+  | C_ftrig -> "ftrig"
+  | C_load -> "load"
+  | C_store -> "store"
+  | C_branch -> "branch"
+  | C_call_ret -> "call_ret"
+  | C_memo_send -> "memo_send"
+  | C_memo_lookup -> "memo_lookup"
+  | C_memo_update -> "memo_update"
+  | C_memo_invalidate -> "memo_invalidate"
+  | C_memo_branch -> "memo_branch"
+
+let make_telem reg =
+  (* [all_classes] lists classes in [class_index] order, so these arrays
+     index the same way as [counts]. *)
+  let classes = Array.of_list all_classes in
+  let counter = Registry.counter reg in
+  {
+    class_cycles = Array.make (Array.length classes) 0;
+    count_c =
+      Array.map (fun c -> counter ("pipeline.class." ^ class_name c ^ ".count")) classes;
+    cycles_c =
+      Array.map (fun c -> counter ("pipeline.class." ^ class_name c ^ ".cycles")) classes;
+    total_cycles_c = counter "pipeline.cycles";
+    crc_stall_c = counter "pipeline.crc_stall_cycles";
+    dyn_normal_c = counter "pipeline.dyn_normal";
+    dyn_memo_c = counter "pipeline.dyn_memo";
+    crc_stall_s = Registry.series reg "pipeline.crc_stall" ();
+  }
+
+let create ?metrics ?(machine = Machine.hpi) ?lookup_level ?(l2_lut_present = false)
     ?(l1_lut_ways = 4) ?(crc_bytes_per_cycle = Timing.crc_bytes_per_cycle) ~program
     ~hierarchy () =
   let nregs_of = Hashtbl.create 16 in
@@ -119,7 +170,17 @@ let create ?(machine = Machine.hpi) ?lookup_level ?(l2_lut_present = false)
     counts = Array.make 15 0;
     dyn_normal = 0;
     dyn_memo = 0;
+    telem = Option.map make_telem metrics;
   }
+
+(* Attribute [cyc] occupancy cycles to [cls]. Only meaningful with telemetry
+   attached; without it the site costs one pattern match. *)
+let attr t cls cyc =
+  match t.telem with
+  | Some tl ->
+      let i = class_index cls in
+      tl.class_cycles.(i) <- tl.class_cycles.(i) + cyc
+  | None -> ()
 
 let count t cls =
   t.counts.(class_index cls) <- t.counts.(class_index cls) + 1;
@@ -181,7 +242,8 @@ let exec_fu t instr pool ~latency ~busy cls =
   let c = issue t (max ready pool.(u)) in
   pool.(u) <- c + busy;
   complete t frame (Ir.instr_dst instr) (c + latency);
-  count t cls
+  count t cls;
+  attr t cls latency
 
 (* Sends to the CRC unit: the queue drains one byte per cycle; the core
    stalls only when the queue is full (Table 4). [avail] is when the bytes
@@ -236,7 +298,8 @@ let rec exec_instr t (instr : Ir.instr) addr =
       t.lsu.(u) <- c + 1;
       let latency = Hierarchy.read t.hier ~addr in
       complete t frame (Ir.instr_dst instr) (c + latency);
-      count t C_load
+      count t C_load;
+      attr t C_load latency
   | Store _ ->
       let ready = srcs_ready t instr in
       let u = pool_min t.lsu in
@@ -244,7 +307,8 @@ let rec exec_instr t (instr : Ir.instr) addr =
       let latency = Hierarchy.write t.hier ~addr in
       t.lsu.(u) <- c + latency;
       if c + latency > t.horizon then t.horizon <- c + latency;
-      count t C_store
+      count t C_store;
+      attr t C_store latency
   | Call { args; dsts; _ } ->
       (* The bl instruction: a branch-class issue slot. *)
       let frame = current_frame t in
@@ -256,7 +320,8 @@ let rec exec_instr t (instr : Ir.instr) addr =
       let c = issue t ready in
       t.pending_args_ready <- max ready c;
       t.pending_call <- Some (Array.copy dsts, frame.ready);
-      count t C_call_ret
+      count t C_call_ret;
+      attr t C_call_ret 1
   | Memo mi -> exec_memo t mi addr
 
 and exec_memo t (mi : Ir.memo_instr) addr =
@@ -270,21 +335,35 @@ and exec_memo t (mi : Ir.memo_instr) addr =
       let queue_ok = crc_queue_constraint t ~bytes in
       let unconstrained = max ready t.lsu.(u) in
       let c = issue t (max unconstrained queue_ok) in
-      if queue_ok > unconstrained then t.crc_stalls <- t.crc_stalls + (queue_ok - unconstrained);
+      if queue_ok > unconstrained then begin
+        let stall = queue_ok - unconstrained in
+        t.crc_stalls <- t.crc_stalls + stall;
+        match t.telem with
+        | Some tl -> Registry.sample tl.crc_stall_s ~at:c (float_of_int stall)
+        | None -> ()
+      end;
       t.lsu.(u) <- c + 1;
       let latency = Hierarchy.read t.hier ~addr in
       complete t frame (Ir.instr_dst instr) (c + latency);
       crc_send t ~issue_cycle:c ~bytes ~avail_delay:latency;
-      count t C_load
+      count t C_load;
+      attr t C_load latency
   | Reg_crc { ty; _ } ->
       let instr = Ir.Memo mi in
       let bytes = Ir.ty_size ty in
       let ready = srcs_ready t instr in
       let queue_ok = crc_queue_constraint t ~bytes in
       let c = issue t (max ready queue_ok) in
-      if queue_ok > ready then t.crc_stalls <- t.crc_stalls + (max 0 (queue_ok - ready));
+      if queue_ok > ready then begin
+        let stall = max 0 (queue_ok - ready) in
+        t.crc_stalls <- t.crc_stalls + stall;
+        match t.telem with
+        | Some tl -> Registry.sample tl.crc_stall_s ~at:c (float_of_int stall)
+        | None -> ()
+      end;
       crc_send t ~issue_cycle:c ~bytes ~avail_delay:1;
-      count t C_memo_send
+      count t C_memo_send;
+      attr t C_memo_send 1
   | Lookup _ ->
       let instr = Ir.Memo mi in
       let frame = current_frame t in
@@ -300,44 +379,51 @@ and exec_memo t (mi : Ir.memo_instr) addr =
       in
       t.memo_port_free <- c + latency;
       complete t frame (Ir.instr_dst instr) (c + latency);
-      count t C_memo_lookup
+      count t C_memo_lookup;
+      attr t C_memo_lookup latency
   | Update _ ->
       let instr = Ir.Memo mi in
       let ready = max (srcs_ready t instr) t.memo_port_free in
       let c = issue t ready in
       t.memo_port_free <- c + Timing.update_cycles;
       if c + Timing.update_cycles > t.horizon then t.horizon <- c + Timing.update_cycles;
-      count t C_memo_update
+      count t C_memo_update;
+      attr t C_memo_update Timing.update_cycles
   | Invalidate _ ->
       let c = issue t t.memo_port_free in
       let penalty = t.l1_lut_ways * Timing.invalidate_cycles_per_way in
       t.memo_port_free <- c + penalty;
       t.slot_cycle <- c + penalty;
       t.slot_used <- 0;
-      count t C_memo_invalidate
+      count t C_memo_invalidate;
+      attr t C_memo_invalidate penalty
 
 let exec_term t (term : Ir.terminator) =
   match term with
   | Jmp _ ->
       let _c = issue t t.slot_cycle in
-      count t C_branch
+      count t C_branch;
+      attr t C_branch 1
   | Br { cond; _ } ->
       let frame = current_frame t in
       let c = issue t (op_ready frame cond) in
       ignore c;
-      count t C_branch
+      count t C_branch;
+      attr t C_branch 1
   | Br_memo _ ->
       (* Consumes the lookup's condition code; readiness is already folded
          into [memo_port_free]. *)
       let c = issue t t.memo_port_free in
       ignore c;
-      count t C_memo_branch
+      count t C_memo_branch;
+      attr t C_memo_branch 1
   | Ret ops ->
       let frame = current_frame t in
       let ready = Array.fold_left (fun acc o -> max acc (op_ready frame o)) 0 ops in
       let c = issue t ready in
       t.last_ret_ready <- max ready c;
-      count t C_call_ret
+      count t C_call_ret;
+      attr t C_call_ret 1
 
 let on_enter t fname =
   let nregs = try Hashtbl.find t.nregs_of fname with Not_found -> 64 in
@@ -387,3 +473,14 @@ let stats t =
   }
 
 let seconds t = float_of_int (cycles t) /. (t.machine.freq_ghz *. 1e9)
+
+let flush_metrics t =
+  match t.telem with
+  | None -> ()
+  | Some tl ->
+      Array.iteri (fun i n -> Registry.set_count tl.count_c.(i) n) t.counts;
+      Array.iteri (fun i n -> Registry.set_count tl.cycles_c.(i) n) tl.class_cycles;
+      Registry.set_count tl.total_cycles_c (cycles t);
+      Registry.set_count tl.crc_stall_c t.crc_stalls;
+      Registry.set_count tl.dyn_normal_c t.dyn_normal;
+      Registry.set_count tl.dyn_memo_c t.dyn_memo

@@ -38,9 +38,14 @@ type stats = {
   crc_stall_cycles : int;  (** cycles the core waited on the CRC input queue *)
 }
 
+val class_name : instr_class -> string
+(** Stable lowercase name ([ialu], [memo_lookup], ...) used in metric and
+    report keys. *)
+
 type t
 
 val create :
+  ?metrics:Axmemo_telemetry.Registry.t ->
   ?machine:Machine.t ->
   ?lookup_level:(unit -> [ `L1 | `L2 | `Miss ]) ->
   ?l2_lut_present:bool ->
@@ -54,7 +59,10 @@ val create :
     reports the level serviced by the most recent LUT lookup (wired to
     {!Axmemo_memo}); without it lookups are charged as L1-LUT misses.
     [crc_bytes_per_cycle] defaults to the unrolled unit's 4 (Table 4 /
-    Section 6.1); pass 1 to model the plain serial-per-byte unit. *)
+    Section 6.1); pass 1 to model the plain serial-per-byte unit.
+    With [?metrics], the model registers its instruments under [pipeline.*]
+    and samples CRC back-pressure stalls live ([pipeline.crc_stall], a
+    cycle-indexed series); cycle results are bit-identical either way. *)
 
 val hooks : t -> Axmemo_ir.Interp.hooks
 (** Allocation-free attachment; pass as the interpreter's [hooks]. This is
@@ -71,3 +79,10 @@ val cycles : t -> int
 
 val seconds : t -> float
 (** [cycles] over the configured core frequency. *)
+
+val flush_metrics : t -> unit
+(** Mirror the cumulative counters into the attached registry:
+    per-class [pipeline.class.<name>.count] and [.cycles] (occupancy-cycle
+    attribution), [pipeline.cycles], [pipeline.crc_stall_cycles],
+    [pipeline.dyn_normal]/[pipeline.dyn_memo]. Call once, when the run
+    ends. No-op without an attached registry. *)

@@ -135,3 +135,12 @@ let entries t =
 
 let occupancy t =
   Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.valid
+
+let set_occupancies t =
+  Array.init t.nsets (fun set ->
+      let base = set * t.nways in
+      let n = ref 0 in
+      for w = 0 to t.nways - 1 do
+        if t.valid.(base + w) then incr n
+      done;
+      !n)

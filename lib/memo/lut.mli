@@ -47,6 +47,10 @@ val invalidate_all : t -> unit
 val occupancy : t -> int
 (** Number of valid entries. *)
 
+val set_occupancies : t -> int array
+(** Valid-entry count per set, indexed by set number — the telemetry layer
+    histograms this to show conflict pressure across the key space. *)
+
 val entries : t -> (int * int64 * int64) list
 (** [(lut_id, key, payload)] for every valid entry — a measurement aid used
     to check the paper's no-coherence argument (Section 3.4): across cores,

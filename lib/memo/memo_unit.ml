@@ -2,6 +2,7 @@ module Bits = Axmemo_util.Bits
 module Crc = Axmemo_crc
 module Payload = Axmemo_ir.Payload
 module Interp = Axmemo_ir.Interp
+module Registry = Axmemo_telemetry.Registry
 
 type adaptive_config = {
   profile_period : int;
@@ -94,6 +95,43 @@ type monitor_state = {
   mutable tripped : bool;
 }
 
+(* Telemetry attachment. All instruments are created once at [create]; the
+   hot path only mutates them behind a single [match] on [telem], so an
+   unattached unit pays one pattern match per site and an attached unit
+   never allocates. Observation cannot change simulation results. *)
+type telem = {
+  reg : Registry.t;
+  trunc_hist : Registry.histogram;  (* effective truncation per send *)
+  l1_occ : Registry.histogram;  (* per-set valid entries, at flush *)
+  l2_occ : Registry.histogram option;
+  l1_evictions : Registry.counter;
+  l2_evictions : Registry.counter;
+  l1_spills : Registry.counter;
+      (* L1 victims displaced while an inclusive L2 LUT holds them *)
+  l1_evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
+  l2_evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
+      (* pre-wrapped [Some hook] so insert sites pass them without allocating *)
+  adapt_delta : Registry.series;  (* extra-truncation decisions, at = lookups *)
+  adapt_windows : Registry.counter;
+  mon_windows : Registry.counter;
+  mon_bad : Registry.counter;
+  hit_rate_g : Registry.gauge;
+  tripped_g : Registry.gauge;
+  (* End-of-run mirrors of the simulator's own stats, written by
+     [flush_metrics]. *)
+  sends_c : Registry.counter;
+  bytes_hashed_c : Registry.counter;
+  lookups_c : Registry.counter;
+  l1_hits_c : Registry.counter;
+  l2_hits_c : Registry.counter;
+  misses_c : Registry.counter;
+  forced_misses_c : Registry.counter;
+  updates_c : Registry.counter;
+  invalidations_c : Registry.counter;
+  collisions_c : Registry.counter;
+  mon_comparisons_c : Registry.counter;
+}
+
 type t = {
   cfg : config;
   decls : (int, lut_decl) Hashtbl.t;
@@ -120,9 +158,54 @@ type t = {
   mutable updates : int;
   mutable invalidations : int;
   mutable collisions : int;
+  mutable telem : telem option;
 }
 
-let create cfg decls =
+let make_telem reg ~has_l2 =
+  let occ_bounds nways = Array.init (nways + 1) float_of_int in
+  let counter = Registry.counter reg in
+  let l1_evictions = counter "memo.l1.evictions" in
+  let l2_evictions = counter "memo.l2.evictions" in
+  let l1_spills = counter "memo.l1.spills" in
+  let l1_evict_hook ~lut_id:_ ~key:_ ~payload:_ =
+    Registry.incr l1_evictions;
+    if has_l2 then Registry.incr l1_spills
+  in
+  let l2_evict_hook ~lut_id:_ ~key:_ ~payload:_ = Registry.incr l2_evictions in
+  {
+    reg;
+    trunc_hist =
+      Registry.histogram reg "memo.trunc_bits" ~bounds:(Array.init 33 float_of_int);
+    l1_occ = Registry.histogram reg "memo.l1.set_occupancy" ~bounds:(occ_bounds 8);
+    l2_occ =
+      (if has_l2 then
+         Some (Registry.histogram reg "memo.l2.set_occupancy" ~bounds:(occ_bounds 8))
+       else None);
+    l1_evictions;
+    l2_evictions;
+    l1_spills;
+    l1_evict_opt = Some l1_evict_hook;
+    l2_evict_opt = Some l2_evict_hook;
+    adapt_delta = Registry.series reg "memo.adaptive.delta" ();
+    adapt_windows = counter "memo.adaptive.windows";
+    mon_windows = counter "memo.monitor.windows";
+    mon_bad = counter "memo.monitor.bad_samples";
+    hit_rate_g = Registry.gauge reg "memo.hit_rate";
+    tripped_g = Registry.gauge reg "memo.monitor.tripped";
+    sends_c = counter "memo.sends";
+    bytes_hashed_c = counter "memo.bytes_hashed";
+    lookups_c = counter "memo.lookups";
+    l1_hits_c = counter "memo.l1.hits";
+    l2_hits_c = counter "memo.l2.hits";
+    misses_c = counter "memo.misses";
+    forced_misses_c = counter "memo.forced_misses";
+    updates_c = counter "memo.updates";
+    invalidations_c = counter "memo.invalidations";
+    collisions_c = counter "memo.collisions";
+    mon_comparisons_c = counter "memo.monitor.comparisons";
+  }
+
+let create ?metrics cfg decls =
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun d ->
@@ -183,6 +266,7 @@ let create cfg decls =
     updates = 0;
     invalidations = 0;
     collisions = 0;
+    telem = Option.map (fun reg -> make_telem reg ~has_l2:(cfg.l2_bytes <> None)) metrics;
   }
 
 let disabled t = t.monitor.tripped
@@ -219,6 +303,9 @@ let extra_truncation t ~lut_id =
   | None -> 0
   | Some a -> Option.value ~default:0 (Hashtbl.find_opt a.deltas lut_id)
 
+let l1_evict_hook t = match t.telem with Some tl -> tl.l1_evict_opt | None -> None
+let l2_evict_hook t = match t.telem with Some tl -> tl.l2_evict_opt | None -> None
+
 let send ?(tid = 0) t ~lut ~ty ~trunc v =
   if not t.monitor.tripped then begin
     let trunc = trunc + extra_truncation t ~lut_id:lut in
@@ -227,7 +314,10 @@ let send ?(tid = 0) t ~lut ~ty ~trunc v =
     Crc.Engine.feed_int64 crc ~width bits;
     Option.iter (fun e -> Crc.Engine.feed_int64 e ~width bits) fp;
     t.sends <- t.sends + 1;
-    t.bytes_hashed <- t.bytes_hashed + width
+    t.bytes_hashed <- t.bytes_hashed + width;
+    match t.telem with
+    | Some tl -> Registry.observe tl.trunc_hist (float_of_int trunc)
+    | None -> ()
   end
 
 (* Phase machine for the adaptive mode: normal -> profiling -> adjust. *)
@@ -269,8 +359,15 @@ let adapt_tick t =
                    unreachable entries. *)
                 Lut.invalidate_lut t.l1 ~lut_id:lut;
                 Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2
-              end)
+              end;
+              match t.telem with
+              | Some tl ->
+                  Registry.sample tl.adapt_delta ~at:t.lookups (float_of_int fresh)
+              | None -> ())
             t.decls;
+          (match t.telem with
+          | Some tl -> Registry.incr tl.adapt_windows
+          | None -> ());
           a.profiling <- false;
           a.countdown <- cfg.profile_period;
           a.norm_lookups <- 0;
@@ -330,7 +427,7 @@ let lookup ?(tid = 0) t ~lut =
               | Some payload ->
                   t.last_level <- Hit_l2;
                   (* Fill the L1 LUT on an L2 hit (inclusive hierarchy). *)
-                  Lut.insert t.l1 ~lut_id:lut ~key ~payload None;
+                  Lut.insert t.l1 ~lut_id:lut ~key ~payload (l1_evict_hook t);
                   Some payload
               | None ->
                   t.last_level <- Miss;
@@ -390,6 +487,11 @@ let monitor_compare t ~lut ~expected_payload ~actual_payload =
   if m.window_count >= window then begin
     if float_of_int m.window_bad > fraction_threshold *. float_of_int m.window_count
     then m.tripped <- true;
+    (match t.telem with
+    | Some tl ->
+        Registry.incr tl.mon_windows;
+        Registry.add tl.mon_bad m.window_bad
+    | None -> ());
     m.window_count <- 0;
     m.window_bad <- 0
   end
@@ -430,9 +532,9 @@ let update ?(tid = 0) t ~lut payload =
     match Hashtbl.find_opt t.latched_key (lut, tid) with
     | None -> ()  (* update without a preceding lookup: drop, as hardware would *)
     | Some key ->
-        Lut.insert t.l1 ~lut_id:lut ~key ~payload None;
+        Lut.insert t.l1 ~lut_id:lut ~key ~payload (l1_evict_hook t);
         (match t.l2 with
-        | Some l2 -> Lut.insert l2 ~lut_id:lut ~key ~payload None
+        | Some l2 -> Lut.insert l2 ~lut_id:lut ~key ~payload (l2_evict_hook t)
         | None -> ());
         if t.cfg.collision_tracking then
           Option.iter
@@ -476,6 +578,31 @@ let stats t =
 let hit_rate t =
   if t.lookups = 0 then 0.0
   else float_of_int (t.l1_hits + t.l2_hits) /. float_of_int t.lookups
+
+let flush_metrics t =
+  match t.telem with
+  | None -> ()
+  | Some tl ->
+      Registry.set_count tl.sends_c t.sends;
+      Registry.set_count tl.bytes_hashed_c t.bytes_hashed;
+      Registry.set_count tl.lookups_c t.lookups;
+      Registry.set_count tl.l1_hits_c t.l1_hits;
+      Registry.set_count tl.l2_hits_c t.l2_hits;
+      Registry.set_count tl.misses_c t.misses;
+      Registry.set_count tl.forced_misses_c t.forced_misses;
+      Registry.set_count tl.updates_c t.updates;
+      Registry.set_count tl.invalidations_c t.invalidations;
+      Registry.set_count tl.collisions_c t.collisions;
+      Registry.set_count tl.mon_comparisons_c t.monitor.comparisons;
+      Array.iter
+        (fun n -> Registry.observe tl.l1_occ (float_of_int n))
+        (Lut.set_occupancies t.l1);
+      (match (tl.l2_occ, t.l2) with
+      | Some h, Some l2 ->
+          Array.iter (fun n -> Registry.observe h (float_of_int n)) (Lut.set_occupancies l2)
+      | _ -> ());
+      Registry.set tl.hit_rate_g (hit_rate t);
+      Registry.set tl.tripped_g (if t.monitor.tripped then 1.0 else 0.0)
 
 let l1_ways t = Lut.ways t.l1
 

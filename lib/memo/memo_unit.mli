@@ -76,8 +76,13 @@ type stats = {
 
 type t
 
-val create : config -> lut_decl list -> t
+val create : ?metrics:Axmemo_telemetry.Registry.t -> config -> lut_decl list -> t
 (** [create config decls] builds a unit serving the declared logical LUTs.
+    With [?metrics], the unit registers its instruments (all names under
+    [memo.*]) and records live events — per-send truncation levels, LUT
+    evictions/spills, adaptive and monitor window outcomes — as it runs.
+    Telemetry is purely observational: results are bit-identical with or
+    without it.
     @raise Invalid_argument on duplicate or out-of-range (0..7) LUT ids. *)
 
 val hooks : ?tid:int -> t -> Axmemo_ir.Interp.memo_hooks
@@ -115,6 +120,13 @@ val extra_truncation : t -> lut_id:int -> int
 val lut_entries : t -> (int * int64 * int64) list
 (** Valid [(lut_id, key, payload)] entries across both LUT levels (L1 first);
     measurement aid for the multi-core no-coherence check. *)
+
+val flush_metrics : t -> unit
+(** Mirror the cumulative {!stats} into the attached registry (counters
+    [memo.sends], [memo.lookups], [memo.l1.hits], ...), histogram the
+    current per-set LUT occupancies, and set the [memo.hit_rate] and
+    [memo.monitor.tripped] gauges. Call once, when the run ends. No-op
+    without an attached registry. *)
 
 val reset : t -> unit
 (** Invalidate all storage, clear hash registers, stats and monitor state. *)

@@ -1,0 +1,106 @@
+module Json = Axmemo_util.Json
+
+type phase = Begin | End | Instant
+
+type t = {
+  clock : unit -> int;
+  max_events : int;
+  mutable names : string array;  (* parallel growable buffers *)
+  mutable phases : phase array;
+  mutable ts : int array;
+  mutable n : int;
+  mutable dropped : int;
+}
+
+let create ?(max_events = 1_000_000) ~clock () =
+  if max_events <= 0 then invalid_arg "Tracer.create: non-positive max_events";
+  let cap = min max_events 1024 in
+  {
+    clock;
+    max_events;
+    names = Array.make cap "";
+    phases = Array.make cap Instant;
+    ts = Array.make cap 0;
+    n = 0;
+    dropped = 0;
+  }
+
+let grow t =
+  let cap = Array.length t.names in
+  let cap' = min t.max_events (cap * 2) in
+  let resize a fill =
+    let b = Array.make cap' fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.names <- resize t.names "";
+  t.phases <- resize t.phases Instant;
+  t.ts <- resize t.ts 0
+
+let record t name phase =
+  if t.n >= t.max_events then t.dropped <- t.dropped + 1
+  else begin
+    if t.n = Array.length t.names then grow t;
+    t.names.(t.n) <- name;
+    t.phases.(t.n) <- phase;
+    t.ts.(t.n) <- t.clock ();
+    t.n <- t.n + 1
+  end
+
+let begin_span t name = record t name Begin
+let end_span t name = record t name End
+let instant t name = record t name Instant
+
+let events t = t.n
+let dropped t = t.dropped
+
+let to_json t =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str "axmemo simulation (1 cycle = 1 us)") ]);
+      ]
+  in
+  let event i =
+    let ph, extra =
+      match t.phases.(i) with
+      | Begin -> ("B", [])
+      | End -> ("E", [])
+      | Instant -> ("i", [ ("s", Json.Str "t") ])
+    in
+    Json.Obj
+      ([
+         ("name", Json.Str t.names.(i));
+         ("ph", Json.Str ph);
+         ("ts", Json.Int t.ts.(i));
+         ("pid", Json.Int 0);
+         ("tid", Json.Int 0);
+       ]
+      @ extra)
+  in
+  let tail =
+    if t.dropped = 0 then []
+    else
+      [
+        Json.Obj
+          [
+            ("name", Json.Str "axmemo.dropped_events");
+            ("ph", Json.Str "C");
+            ("ts", Json.Int (if t.n = 0 then 0 else t.ts.(t.n - 1)));
+            ("pid", Json.Int 0);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("dropped", Json.Int t.dropped) ]);
+          ];
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr ((meta :: List.init t.n event) @ tail));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write t path = Json.write_file path (to_json t)

@@ -1,0 +1,44 @@
+(** Cycle-timeline tracer emitting the Chrome trace-event format.
+
+    Collects begin/end spans (interpreter function activations, i.e.
+    pipeline phases) and instant events (LUT hits/misses, updates,
+    invalidates) stamped with a caller-supplied integer clock — the
+    simulated cycle count, not wall time. [to_json] renders the standard
+    [{"traceEvents": [...]}] JSON Array Format, which loads directly in
+    [chrome://tracing] and Perfetto; one simulated cycle maps to one
+    microsecond of timeline.
+
+    The buffer is bounded: past [max_events] further events are counted as
+    dropped rather than stored, so tracing a long run cannot exhaust
+    memory. Event order is execution order, which for an in-order pipeline
+    is also timestamp order. *)
+
+type t
+
+val create : ?max_events:int -> clock:(unit -> int) -> unit -> t
+(** [create ~clock ()] builds a tracer reading timestamps from [clock]
+    (typically [fun () -> Pipeline.cycles pipe]). [max_events] defaults to
+    1_000_000. *)
+
+val begin_span : t -> string -> unit
+(** Open a duration slice named after the entered function/phase. *)
+
+val end_span : t -> string -> unit
+(** Close the most recent slice of that name (trace-event "E"). *)
+
+val instant : t -> string -> unit
+(** A zero-duration marker at the current clock. *)
+
+val events : t -> int
+(** Events recorded (excluding dropped ones). *)
+
+val dropped : t -> int
+(** Events discarded because the buffer was full. *)
+
+val to_json : t -> Axmemo_util.Json.t
+(** The Chrome trace-event JSON object. Includes process/thread metadata
+    naming the timeline and, when [dropped t > 0], an
+    ["axmemo.dropped_events"] counter event at the end. *)
+
+val write : t -> string -> unit
+(** [write t path] saves [to_json t] to [path]. *)

@@ -1,0 +1,102 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 || Char.code c = 0x7F ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_to buf s;
+  Buffer.contents buf
+
+(* Shortest decimal representation that round-trips, so equal floats always
+   render to equal (and reasonably short) bytes. *)
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e16 then Printf.sprintf "%.1f" x
+  else
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p x in
+      if float_of_string s = x then Some s else None
+    in
+    match try_prec 15 with
+    | Some s -> s
+    | None -> ( match try_prec 16 with Some s -> s | None -> Printf.sprintf "%.17g" x)
+
+let rec render buf ~indent ~level v =
+  let pad n = match indent with
+    | None -> ()
+    | Some w ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (w * n) ' ')
+  in
+  let sep () = match indent with None -> "" | Some _ -> " " in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x ->
+      if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_repr x)
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_to buf s;
+      Buffer.add_char buf '"'
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (level + 1);
+          render buf ~indent ~level:(level + 1) x)
+        xs;
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (level + 1);
+          Buffer.add_char buf '"';
+          escape_to buf k;
+          Buffer.add_string buf "\":";
+          Buffer.add_string buf (sep ());
+          render buf ~indent ~level:(level + 1) x)
+        fields;
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?indent v =
+  let buf = Buffer.create 1024 in
+  render buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let to_channel ?indent oc v =
+  output_string oc (to_string ?indent v);
+  if indent <> None then output_char oc '\n'
+
+let write_file ?(indent = 2) path v =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel ~indent oc v)

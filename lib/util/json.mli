@@ -1,0 +1,43 @@
+(** Minimal JSON emitter.
+
+    Just enough for the machine-readable artifacts this repo writes — the
+    telemetry run reports, the Chrome trace timelines, and the bench
+    perf-smoke file — with the two properties those need and the previous
+    hand-rolled [Printf] writers lacked:
+
+    - {b escaping correctness}: any OCaml string becomes a valid JSON string
+      (quotes, backslashes, control characters, DEL); the bytes are passed
+      through otherwise, so UTF-8 survives unchanged;
+    - {b determinism}: a value always renders to the same bytes. Floats use
+      the shortest [%g]-style representation that round-trips through
+      [float_of_string]; non-finite floats render as [null] (JSON has no
+      NaN/infinity). Object fields are emitted in the order given.
+
+    There is deliberately no parser: the repo only produces JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** [escape s] is the JSON string-literal body for [s] (no surrounding
+    quotes): ["\""], ["\\"], control characters U+0000..U+001F and U+007F
+    escaped; everything else verbatim. *)
+
+val to_string : ?indent:int -> t -> string
+(** [to_string v] renders [v]. With [indent] (spaces per level, e.g. 2) the
+    output is pretty-printed with one field/element per line; without it the
+    output is compact. Either way the rendering is deterministic. *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** [to_channel oc v] writes [to_string v] (plus a trailing newline when
+    [indent] is given) to [oc]. *)
+
+val write_file : ?indent:int -> string -> t -> unit
+(** [write_file path v] creates/truncates [path] with the rendering of [v]
+    and a trailing newline. *)

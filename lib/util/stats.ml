@@ -17,7 +17,8 @@ let stddev a =
 
 let percentile a p =
   let n = Array.length a in
-  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if n = 0 then 0.0
+  else begin
   let sorted = Array.copy a in
   Array.sort compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
@@ -27,6 +28,7 @@ let percentile a p =
   else
     let w = rank -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+  end
 
 let cdf a ~points =
   let n = Array.length a in

@@ -13,12 +13,16 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile a p] returns the [p]-th percentile (0-100) by linear
-    interpolation over the sorted copy of [a]. Raises [Invalid_argument] on an
-    empty array. *)
+    interpolation over the sorted copy of [a]; 0 on an empty array.
+
+    Empty-input contract (uniform across this module): every summary
+    function ({!mean}, {!geomean}, {!stddev}, [percentile]) returns [0.0]
+    on an empty array, and {!cdf} returns [[]] — none of them raise. *)
 
 val cdf : float array -> points:int -> (float * float) list
 (** [cdf a ~points] returns [points] evenly spaced (value, cumulative fraction)
-    pairs describing the empirical CDF of [a], for Figure 10b-style plots. *)
+    pairs describing the empirical CDF of [a], for Figure 10b-style plots.
+    Empty input (or [points <= 0]) yields [[]]. *)
 
 val output_error : reference:float array -> approx:float array -> float
 (** [output_error ~reference ~approx] is the paper's Equation 2:

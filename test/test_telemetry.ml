@@ -1,0 +1,436 @@
+(* Tests for the telemetry layer: registry instruments, snapshot merging,
+   the tracer, the report schema, and the two end-to-end contracts that make
+   telemetry safe to leave attached — observation changes no simulation
+   result, and serial vs parallel matrix runs render byte-identical
+   reports. *)
+
+module Registry = Axmemo_telemetry.Registry
+module Tracer = Axmemo_telemetry.Tracer
+module Report = Axmemo_telemetry.Report
+module Json = Axmemo_util.Json
+module Runner = Axmemo.Runner
+module Workload = Axmemo_workloads.Workload
+module WReg = Axmemo_workloads.Registry
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Registry instruments *)
+
+let test_counter () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "x" in
+  check Alcotest.int "zero" 0 (Registry.count c);
+  Registry.incr c;
+  Registry.add c 4;
+  check Alcotest.int "incr+add" 5 (Registry.count c);
+  Registry.set_count c 42;
+  check Alcotest.int "set" 42 (Registry.count c)
+
+let test_gauge () =
+  let reg = Registry.create () in
+  let g = Registry.gauge reg "g" in
+  check (Alcotest.float 0.0) "zero" 0.0 (Registry.value g);
+  Registry.set g 2.5;
+  check (Alcotest.float 0.0) "set" 2.5 (Registry.value g)
+
+let test_duplicate_name_rejected () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg "dup");
+  Alcotest.check_raises "duplicate" (Invalid_argument "Registry: duplicate metric \"dup\"")
+    (fun () -> ignore (Registry.gauge reg "dup"))
+
+let test_histogram_bucket_edges () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "h" ~bounds:[| 1.0; 10.0; 100.0 |] in
+  (* A value equal to a bound lands in that bound's bucket; above every
+     bound lands in overflow. *)
+  List.iter (Registry.observe h) [ 0.5; 1.0; 1.5; 10.0; 10.5; 100.0; 100.5 ];
+  match List.assoc "h" (Registry.snapshot reg) with
+  | Registry.Histogram d ->
+      check (Alcotest.array Alcotest.int) "counts" [| 2; 2; 2; 1 |] d.counts;
+      check Alcotest.int "total" 7 d.total;
+      check (Alcotest.float 1e-9) "sum" 224.0 d.sum
+  | _ -> Alcotest.fail "expected histogram"
+
+let test_histogram_bad_bounds () =
+  let reg = Registry.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Registry.histogram: empty bounds")
+    (fun () -> ignore (Registry.histogram reg "a" ~bounds:[||]));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Registry.histogram: bounds must be strictly increasing") (fun () ->
+      ignore (Registry.histogram reg "b" ~bounds:[| 1.0; 1.0 |]))
+
+let test_series_keeps_all_below_cap () =
+  let reg = Registry.create () in
+  let s = Registry.series reg "s" ~cap:8 () in
+  for i = 1 to 5 do
+    Registry.sample s ~at:(10 * i) (float_of_int i)
+  done;
+  match List.assoc "s" (Registry.snapshot reg) with
+  | Registry.Series { stride; samples } ->
+      check Alcotest.int "stride" 1 stride;
+      check
+        (Alcotest.array (Alcotest.pair Alcotest.int (Alcotest.float 0.0)))
+        "samples"
+        [| (10, 1.0); (20, 2.0); (30, 3.0); (40, 4.0); (50, 5.0) |]
+        samples
+  | _ -> Alcotest.fail "expected series"
+
+let test_series_decimation () =
+  let reg = Registry.create () in
+  let s = Registry.series reg "s" ~cap:4 () in
+  (* After the cap is hit the stride doubles and the retained timestamps
+     are exactly the multiples of the new stride. *)
+  for i = 1 to 9 do
+    Registry.sample s ~at:i (float_of_int i)
+  done;
+  match List.assoc "s" (Registry.snapshot reg) with
+  | Registry.Series { stride; samples } ->
+      check Alcotest.int "stride doubled" 2 stride;
+      Array.iter
+        (fun (at, v) ->
+          check Alcotest.int "at multiple of stride" 0 (at mod stride);
+          check (Alcotest.float 0.0) "value matches at" (float_of_int at) v)
+        samples;
+      Alcotest.(check bool) "within cap" true (Array.length samples <= 4)
+  | _ -> Alcotest.fail "expected series"
+
+let test_series_deterministic () =
+  (* The kept subset depends only on the observation count, never on
+     wall-clock: two identical streams produce identical snapshots. *)
+  let run () =
+    let reg = Registry.create () in
+    let s = Registry.series reg "s" ~cap:16 () in
+    for i = 1 to 1000 do
+      Registry.sample s ~at:i (float_of_int (i * i))
+    done;
+    Registry.snapshot reg
+  in
+  Alcotest.(check bool) "identical" true (run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot merge *)
+
+let test_merge_semantics () =
+  let snap hits rate bucket =
+    let reg = Registry.create () in
+    Registry.set_count (Registry.counter reg "hits") hits;
+    Registry.set (Registry.gauge reg "rate") rate;
+    Registry.observe (Registry.histogram reg "lat" ~bounds:[| 1.0; 2.0 |]) bucket;
+    Registry.sample (Registry.series reg "trail" ()) ~at:1 1.0;
+    Registry.snapshot reg
+  in
+  let merged = Registry.merge [ snap 3 0.25 1.0; snap 4 0.75 2.0 ] in
+  (match List.assoc "hits" merged with
+  | Registry.Counter c -> check Alcotest.int "counters sum" 7 c
+  | _ -> Alcotest.fail "counter");
+  (match List.assoc "rate" merged with
+  | Registry.Gauge g -> check (Alcotest.float 0.0) "gauge last-wins" 0.75 g
+  | _ -> Alcotest.fail "gauge");
+  (match List.assoc "lat" merged with
+  | Registry.Histogram d ->
+      check (Alcotest.array Alcotest.int) "histograms sum bucketwise" [| 1; 1; 0 |] d.counts
+  | _ -> Alcotest.fail "histogram");
+  Alcotest.(check bool) "series dropped" true (not (List.mem_assoc "trail" merged));
+  (* Name-sorted result. *)
+  let names = List.map fst merged in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+let test_merge_incompatible () =
+  let snap_counter () =
+    let reg = Registry.create () in
+    Registry.incr (Registry.counter reg "m");
+    Registry.snapshot reg
+  in
+  let snap_gauge () =
+    let reg = Registry.create () in
+    Registry.set (Registry.gauge reg "m") 1.0;
+    Registry.snapshot reg
+  in
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Registry.merge: metric \"m\" kind mismatch") (fun () ->
+      ignore (Registry.merge [ snap_counter (); snap_gauge () ]))
+
+(* ------------------------------------------------------------------ *)
+(* Tracer *)
+
+let test_tracer_events_and_json () =
+  let clock = ref 0 in
+  let tr = Tracer.create ~clock:(fun () -> !clock) () in
+  Tracer.begin_span tr "main";
+  clock := 100;
+  Tracer.instant tr "lut_miss";
+  clock := 250;
+  Tracer.end_span tr "main";
+  check Alcotest.int "three events" 3 (Tracer.events tr);
+  check Alcotest.int "none dropped" 0 (Tracer.dropped tr);
+  match Tracer.to_json tr with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "has traceEvents" true (List.mem_assoc "traceEvents" fields);
+      let evs =
+        match List.assoc "traceEvents" fields with Json.Arr l -> l | _ -> []
+      in
+      (* metadata + B + i + E *)
+      check Alcotest.int "event count" 4 (List.length evs);
+      let phases =
+        List.filter_map
+          (function
+            | Json.Obj f -> (
+                match List.assoc_opt "ph" f with Some (Json.Str p) -> Some p | _ -> None)
+            | _ -> None)
+          evs
+      in
+      Alcotest.(check (list string)) "phases" [ "M"; "B"; "i"; "E" ] phases
+  | _ -> Alcotest.fail "expected object"
+
+let test_tracer_bounded () =
+  let tr = Tracer.create ~max_events:4 ~clock:(fun () -> 0) () in
+  for _ = 1 to 10 do
+    Tracer.instant tr "tick"
+  done;
+  check Alcotest.int "kept max_events" 4 (Tracer.events tr);
+  check Alcotest.int "rest dropped" 6 (Tracer.dropped tr);
+  match Tracer.to_json tr with
+  | Json.Obj fields ->
+      let evs =
+        match List.assoc "traceEvents" fields with Json.Arr l -> l | _ -> []
+      in
+      (* metadata + 4 instants + dropped-counter event *)
+      check Alcotest.int "events + dropped marker" 6 (List.length evs)
+  | _ -> Alcotest.fail "expected object"
+
+(* ------------------------------------------------------------------ *)
+(* Report schema *)
+
+(* Golden rendering of a tiny fixed report: locks the schema envelope
+   (field order, version, aggregate) and the JSON writer's formatting. *)
+let golden_report =
+  String.concat "\n"
+    [
+      "{";
+      "  \"schema_version\": 1,";
+      "  \"generator\": \"axmemo\",";
+      "  \"runs\": [";
+      "    {";
+      "      \"benchmark\": \"bench\",";
+      "      \"config\": \"cfg\",";
+      "      \"summary\": {";
+      "        \"cycles\": 100";
+      "      },";
+      "      \"metrics\": {";
+      "        \"counters\": {";
+      "          \"hits\": 3";
+      "        },";
+      "        \"gauges\": {},";
+      "        \"histograms\": {},";
+      "        \"series\": {}";
+      "      }";
+      "    }";
+      "  ],";
+      "  \"aggregate\": {";
+      "    \"counters\": {";
+      "      \"hits\": 3";
+      "    },";
+      "    \"gauges\": {},";
+      "    \"histograms\": {},";
+      "    \"series\": {}";
+      "  }";
+      "}";
+    ]
+
+let tiny_report () =
+  let reg = Registry.create () in
+  Registry.set_count (Registry.counter reg "hits") 3;
+  Report.make
+    [
+      {
+        Report.benchmark = "bench";
+        config = "cfg";
+        summary = [ ("cycles", Json.Int 100) ];
+        metrics = Registry.snapshot reg;
+      };
+    ]
+
+let test_report_golden () =
+  check Alcotest.string "golden" golden_report (Json.to_string ~indent:2 (tiny_report ()))
+
+let test_report_schema_fields () =
+  match tiny_report () with
+  | Json.Obj fields ->
+      Alcotest.(check (list string)) "top-level fields in order"
+        [ "schema_version"; "generator"; "runs"; "aggregate" ]
+        (List.map fst fields);
+      (match List.assoc "schema_version" fields with
+      | Json.Int v -> check Alcotest.int "version" Report.schema_version v
+      | _ -> Alcotest.fail "schema_version type")
+  | _ -> Alcotest.fail "expected object"
+
+let test_report_extra_fields () =
+  match Report.make ~extra:[ ("pr", Json.Int 2) ] [] with
+  | Json.Obj fields ->
+      Alcotest.(check (list string)) "extra appended"
+        [ "schema_version"; "generator"; "runs"; "aggregate"; "pr" ]
+        (List.map fst fields)
+  | _ -> Alcotest.fail "expected object"
+
+let test_report_csv () =
+  let reg = Registry.create () in
+  Registry.set_count (Registry.counter reg "hits") 3;
+  Registry.observe (Registry.histogram reg "lat" ~bounds:[| 1.0; 2.0 |]) 1.5;
+  let runs =
+    [
+      {
+        Report.benchmark = "a,b";
+        config = "c\"d";
+        summary = [ ("cycles", Json.Int 7) ];
+        metrics = Registry.snapshot reg;
+      };
+    ]
+  in
+  let csv = Report.to_csv runs in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check bool) "header" true
+    (String.length (List.hd lines) > 0
+    && String.sub (List.hd lines) 0 28 = "benchmark,config,metric,valu");
+  (* RFC 4180: comma-containing field quoted, quote doubled. *)
+  Alcotest.(check bool) "escaped benchmark" true
+    (List.exists
+       (fun l -> String.length l > 0 && String.sub l 0 12 = "\"a,b\",\"c\"\"d\"")
+       lines);
+  (* Histogram expands to bucket rows plus total/sum. *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (List.exists
+           (fun l ->
+             match String.index_opt l ',' with
+             | Some _ ->
+                 List.exists (fun part -> part = needle) (String.split_on_char ',' l)
+             | None -> false)
+           lines))
+    [ "lat.le_1.0"; "lat.le_2.0"; "lat.overflow"; "lat.total"; "lat.sum" ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end contracts *)
+
+let small_cells () =
+  let _, make = Option.get (WReg.find "sobel") in
+  [
+    (Runner.Baseline, make Workload.Sample);
+    (Runner.l1_8k, make Workload.Sample);
+    (Runner.software_default, make Workload.Sample);
+  ]
+
+let floats_identical a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let check_result_identical i (a : Runner.result) (b : Runner.result) =
+  let msg s = Printf.sprintf "cell %d: %s" i s in
+  check Alcotest.int (msg "cycles") a.cycles b.cycles;
+  check Alcotest.int (msg "lookups") a.lookups b.lookups;
+  check Alcotest.int (msg "hits") a.hits b.hits;
+  Alcotest.(check bool)
+    (msg "energy bits") true
+    (floats_identical a.energy.Axmemo_energy.Model.total_pj
+       b.energy.Axmemo_energy.Model.total_pj);
+  Alcotest.(check bool) (msg "outputs") true (a.outputs = b.outputs)
+
+let test_telemetry_is_observational () =
+  (* Attaching the registry and the tracer must not change any simulation
+     result bit. *)
+  let plain = Runner.run_matrix ~jobs:1 (small_cells ()) in
+  let telem =
+    List.map
+      (fun (cfg, inst) ->
+        let r, _, _ = Runner.run_telemetry ~trace:true cfg inst in
+        r)
+      (small_cells ())
+  in
+  List.iteri (fun i (a, b) -> check_result_identical i a b) (List.combine plain telem)
+
+let report_of pairs =
+  let runs =
+    List.mapi
+      (fun i ((r : Runner.result), snapshot) ->
+        {
+          Report.benchmark = Printf.sprintf "cell%d" i;
+          config = r.label;
+          summary = [ ("cycles", Json.Int r.cycles) ];
+          metrics = snapshot;
+        })
+      pairs
+  in
+  Json.to_string ~indent:2 (Report.make runs)
+
+let test_matrix_report_serial_parallel_identical () =
+  (* The acceptance bar: a merged metric report rendered from a serial
+     matrix run and from a --jobs 4 run are byte-identical. *)
+  let serial = report_of (Runner.run_matrix_telemetry ~jobs:1 (small_cells ())) in
+  let parallel = report_of (Runner.run_matrix_telemetry ~jobs:4 (small_cells ())) in
+  check Alcotest.string "byte-identical report" serial parallel
+
+let test_run_telemetry_populates () =
+  let _, make = Option.get (WReg.find "sobel") in
+  let _, snapshot, tracer =
+    Runner.run_telemetry ~trace:true Runner.l1_8k (make Workload.Sample)
+  in
+  let counter name =
+    match List.assoc_opt name snapshot with
+    | Some (Registry.Counter c) -> c
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check bool) "memo lookups counted" true (counter "memo.lookups" > 0);
+  Alcotest.(check bool) "pipeline cycles counted" true (counter "pipeline.cycles" > 0);
+  Alcotest.(check bool) "cache accesses counted" true (counter "cache.l1.accesses" > 0);
+  (* Cycle attribution and the stats mirror agree with the run. *)
+  check Alcotest.int "lookup count mirrors class count"
+    (counter "pipeline.class.memo_lookup.count")
+    (counter "memo.lookups");
+  (match List.assoc_opt "memo.trunc_bits" snapshot with
+  | Some (Registry.Histogram d) ->
+      check Alcotest.int "trunc histogram saw every send" (counter "memo.sends") d.total
+  | _ -> Alcotest.fail "missing memo.trunc_bits histogram");
+  match tracer with
+  | Some tr -> Alcotest.(check bool) "tracer recorded" true (Tracer.events tr > 0)
+  | None -> Alcotest.fail "tracer requested but absent"
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "duplicate name" `Quick test_duplicate_name_rejected;
+          Alcotest.test_case "histogram bucket edges" `Quick test_histogram_bucket_edges;
+          Alcotest.test_case "histogram bad bounds" `Quick test_histogram_bad_bounds;
+          Alcotest.test_case "series below cap" `Quick test_series_keeps_all_below_cap;
+          Alcotest.test_case "series decimation" `Quick test_series_decimation;
+          Alcotest.test_case "series deterministic" `Quick test_series_deterministic;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "semantics" `Quick test_merge_semantics;
+          Alcotest.test_case "incompatible" `Quick test_merge_incompatible;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "events and json" `Quick test_tracer_events_and_json;
+          Alcotest.test_case "bounded buffer" `Quick test_tracer_bounded;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "golden rendering" `Quick test_report_golden;
+          Alcotest.test_case "schema fields" `Quick test_report_schema_fields;
+          Alcotest.test_case "extra fields" `Quick test_report_extra_fields;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "telemetry is observational" `Slow
+            test_telemetry_is_observational;
+          Alcotest.test_case "serial == parallel report" `Slow
+            test_matrix_report_serial_parallel_identical;
+          Alcotest.test_case "run_telemetry populates" `Slow test_run_telemetry_populates;
+        ] );
+    ]

@@ -160,8 +160,19 @@ let test_percentile () =
   checkf "interpolated" 1.5 (Stats.percentile a 12.5)
 
 let test_percentile_empty () =
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
-    (fun () -> ignore (Stats.percentile [||] 50.0))
+  (* Empty input follows the same total contract as mean/geomean/stddev:
+     0.0, never an exception. *)
+  checkf "empty p50" 0.0 (Stats.percentile [||] 50.0);
+  checkf "empty p0" 0.0 (Stats.percentile [||] 0.0);
+  checkf "empty p100" 0.0 (Stats.percentile [||] 100.0)
+
+let test_empty_input_contract () =
+  (* Every summary statistic is total on the empty array. *)
+  checkf "mean" 0.0 (Stats.mean [||]);
+  checkf "geomean" 0.0 (Stats.geomean [||]);
+  checkf "stddev" 0.0 (Stats.stddev [||]);
+  checkf "percentile" 0.0 (Stats.percentile [||] 95.0);
+  Alcotest.(check int) "cdf" 0 (List.length (Stats.cdf [||] ~points:10))
 
 let test_cdf_monotone () =
   let a = Array.init 100 (fun i -> float_of_int (99 - i)) in
@@ -195,6 +206,59 @@ let test_misclassification () =
 let test_relative_errors () =
   let e = Stats.relative_errors ~reference:[| 2.0 |] ~approx:[| 3.0 |] in
   checkf "50%" 0.5 e.(0)
+
+(* --- Json --- *)
+
+module Json = Axmemo_util.Json
+
+let test_json_scalars () =
+  check Alcotest.string "null" "null" (Json.to_string Json.Null);
+  check Alcotest.string "true" "true" (Json.to_string (Json.Bool true));
+  check Alcotest.string "int" "42" (Json.to_string (Json.Int 42));
+  check Alcotest.string "negative int" "-7" (Json.to_string (Json.Int (-7)));
+  check Alcotest.string "integral float" "2.0" (Json.to_string (Json.Float 2.0));
+  check Alcotest.string "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf is null" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      Alcotest.(check (float 0.0)) s f (float_of_string s))
+    [ 0.1; 1.0 /. 3.0; 1e-300; 6.906952913675662e-07; 212897.0; Float.min_float ]
+
+let test_json_escaping () =
+  check Alcotest.string "quote and backslash" {|"a\"b\\c"|}
+    (Json.to_string (Json.Str {|a"b\c|}));
+  check Alcotest.string "newline tab" {|"x\ny\tz"|}
+    (Json.to_string (Json.Str "x\ny\tz"));
+  check Alcotest.string "control chars" "\"\\u0000\\u0001\""
+    (Json.to_string (Json.Str "\x00\x01"));
+  check Alcotest.string "utf8 passthrough" "\"\xc3\xa9\""
+    (Json.to_string (Json.Str "\xc3\xa9"))
+
+let test_json_containers () =
+  check Alcotest.string "array" "[1,2,3]"
+    (Json.to_string (Json.Arr [ Json.Int 1; Json.Int 2; Json.Int 3 ]));
+  check Alcotest.string "object" {|{"a":1,"b":[true]}|}
+    (Json.to_string
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.Arr [ Json.Bool true ]) ]));
+  check Alcotest.string "empty" "{}" (Json.to_string (Json.Obj []))
+
+let test_json_indent () =
+  let s =
+    Json.to_string ~indent:2 (Json.Obj [ ("a", Json.Arr [ Json.Int 1; Json.Int 2 ]) ])
+  in
+  Alcotest.(check bool) "multiline" true (String.contains s '\n');
+  (* Indented and compact renderings parse to the same structure: strip
+     whitespace outside strings (none of the test payload contains any). *)
+  let strip s =
+    String.concat ""
+      (String.split_on_char '\n'
+         (String.concat "" (String.split_on_char ' ' s)))
+  in
+  check Alcotest.string "same content" {|{"a":[1,2]}|} (strip s)
 
 (* --- Table --- *)
 
@@ -303,11 +367,20 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stddev;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+          Alcotest.test_case "empty-input contract" `Quick test_empty_input_contract;
           Alcotest.test_case "cdf monotone" `Quick test_cdf_monotone;
           Alcotest.test_case "output error" `Quick test_output_error;
           Alcotest.test_case "output error mismatch" `Quick test_output_error_mismatch;
           Alcotest.test_case "misclassification" `Quick test_misclassification;
           Alcotest.test_case "relative errors" `Quick test_relative_errors;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "float roundtrip" `Quick test_json_float_roundtrip;
+          Alcotest.test_case "string escaping" `Quick test_json_escaping;
+          Alcotest.test_case "containers" `Quick test_json_containers;
+          Alcotest.test_case "indentation" `Quick test_json_indent;
         ] );
       ( "table",
         [
