@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the one-stop gate: full build,
-# test suite, and the perf smoke (bounded so a hung pool cannot wedge CI).
+# test suite, the perf smoke, and a bounded fault-injection smoke
+# (both timeouts so a hung pool cannot wedge CI).
 
 SMOKE_TIMEOUT ?= 900
 JOBS ?= 4
 
-.PHONY: all build test smoke check clean
+.PHONY: all build test smoke faults-smoke check clean
 
 all: build
 
@@ -17,7 +18,15 @@ test:
 smoke: build
 	timeout $(SMOKE_TIMEOUT) dune exec bench/main.exe -- --perf-smoke --jobs $(JOBS)
 
-check: build test smoke
+# Small fixed-seed campaign: one benchmark, two rates, all protections.
+# Exercises the injector, protection paths, and the resilience report
+# end to end in a few seconds; the report is uploaded as a CI artifact.
+faults-smoke: build
+	timeout $(SMOKE_TIMEOUT) dune exec bin/axmemo_cli.exe -- faults \
+	  -b fft --sample --seed 1234 --rates 1e-3,1e-2 --jobs $(JOBS) \
+	  --quiet --metrics FAULTS_SMOKE.json
+
+check: build test smoke faults-smoke
 
 clean:
 	dune clean

@@ -12,7 +12,7 @@
                                     throughput and writes BENCH_PR1.json
 
    Experiment ids: table1 table2 table3 table4 table5 fig7a fig7b fig8 fig9
-                   fig10a fig10b fig11 atm l2sens *)
+                   fig10a fig10b fig11 atm l2sens faults *)
 
 module W = Axmemo_workloads
 module Workload = W.Workload
@@ -28,6 +28,8 @@ module Timing = Axmemo_isa.Timing
 module Synthesis = Axmemo_energy.Synthesis
 module Json = Axmemo_util.Json
 module Report = Axmemo_telemetry.Report
+module Campaign = Axmemo_resilience.Campaign
+module Protection = Axmemo_faults.Protection
 
 let benchmarks = W.Registry.all
 let names = W.Registry.names
@@ -846,6 +848,77 @@ let perf_smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+
+(* SEU resilience campaign over representative benchmarks: sweep fault rate
+   and protection over the L1 LUT arrays and the hash path, then check the
+   campaign's three headline claims — quality degrades monotonically with
+   rate, protection detects a nonzero share of strikes, and SECDED buys back
+   the unprotected SDC at a measured energy cost. Writes BENCH_FAULTS.json
+   (the schema-versioned resilience report). *)
+let faults_benchmarks = [ "fft"; "kmeans"; "sobel" ]
+
+let faults_exp () =
+  heading "Resilience: SEU campaign (transient faults, per-access rates)";
+  let cfg = Campaign.default () in
+  let selected =
+    List.map (fun n -> Option.get (W.Registry.find n)) faults_benchmarks
+  in
+  let outcome = Campaign.run ~jobs:(jobs ()) cfg selected ~variant:Workload.Eval in
+  let ms = outcome.measurements in
+  let header =
+    [ "benchmark"; "sites"; "rate"; "prot"; "inj"; "sdc"; "det"; "qdeg";
+      "speedup"; "eovh"; "due" ]
+  in
+  let rows =
+    List.map
+      (fun (m : Campaign.measurement) ->
+        [
+          m.benchmark;
+          m.site_group;
+          Printf.sprintf "%g" m.rate;
+          Protection.kind_name m.protection;
+          string_of_int m.injected;
+          string_of_int m.sdc_hits;
+          Table.fmt_pct m.detection_rate;
+          Printf.sprintf "%.1e" m.quality_degradation;
+          Table.fmt_x m.speedup_retained;
+          Printf.sprintf "%+.1f%%" (100.0 *. m.energy_overhead);
+          (match m.crashed with Some _ -> "DUE" | None -> "-");
+        ])
+      ms
+  in
+  Table.print
+    ~align:
+      [ Left; Left; Right; Left; Right; Right; Right; Right; Right; Right; Left ]
+    ~header rows;
+  (* Headline aggregates over the protected site group (the LUT arrays). *)
+  let lut p = List.filter (fun (m : Campaign.measurement) ->
+      m.site_group = "lut" && m.protection = p) ms in
+  let sum f l = List.fold_left (fun a m -> a + f m) 0 l in
+  let sdc_none = sum (fun (m : Campaign.measurement) -> m.sdc_hits) (lut Protection.Unprotected)
+  and sdc_secded = sum (fun (m : Campaign.measurement) -> m.sdc_hits) (lut Protection.Secded)
+  and det_parity = sum (fun (m : Campaign.measurement) -> m.detected) (lut Protection.Parity)
+  and corr = sum (fun (m : Campaign.measurement) -> m.corrected) (lut Protection.Secded) in
+  (* A crashed (DUE) cell stops early and spends less energy, so it would
+     understate the protection cost — average the overhead over completed
+     cells only. *)
+  let completed = List.filter (fun (m : Campaign.measurement) -> m.crashed = None) in
+  let eovh_secded =
+    average (List.map (fun (m : Campaign.measurement) -> m.energy_overhead)
+               (completed (lut Protection.Secded)))
+  in
+  let dues =
+    List.length (List.filter (fun (m : Campaign.measurement) -> m.crashed <> None) ms)
+  in
+  Printf.printf
+    "\nLUT sites: unprotected SDC hits %d -> SECDED %d (%d corrected, parity \
+     detected %d); SECDED mean energy overhead %+.2f%%; %d DUE cell(s) in the \
+     campaign\n"
+    sdc_none sdc_secded corr det_parity (100.0 *. eovh_secded) dues;
+  Campaign.write_report outcome "BENCH_FAULTS.json";
+  Printf.printf "wrote BENCH_FAULTS.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Each experiment declares the (benchmark, config) cells it reads so the
    driver can prewarm them as one parallel matrix. [result] still covers
    anything undeclared, serially. *)
@@ -895,6 +968,7 @@ let experiments =
       (fun () ->
         suite_cells [ Runner.Baseline; Runner.l1_8k_l2_512k; ablation_adaptive_cfg ]),
       ablation_adaptive );
+    ("faults", no_cells, faults_exp);
   ]
 
 let () =

@@ -4,6 +4,7 @@
      list                     enumerate the benchmark suite
      run -b <bench> [-c cfg]  simulate one benchmark under one configuration
      sweep [-b <bench>]       run every configuration (optionally one bench)
+     faults [-b <bench>]      SEU resilience campaign (site x rate x protection)
      analyze -b <bench>       DDDG candidate analysis (Table 1 row)
      ir -b <bench>            dump the benchmark's IR *)
 
@@ -12,8 +13,12 @@ module Runner = Axmemo.Runner
 module Analysis = Axmemo.Analysis
 module Table = Axmemo_util.Table
 module Json = Axmemo_util.Json
+module Rng = Axmemo_util.Rng
 module Report = Axmemo_telemetry.Report
 module Tracer = Axmemo_telemetry.Tracer
+module Campaign = Axmemo_resilience.Campaign
+module Fault_model = Axmemo_faults.Fault_model
+module Protection = Axmemo_faults.Protection
 open Cmdliner
 
 let config_of_string = function
@@ -109,6 +114,31 @@ let quiet_arg =
     value & flag
     & info [ "quiet" ] ~doc:"Suppress the human-readable tables on stdout.")
 
+let seed_arg =
+  Arg.(
+    value & opt int64 0L
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Root seed: every stochastic knob (dataset generation, Random \
+           replacement, fault streams) derives its stream from $(docv), so \
+           one recorded number reproduces the whole run. 0 (the default) \
+           keeps the historical fixed streams.")
+
+(* Install the root seed before any instance is constructed; report it back so
+   runs are reproducible from the report alone. *)
+let apply_seed seed = if seed <> 0L then Rng.set_root_seed seed
+
+let seed_extra () =
+  match Rng.root_seed () with
+  | 0L -> []
+  | s -> [ ("root_seed", Json.Str (Int64.to_string s)) ]
+
+let print_seed quiet =
+  if not quiet then
+    match Rng.root_seed () with
+    | 0L -> ()
+    | s -> Printf.printf "root seed        %Ld\n" s
+
 (* Flat scalar facts of one run, shared by the [run] and [sweep] reports. *)
 let summary_of ?base (r : Runner.result) =
   [
@@ -164,7 +194,9 @@ let list_cmd =
 
 let run_cmd =
   let doc = "Simulate one benchmark under one configuration." in
-  let run bench config sample metrics csv chrome_trace quiet =
+  let run bench config sample seed metrics csv chrome_trace quiet =
+    apply_seed seed;
+    print_seed quiet;
     let _, make = Option.get (W.Registry.find bench) in
     let variant = variant_of sample in
     let base =
@@ -186,7 +218,9 @@ let run_cmd =
           metrics = snapshot;
         }
       in
-      Option.iter (fun path -> Report.write path [ report_run ]) metrics;
+      Option.iter
+        (fun path -> Report.write ~extra:(seed_extra ()) path [ report_run ])
+        metrics;
       Option.iter (fun path -> Report.write_csv path [ report_run ]) csv;
       match (tracer, chrome_trace) with
       | Some tr, Some path -> Tracer.write tr path
@@ -199,8 +233,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ bench_arg $ config_arg $ variant_arg $ metrics_arg $ csv_arg
-      $ chrome_trace_arg $ quiet_arg)
+      const run $ bench_arg $ config_arg $ variant_arg $ seed_arg $ metrics_arg
+      $ csv_arg $ chrome_trace_arg $ quiet_arg)
 
 let jobs_arg =
   Arg.(
@@ -213,7 +247,9 @@ let jobs_arg =
 
 let sweep_cmd =
   let doc = "Run every configuration over the suite (or one benchmark)." in
-  let run bench sample jobs metrics csv quiet =
+  let run bench sample seed jobs metrics csv quiet =
+    apply_seed seed;
+    print_seed quiet;
     let variant = variant_of sample in
     let selected =
       match bench with
@@ -289,14 +325,170 @@ let sweep_cmd =
                  rs snaps)
              selected)
       in
-      Option.iter (fun path -> Report.write path report_runs) metrics;
+      Option.iter
+        (fun path -> Report.write ~extra:(seed_extra ()) path report_runs)
+        metrics;
       Option.iter (fun path -> Report.write_csv path report_runs) csv
     end
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ bench_opt_arg $ variant_arg $ jobs_arg $ metrics_arg $ csv_arg
-      $ quiet_arg)
+      const run $ bench_opt_arg $ variant_arg $ seed_arg $ jobs_arg $ metrics_arg
+      $ csv_arg $ quiet_arg)
+
+(* ---- faults: SEU resilience campaign -------------------------------- *)
+
+let site_group_conv =
+  let parse = function
+    | "lut" ->
+        Ok ("lut", Fault_model.[ L1_tag; L1_payload; L1_valid; L1_lru ])
+    | "l2" -> Ok ("l2", Fault_model.[ L2_tag; L2_payload; L2_valid; L2_lru ])
+    | "hash" -> Ok ("hash", Fault_model.[ Hvr; Crc_datapath ])
+    | "all" -> Ok ("all", Fault_model.all_sites)
+    | s -> (
+        match Fault_model.site_of_string s with
+        | Some site -> Ok (s, [ site ])
+        | None ->
+            Error
+              (`Msg
+                 (s
+                ^ ": expected a group (lut, l2, hash, all) or a site name \
+                   (l1.tag, l1.payload, l1.valid, l1.lru, l2.*, hvr, crc)")))
+  in
+  Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
+
+let of_string_conv ~what of_string name_of =
+  Arg.conv
+    ( (fun s ->
+        match of_string s with
+        | Some v -> Ok v
+        | None -> Error (`Msg ("unknown " ^ what ^ ": " ^ s))),
+      fun ppf v -> Format.pp_print_string ppf (name_of v) )
+
+let rates_arg =
+  Arg.(
+    value
+    & opt (list float) [ 1e-4; 1e-3; 1e-2 ]
+    & info [ "rates" ] ~docv:"R,.."
+        ~doc:"Comma-separated fault rates to sweep (per access or per cycle).")
+
+let fault_kind_arg =
+  Arg.(
+    value
+    & opt
+        (of_string_conv ~what:"fault kind" Fault_model.kind_of_string
+           Fault_model.kind_name)
+        Fault_model.Transient
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:"Fault kind: transient, stuck0 or stuck1.")
+
+let basis_arg =
+  Arg.(
+    value
+    & opt
+        (of_string_conv ~what:"rate basis" Fault_model.basis_of_string
+           Fault_model.basis_name)
+        Fault_model.Per_access
+    & info [ "basis" ] ~docv:"BASIS"
+        ~doc:"Rate basis: access (per LUT access) or cycle (per simulated cycle).")
+
+let protections_arg =
+  Arg.(
+    value
+    & opt
+        (list
+           (of_string_conv ~what:"protection" Protection.kind_of_string
+              Protection.kind_name))
+        Protection.all_kinds
+    & info [ "protections" ] ~docv:"P,.."
+        ~doc:"Protections to sweep: none, parity, secded.")
+
+let sites_arg =
+  Arg.(
+    value
+    & opt (list site_group_conv)
+        [ ("lut", Fault_model.[ L1_tag; L1_payload; L1_valid; L1_lru ]);
+          ("hash", Fault_model.[ Hvr; Crc_datapath ]) ]
+    & info [ "sites" ] ~docv:"G,.."
+        ~doc:
+          "Site groups swept independently: lut, l2, hash, all, or an \
+           individual site name such as l1.payload.")
+
+let l2_kb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "l2-kb" ] ~docv:"KB"
+        ~doc:
+          "Give the memoized cells an L2 LUT of $(docv) KB (needed for the \
+           l2 site group; default: L1 only).")
+
+let faults_cmd =
+  let doc = "SEU resilience campaign: sweep fault sites x rates x protections." in
+  let run bench sample seed jobs rates kind basis protections site_groups l2_kb
+      metrics csv chrome_trace quiet =
+    apply_seed seed;
+    print_seed quiet;
+    let variant = variant_of sample in
+    let selected =
+      match bench with
+      | Some b -> [ Option.get (W.Registry.find b) ]
+      | None -> W.Registry.all
+    in
+    let cfg =
+      {
+        (Campaign.default ()) with
+        rates;
+        kind;
+        basis;
+        protections;
+        site_groups;
+        l2_bytes = Option.map (fun kb -> kb * 1024) l2_kb;
+      }
+    in
+    let outcome = Campaign.run ?jobs cfg selected ~variant in
+    if not quiet then begin
+      let header =
+        [ "benchmark"; "sites"; "rate"; "prot"; "inj"; "sdc"; "det"; "qdeg";
+          "speedup"; "eovh"; "trip"; "due" ]
+      in
+      let rows =
+        List.map
+          (fun (m : Campaign.measurement) ->
+            [
+              m.benchmark;
+              m.site_group;
+              Printf.sprintf "%g" m.rate;
+              Protection.kind_name m.protection;
+              string_of_int m.injected;
+              string_of_int m.sdc_hits;
+              Table.fmt_pct m.detection_rate;
+              Printf.sprintf "%.1e" m.quality_degradation;
+              Table.fmt_x m.speedup_retained;
+              Printf.sprintf "%+.1f%%" (100.0 *. m.energy_overhead);
+              (match m.trip_lookup with Some n -> string_of_int n | None -> "-");
+              (match m.crashed with Some _ -> "DUE" | None -> "-");
+            ])
+          outcome.measurements
+      in
+      Table.print
+        ~align:
+          [ Left; Left; Right; Left; Right; Right; Right; Right; Right; Right;
+            Right; Left ]
+        ~header rows
+    end;
+    Option.iter (fun path -> Campaign.write_report outcome path) metrics;
+    Option.iter (fun path -> Report.write_csv path outcome.runs) csv;
+    Option.iter
+      (fun path ->
+        Campaign.trace_cell cfg ~benchmark:(List.hd selected) ~variant ~path)
+      chrome_trace
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ bench_opt_arg $ variant_arg $ seed_arg $ jobs_arg $ rates_arg
+      $ fault_kind_arg $ basis_arg $ protections_arg $ sites_arg $ l2_kb_arg
+      $ metrics_arg $ csv_arg $ chrome_trace_arg $ quiet_arg)
 
 let analyze_cmd =
   let doc = "DDDG candidate analysis on the sample dataset (Table 1 row)." in
@@ -343,4 +535,7 @@ let ir_cmd =
 let () =
   let doc = "AxMemo: hardware-compiler co-design for approximate code memoization" in
   let info = Cmd.info "axmemo" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; analyze_cmd; ir_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; analyze_cmd; ir_cmd; check_cmd ]))

@@ -8,6 +8,9 @@ module Transform = Axmemo_compiler.Transform
 module Workload = Axmemo_workloads.Workload
 module Registry = Axmemo_telemetry.Registry
 module Tracer = Axmemo_telemetry.Tracer
+module Fault_model = Axmemo_faults.Fault_model
+module Injector = Axmemo_faults.Injector
+module Protection = Axmemo_faults.Protection
 
 type config =
   | Baseline
@@ -95,6 +98,9 @@ type result = {
   hit_rate : float;
   collisions : int;
   memo_disabled : bool;
+  trip_lookup : int option;
+  faults : Injector.stats option;
+  crashed : string option;
   outputs : Workload.outputs;
 }
 
@@ -126,10 +132,12 @@ let sw_hit_counter program =
   in
   (on_exec, hits, misses)
 
-let finish ~label ~pipeline_stats ~hierarchy ~memo_stats ~l1_lut_bytes ~lookups ~hits
-    ~collisions ~memo_disabled ~outputs ~machine =
+let finish ?(protection_pj = 0.0) ?trip_lookup ?faults ?crashed ~label ~pipeline_stats
+    ~hierarchy ~memo_stats ~l1_lut_bytes ~lookups ~hits ~collisions ~memo_disabled
+    ~outputs ~machine () =
   let energy =
-    Model.of_run ~pipeline:pipeline_stats ~hierarchy ~memo:memo_stats ~l1_lut_bytes ()
+    Model.of_run ~protection_pj ~pipeline:pipeline_stats ~hierarchy ~memo:memo_stats
+      ~l1_lut_bytes ()
   in
   {
     label;
@@ -146,6 +154,9 @@ let finish ~label ~pipeline_stats ~hierarchy ~memo_stats ~l1_lut_bytes ~lookups 
     hit_rate = (if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups);
     collisions;
     memo_disabled;
+    trip_lookup;
+    faults;
+    crashed;
     outputs;
   }
 
@@ -203,10 +214,21 @@ let run_hw ?metrics ?(trace = false) ~label ~(unit_cfg : Memo_unit.config) ~appr
       ~l2_lut_present:(unit_cfg.l2_bytes <> None) ~l1_lut_ways:(Memo_unit.l1_ways unit)
       ~crc_bytes_per_cycle ~program ~hierarchy ()
   in
+  (* Per-cycle fault rates integrate over the pipeline's simulated clock. *)
+  (match Memo_unit.injector unit with
+  | Some inj -> Injector.set_clock inj (fun () -> Pipeline.cycles pipe)
+  | None -> ());
   let tracer =
     if trace then Some (Tracer.create ~clock:(fun () -> Pipeline.cycles pipe) ())
     else None
   in
+  (match (tracer, Memo_unit.injector unit) with
+  | Some tr, Some inj ->
+      (* Fault instants land on the same cycle clock as the LUT events, so
+         a trace view correlates upsets with the misses they cause. *)
+      Injector.set_on_fault inj (fun site ->
+          Tracer.instant tr ("fault_" ^ Fault_model.site_name site))
+  | _ -> ());
   let hooks =
     match tracer with
     | None -> Pipeline.hooks pipe
@@ -229,15 +251,41 @@ let run_hw ?metrics ?(trace = false) ~label ~(unit_cfg : Memo_unit.config) ~appr
   let interp =
     Interp.create ~memo:(Memo_unit.hooks unit) ~hooks ~program ~mem:instance.mem ()
   in
-  ignore (Interp.run interp instance.entry instance.args);
+  let crashed =
+    match Memo_unit.injector unit with
+    | None ->
+        ignore (Interp.run interp instance.entry instance.args);
+        None
+    | Some _ -> (
+        (* An injected fault can steer the simulated program into failure —
+           e.g. a corrupted payload used in address arithmetic exhausts the
+           memory model. In SEU terms that is a crash (DUE) outcome of the
+           campaign, not a harness error: record it and keep every statistic
+           gathered up to the crash. Outputs read back whatever was written
+           before the failure (the buffers are pre-allocated). *)
+        try
+          ignore (Interp.run interp instance.entry instance.args);
+          None
+        with e -> Some (Printexc.to_string e))
+  in
   Memo_unit.flush_metrics unit;
   Pipeline.flush_metrics pipe;
   Hierarchy.flush_metrics hierarchy;
   let ms = Memo_unit.stats unit in
-  ( finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:(Some ms)
+  let fstats = Option.map Injector.stats (Memo_unit.injector unit) in
+  let protection_pj =
+    match (Memo_unit.injector unit, fstats) with
+    | Some inj, Some (s : Injector.stats) ->
+        Protection.energy_pj (Injector.protection inj) ~lookups:ms.lookups
+          ~updates:ms.updates ~corrections:s.secded_corrected
+    | _ -> 0.0
+  in
+  ( finish ~protection_pj ?trip_lookup:(Memo_unit.trip_lookup unit) ?faults:fstats
+      ?crashed ~label
+      ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:(Some ms)
       ~l1_lut_bytes:unit_cfg.l1_bytes ~lookups:ms.lookups ~hits:(ms.l1_hits + ms.l2_hits)
       ~collisions:ms.collisions ~memo_disabled:(Memo_unit.disabled unit)
-      ~outputs:(instance.read_outputs ()) ~machine,
+      ~outputs:(instance.read_outputs ()) ~machine (),
     tracer )
 
 let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
@@ -265,7 +313,7 @@ let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
       Hierarchy.flush_metrics hierarchy;
       ( finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
           ~l1_lut_bytes:(kb 8) ~lookups:0 ~hits:0 ~collisions:0 ~memo_disabled:false
-          ~outputs:(instance.read_outputs ()) ~machine,
+          ~outputs:(instance.read_outputs ()) ~machine (),
         tracer )
   | Hw_memo { l1_bytes; l2_bytes; approximate; monitor; total_l2; adaptive } ->
       let unit_cfg =
@@ -322,7 +370,7 @@ let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
       let lookups = !hits + !misses in
       ( finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
           ~l1_lut_bytes:(kb 8) ~lookups ~hits:!hits ~collisions:0 ~memo_disabled:false
-          ~outputs:(instance.read_outputs ()) ~machine,
+          ~outputs:(instance.read_outputs ()) ~machine (),
         tracer )
 
 let run config instance = fst (run_impl config instance)

@@ -64,6 +64,17 @@ type result = {
   hit_rate : float;
   collisions : int;
   memo_disabled : bool;
+  trip_lookup : int option;
+      (** lookup count at which the quality monitor tripped, when it did *)
+  faults : Axmemo_faults.Injector.stats option;
+      (** injection/protection counters when the memo unit ran with
+          [config.faults] set; [None] on fault-free runs *)
+  crashed : string option;
+      (** [Some exn] when an injected fault drove the simulated program into
+          failure (a DUE outcome, e.g. a corrupted payload used as an
+          address); statistics and outputs cover the prefix up to the crash.
+          Always [None] on fault-free runs — without an injector attached a
+          simulation exception propagates as the harness error it is. *)
   outputs : Axmemo_workloads.Workload.outputs;
 }
 

@@ -59,14 +59,17 @@ type t = {
   step_table : int64 array;
   mutable reg : int64;  (* reflected domain iff poly.refin *)
   mutable fed : int;
+  fault : (int -> int64) option;
+      (* datapath upset hook: called once per byte step with the register
+         width, returns an XOR mask (0L = clean step) *)
 }
 
-let start (p : Poly.t) =
+let start ?fault (p : Poly.t) =
   (* The internal register lives in the reflected domain when the
      parameterisation reflects its input, so the initial value must be
      carried into that domain too. *)
   let init = if p.refin then reflect ~bits:p.width p.init else p.init in
-  { poly = p; step_table = table p; reg = init; fed = 0 }
+  { poly = p; step_table = table p; reg = init; fed = 0; fault }
 
 let copy t = { t with reg = t.reg }
 
@@ -74,20 +77,25 @@ let feed_byte t b =
   let b = b land 0xFF in
   t.fed <- t.fed + 1;
   let p = t.poly in
-  if p.refin then
-    let idx = Int64.to_int (Int64.logand (Int64.logxor t.reg (Int64.of_int b)) 0xFFL) in
-    t.reg <- Int64.logxor (Int64.shift_right_logical t.reg 8) t.step_table.(idx)
-  else
-    let idx =
-      Int64.to_int
-        (Int64.logand
-           (Int64.logxor (Int64.shift_right_logical t.reg (p.width - 8)) (Int64.of_int b))
-           0xFFL)
-    in
-    t.reg <-
-      Int64.logand
-        (Int64.logxor (Int64.shift_left t.reg 8) t.step_table.(idx))
-        (Poly.mask p)
+  (if p.refin then
+     let idx = Int64.to_int (Int64.logand (Int64.logxor t.reg (Int64.of_int b)) 0xFFL) in
+     t.reg <- Int64.logxor (Int64.shift_right_logical t.reg 8) t.step_table.(idx)
+   else
+     let idx =
+       Int64.to_int
+         (Int64.logand
+            (Int64.logxor (Int64.shift_right_logical t.reg (p.width - 8)) (Int64.of_int b))
+            0xFFL)
+     in
+     t.reg <-
+       Int64.logand
+         (Int64.logxor (Int64.shift_left t.reg 8) t.step_table.(idx))
+         (Poly.mask p));
+  match t.fault with
+  | None -> ()
+  | Some f ->
+      let mask = f p.width in
+      if mask <> 0L then t.reg <- Int64.logand (Int64.logxor t.reg mask) (Poly.mask p)
 
 let feed_string t s = String.iter (fun c -> feed_byte t (Char.code c)) s
 

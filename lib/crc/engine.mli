@@ -14,8 +14,15 @@
 type t
 (** An in-flight CRC computation (the contents of one Hash Value Register). *)
 
-val start : Poly.t -> t
-(** [start p] begins a computation under parameterisation [p]. *)
+val start : ?fault:(int -> int64) -> Poly.t -> t
+(** [start p] begins a computation under parameterisation [p].
+
+    [?fault] models single-event upsets in the CRC datapath: when present it
+    is called once per byte step with the register width and must return an
+    XOR mask folded into the shift register ([0L] leaves the step clean).
+    The hook is how {!Axmemo_faults.Injector} reaches the engine without the
+    CRC library depending on the fault subsystem. Absent, the engine is
+    exactly the fault-free datapath. *)
 
 val copy : t -> t
 (** [copy t] snapshots the in-flight state. *)

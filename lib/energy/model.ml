@@ -37,6 +37,7 @@ type breakdown = {
   cache_pj : float;
   dram_pj : float;
   memo_pj : float;
+  protection_pj : float;
   leakage_pj : float;
   total_pj : float;
 }
@@ -44,7 +45,8 @@ type breakdown = {
 let class_count (stats : Pipeline.stats) cls =
   match List.assoc_opt cls stats.per_class with Some n -> n | None -> 0
 
-let of_run ?(constants = default_constants) ~pipeline ~hierarchy ~memo ~l1_lut_bytes () =
+let of_run ?(constants = default_constants) ?(protection_pj = 0.0) ~pipeline ~hierarchy
+    ~memo ~l1_lut_bytes () =
   let k = constants in
   let c cls = float_of_int (class_count pipeline cls) in
   let fu_pj =
@@ -82,5 +84,5 @@ let of_run ?(constants = default_constants) ~pipeline ~hierarchy ~memo ~l1_lut_b
   (* The paper estimates application energy with McPAT, i.e. processor energy
      only; DRAM energy is reported in the breakdown but excluded from the
      total, matching that methodology. *)
-  let total_pj = pipeline_pj +. cache_pj +. memo_pj +. leakage_pj in
-  { pipeline_pj; cache_pj; dram_pj; memo_pj; leakage_pj; total_pj }
+  let total_pj = pipeline_pj +. cache_pj +. memo_pj +. protection_pj +. leakage_pj in
+  { pipeline_pj; cache_pj; dram_pj; memo_pj; protection_pj; leakage_pj; total_pj }

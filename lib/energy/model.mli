@@ -29,12 +29,16 @@ type breakdown = {
       (** reported, but {e not} part of [total_pj]: the paper's McPAT totals
           are processor energy only *)
   memo_pj : float;
+  protection_pj : float;
+      (** modeled ECC checks/encodes on the LUT arrays
+          ({!Axmemo_faults.Protection}); 0 for unprotected runs *)
   leakage_pj : float;
   total_pj : float;
 }
 
 val of_run :
   ?constants:constants ->
+  ?protection_pj:float ->
   pipeline:Axmemo_cpu.Pipeline.stats ->
   hierarchy:Axmemo_cache.Hierarchy.t ->
   memo:Axmemo_memo.Memo_unit.stats option ->
@@ -43,4 +47,6 @@ val of_run :
   breakdown
 (** [of_run ~pipeline ~hierarchy ~memo ~l1_lut_bytes ()] aggregates one
     run's events. [memo = None] models the baseline core (no memoization
-    hardware active). *)
+    hardware active). [?protection_pj] (default 0) adds the LUT protection
+    charge computed by {!Axmemo_faults.Protection.energy_pj} into the
+    total. *)

@@ -1,0 +1,81 @@
+type site =
+  | L1_tag
+  | L1_payload
+  | L1_valid
+  | L1_lru
+  | L2_tag
+  | L2_payload
+  | L2_valid
+  | L2_lru
+  | Hvr
+  | Crc_datapath
+
+let all_sites =
+  [ L1_tag; L1_payload; L1_valid; L1_lru; L2_tag; L2_payload; L2_valid; L2_lru;
+    Hvr; Crc_datapath ]
+
+let site_name = function
+  | L1_tag -> "l1.tag"
+  | L1_payload -> "l1.payload"
+  | L1_valid -> "l1.valid"
+  | L1_lru -> "l1.lru"
+  | L2_tag -> "l2.tag"
+  | L2_payload -> "l2.payload"
+  | L2_valid -> "l2.valid"
+  | L2_lru -> "l2.lru"
+  | Hvr -> "hvr"
+  | Crc_datapath -> "crc"
+
+let site_of_string s = List.find_opt (fun x -> site_name x = s) all_sites
+
+type kind = Transient | Stuck_at_0 | Stuck_at_1
+
+let kind_name = function
+  | Transient -> "transient"
+  | Stuck_at_0 -> "stuck-at-0"
+  | Stuck_at_1 -> "stuck-at-1"
+
+let kind_of_string = function
+  | "transient" | "seu" -> Some Transient
+  | "stuck-at-0" | "sa0" -> Some Stuck_at_0
+  | "stuck-at-1" | "sa1" -> Some Stuck_at_1
+  | _ -> None
+
+type basis = Per_access | Per_cycle
+
+let basis_name = function Per_access -> "access" | Per_cycle -> "cycle"
+
+let basis_of_string = function
+  | "access" -> Some Per_access
+  | "cycle" -> Some Per_cycle
+  | _ -> None
+
+type spec = {
+  seed : int64;
+  kind : kind;
+  basis : basis;
+  rate : float;
+  sites : site list;
+  protection : Protection.kind;
+}
+
+let default =
+  {
+    seed = 1L;
+    kind = Transient;
+    basis = Per_access;
+    rate = 0.0;
+    sites = all_sites;
+    protection = Protection.Unprotected;
+  }
+
+let validate spec =
+  if not (spec.rate >= 0.0 && spec.rate <= 1.0) then
+    invalid_arg "Fault_model.validate: rate must be within [0, 1]";
+  if spec.sites = [] then invalid_arg "Fault_model.validate: no fault sites";
+  if spec.seed = 0L then invalid_arg "Fault_model.validate: seed must be nonzero"
+
+type lut_sites = { tag : site; payload : site; valid : site; lru : site }
+
+let l1_sites = { tag = L1_tag; payload = L1_payload; valid = L1_valid; lru = L1_lru }
+let l2_sites = { tag = L2_tag; payload = L2_payload; valid = L2_valid; lru = L2_lru }

@@ -1,0 +1,79 @@
+(** Declarative fault specifications.
+
+    A {!spec} is a pure value: it names {e where} single-event upsets may
+    strike (the {!site} list), {e how} (transient flip or stuck-at), {e how
+    often} (a rate per LUT access or per simulated cycle), which modeled
+    {!Protection.kind} guards the LUT arrays, and the splitmix64 seed of the
+    fault stream. Because the simulator is deterministic, a spec fully
+    determines every fault of a run: campaigns replay bit-identically, and
+    serial and parallel sweeps agree byte-for-byte.
+
+    Sites follow the hardware state of Sections 3.2–3.3: the L1/L2 LUT tag,
+    payload, valid and LRU arrays, the hash value registers (in-flight CRC
+    state), and the CRC datapath itself. Protection covers only the LUT
+    entry (tag + payload + valid); HVR and CRC-datapath upsets are
+    architecturally unprotected — they corrupt a key {e before} it is
+    stored, which memoization absorbs as a miss or a one-off polluted
+    entry. *)
+
+type site =
+  | L1_tag
+  | L1_payload
+  | L1_valid
+  | L1_lru
+  | L2_tag
+  | L2_payload
+  | L2_valid
+  | L2_lru
+  | Hvr  (** in-flight hash value register, read at lookup time *)
+  | Crc_datapath  (** combinational upset during one CRC byte step *)
+
+val all_sites : site list
+
+val site_name : site -> string
+(** Stable dotted identifier (["l1.tag"], ["hvr"], ...) used in metric
+    names, reports, and CLI arguments. *)
+
+val site_of_string : string -> site option
+
+type kind =
+  | Transient  (** one bit flips (SEU) *)
+  | Stuck_at_0  (** the struck bit reads 0 until the entry is rewritten *)
+  | Stuck_at_1
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+type basis =
+  | Per_access  (** [rate] = probability of one fault per drawn access *)
+  | Per_cycle
+      (** [rate] = probability per simulated cycle; each access draws over
+          the cycles elapsed since the previous draw, so slow phases absorb
+          proportionally more upsets *)
+
+val basis_name : basis -> string
+val basis_of_string : string -> basis option
+
+type spec = {
+  seed : int64;  (** root of the fault stream (splitmix64) *)
+  kind : kind;
+  basis : basis;
+  rate : float;  (** in [0, 1]; 0 attaches the injector but never fires *)
+  sites : site list;  (** enabled sites; order-insensitive *)
+  protection : Protection.kind;  (** guards LUT tag + payload + valid *)
+}
+
+val default : spec
+(** Transient, per-access, rate 0, every site enabled, unprotected,
+    seed [1L]. *)
+
+val validate : spec -> unit
+(** @raise Invalid_argument on a rate outside [0, 1], an empty site list, or
+    a zero seed (the splitmix increment makes 0 a degenerate stream). *)
+
+type lut_sites = { tag : site; payload : site; valid : site; lru : site }
+(** The four per-level array sites, bundled so a {!Axmemo_memo.Lut} port
+    knows which names to draw. *)
+
+val l1_sites : lut_sites
+val l2_sites : lut_sites

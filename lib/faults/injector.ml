@@ -1,0 +1,141 @@
+module Rng = Axmemo_util.Rng
+
+let site_index : Fault_model.site -> int = function
+  | L1_tag -> 0
+  | L1_payload -> 1
+  | L1_valid -> 2
+  | L1_lru -> 3
+  | L2_tag -> 4
+  | L2_payload -> 5
+  | L2_valid -> 6
+  | L2_lru -> 7
+  | Hvr -> 8
+  | Crc_datapath -> 9
+
+let nsites = List.length Fault_model.all_sites
+
+type t = {
+  spec : Fault_model.spec;
+  rng : Rng.t;
+  enabled : bool array;  (* indexed by site_index *)
+  injected : int array;
+  mutable clock : (unit -> int) option;
+  mutable last_cycle : int;
+  mutable on_fault : (Fault_model.site -> unit) option;
+  mutable parity_detected : int;
+  mutable secded_corrected : int;
+  mutable secded_detected : int;
+  mutable sdc_hits : int;
+  mutable tag_aliases : int;
+}
+
+let create (spec : Fault_model.spec) =
+  Fault_model.validate spec;
+  let enabled = Array.make nsites false in
+  List.iter (fun s -> enabled.(site_index s) <- true) spec.sites;
+  {
+    spec;
+    rng = Rng.create spec.seed;
+    enabled;
+    injected = Array.make nsites 0;
+    clock = None;
+    last_cycle = 0;
+    on_fault = None;
+    parity_detected = 0;
+    secded_corrected = 0;
+    secded_detected = 0;
+    sdc_hits = 0;
+    tag_aliases = 0;
+  }
+
+let spec t = t.spec
+let protection t = t.spec.protection
+let set_clock t f = t.clock <- Some f
+let set_on_fault t f = t.on_fault <- Some f
+
+(* One Bernoulli opportunity. Per-cycle rates integrate the elapsed
+   simulated time since the previous draw: P(>=1 upset in d cycles) =
+   1 - (1 - r)^d. The elapsed-cycle counter is global to the injector, so
+   the total exposure equals the run's cycle count no matter how accesses
+   interleave across sites. *)
+let fires t =
+  let p =
+    match t.spec.basis with
+    | Fault_model.Per_access -> t.spec.rate
+    | Fault_model.Per_cycle -> (
+        match t.clock with
+        | None -> t.spec.rate
+        | Some clk ->
+            let now = clk () in
+            let d = max 0 (now - t.last_cycle) in
+            t.last_cycle <- now;
+            if d = 0 then 0.0
+            else if t.spec.rate >= 1.0 then 1.0
+            else 1.0 -. ((1.0 -. t.spec.rate) ** float_of_int d))
+  in
+  p > 0.0 && Rng.float t.rng 1.0 < p
+
+let record t site =
+  t.injected.(site_index site) <- t.injected.(site_index site) + 1;
+  match t.on_fault with Some f -> f site | None -> ()
+
+let corrupt t site ~width v =
+  if not t.enabled.(site_index site) then v
+  else if not (fires t) then v
+  else begin
+    let bit = Int64.shift_left 1L (Rng.int t.rng width) in
+    let v' =
+      match t.spec.kind with
+      | Fault_model.Transient -> Int64.logxor v bit
+      | Fault_model.Stuck_at_0 -> Int64.logand v (Int64.lognot bit)
+      | Fault_model.Stuck_at_1 -> Int64.logor v bit
+    in
+    if v' <> v then record t site;
+    v'
+  end
+
+let crc_hook t =
+  if not t.enabled.(site_index Fault_model.Crc_datapath) then None
+  else
+    Some
+      (fun width ->
+        if fires t then begin
+          let mask = Int64.shift_left 1L (Rng.int t.rng width) in
+          record t Fault_model.Crc_datapath;
+          mask
+        end
+        else 0L)
+
+let note_parity_detected t = t.parity_detected <- t.parity_detected + 1
+let note_secded_corrected t = t.secded_corrected <- t.secded_corrected + 1
+let note_secded_detected t = t.secded_detected <- t.secded_detected + 1
+let note_sdc t = t.sdc_hits <- t.sdc_hits + 1
+let note_alias t = t.tag_aliases <- t.tag_aliases + 1
+
+type stats = {
+  injected_total : int;
+  injected_by_site : (Fault_model.site * int) list;
+  parity_detected : int;
+  secded_corrected : int;
+  secded_detected : int;
+  sdc_hits : int;
+  tag_aliases : int;
+}
+
+let injected_at t site = t.injected.(site_index site)
+
+let stats t =
+  {
+    injected_total = Array.fold_left ( + ) 0 t.injected;
+    injected_by_site =
+      List.filter_map
+        (fun s ->
+          let n = injected_at t s in
+          if n > 0 then Some (s, n) else None)
+        Fault_model.all_sites;
+    parity_detected = t.parity_detected;
+    secded_corrected = t.secded_corrected;
+    secded_detected = t.secded_detected;
+    sdc_hits = t.sdc_hits;
+    tag_aliases = t.tag_aliases;
+  }

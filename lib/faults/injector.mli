@@ -1,0 +1,77 @@
+(** Runtime fault injection.
+
+    One injector owns one fault stream (splitmix64, seeded by the spec) and
+    the campaign counters. It is wired into the simulator the way PR 2's
+    [?metrics] registries are: components receive it as an option at
+    creation, the hot path pays a single pattern match when it is absent,
+    and an absent injector changes nothing — runs without [?faults] are
+    bit-identical to a build without this subsystem.
+
+    Determinism contract: every {!corrupt} call consumes exactly one draw
+    from the stream when the site is enabled (plus one more only when the
+    fault fires), and zero when disabled. The simulator is deterministic,
+    so a fixed spec replays the exact same fault sequence, regardless of
+    [--jobs]: each experiment cell owns its injector. *)
+
+type t
+
+val create : Fault_model.spec -> t
+(** Validates the spec ({!Fault_model.validate}) and seeds the stream. *)
+
+val spec : t -> Fault_model.spec
+val protection : t -> Protection.kind
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the simulated-cycle clock ([fun () -> Pipeline.cycles pipe]).
+    Only read under [Per_cycle] rates; without a clock, [Per_cycle] degrades
+    to per-access draws. *)
+
+val set_on_fault : t -> (Fault_model.site -> unit) -> unit
+(** Observer invoked at every injected (state-changing) fault — the tracer
+    hooks this to emit Chrome-trace instants. *)
+
+val corrupt : t -> Fault_model.site -> width:int -> int64 -> int64
+(** [corrupt t site ~width v] draws one fault opportunity at [site] against
+    the [width]-bit word [v] (width 1..64). If no event fires — the site is
+    disabled, or the rate draw misses — [v] is returned unchanged. If an
+    event fires, one uniformly chosen bit is flipped (Transient) or forced
+    (Stuck_at); a stuck-at strike on an already-stuck bit changes nothing
+    and is {e not} counted. State-changing events are counted per site and
+    reported through {!set_on_fault}. *)
+
+val crc_hook : t -> (int -> int64) option
+(** [Some f] when the [Crc_datapath] site is enabled: [f width] draws one
+    fault opportunity per CRC byte step and returns an XOR mask over the
+    low [width] bits (0L = no fault). Datapath upsets are combinational, so
+    the spec's stuck-at kinds are treated as transient here. [None] when
+    the site is disabled — the engine then skips the hook entirely. *)
+
+(** {2 Protection accounting} (called by the LUT on access) *)
+
+val note_parity_detected : t -> unit
+val note_secded_corrected : t -> unit
+val note_secded_detected : t -> unit
+
+val note_sdc : t -> unit
+(** A hit returned corrupted state to the program (silent data
+    corruption). *)
+
+val note_alias : t -> unit
+(** A corrupted tag matched a probe key it should not have. *)
+
+(** {2 Results} *)
+
+type stats = {
+  injected_total : int;
+  injected_by_site : (Fault_model.site * int) list;  (** nonzero sites only *)
+  parity_detected : int;
+  secded_corrected : int;
+  secded_detected : int;
+  sdc_hits : int;
+  tag_aliases : int;
+}
+
+val stats : t -> stats
+
+val injected_at : t -> Fault_model.site -> int
+(** Per-site injection count (0 for never-struck sites). *)

@@ -1,0 +1,45 @@
+type kind = Unprotected | Parity | Secded
+
+let kind_name = function
+  | Unprotected -> "none"
+  | Parity -> "parity"
+  | Secded -> "secded"
+
+let kind_of_string = function
+  | "none" | "unprotected" -> Some Unprotected
+  | "parity" -> Some Parity
+  | "secded" | "ecc" -> Some Secded
+  | _ -> None
+
+let all_kinds = [ Unprotected; Parity; Secded ]
+
+(* A parity tree over ~100 bits is a handful of XOR levels; SECDED adds the
+   syndrome decode. Both are small next to the 8 KB LUT read itself
+   (Synthesis.lut_8k reads at ~5 pJ), which is the right order: ECC on a
+   small SRAM costs a few percent of the access. *)
+let parity_check_pj = 0.12
+let parity_encode_pj = 0.12
+let secded_check_pj = 0.45
+let secded_encode_pj = 0.55
+let secded_correct_pj = 0.30
+
+let storage_overhead_bits kind ~entry_bits =
+  match kind with
+  | Unprotected -> 0
+  | Parity -> 1
+  | Secded ->
+      (* Hamming SECDED: r check bits cover 2^r - r - 1 data bits; +1 for
+         the overall parity (double-error detection). *)
+      let rec r k = if (1 lsl k) - k - 1 >= entry_bits then k else r (k + 1) in
+      r 1 + 1
+
+let energy_pj kind ~lookups ~updates ~corrections =
+  match kind with
+  | Unprotected -> 0.0
+  | Parity ->
+      (float_of_int (lookups + updates) *. parity_check_pj)
+      +. (float_of_int updates *. parity_encode_pj)
+  | Secded ->
+      (float_of_int (lookups + updates) *. secded_check_pj)
+      +. (float_of_int updates *. secded_encode_pj)
+      +. (float_of_int corrections *. secded_correct_pj)

@@ -1,0 +1,56 @@
+(** Modeled memory-protection schemes for LUT state.
+
+    AxMemo's LUT is plain SRAM; the paper never protects it because stale or
+    aliased entries only degrade output quality. This module prices the two
+    standard mitigations so the resilience campaign can trade energy against
+    silent-data-corruption rate:
+
+    - {b per-entry parity}: one bit over the entry's tag + payload + valid
+      bit. An odd number of flipped bits is detected on access; the entry is
+      then treated as a miss and invalidated (a memoization table can always
+      recompute). Even-weight corruption escapes.
+    - {b SECDED}: a Hamming single-error-correct / double-error-detect code
+      per entry. One flipped bit is corrected in place, two are detected
+      (entry invalidated), three or more may be silently miscorrected.
+
+    The energy constants are representative 32 nm figures in the same unit
+    system as {!Axmemo_energy.Synthesis} (picojoules per access); only
+    relative cost matters. Checks are charged per LUT access (lookup and
+    update), corrections on top. *)
+
+type kind = Unprotected | Parity | Secded
+
+val kind_name : kind -> string
+(** ["none"], ["parity"], ["secded"] — stable identifiers used in reports,
+    CLI arguments, and configuration labels. *)
+
+val kind_of_string : string -> kind option
+
+val all_kinds : kind list
+(** [[Unprotected; Parity; Secded]], the default campaign sweep. *)
+
+val parity_check_pj : float
+(** Energy of one parity recompute-and-compare on access. *)
+
+val parity_encode_pj : float
+(** Energy of computing the parity bit on a write. *)
+
+val secded_check_pj : float
+(** Energy of one syndrome computation on access. *)
+
+val secded_encode_pj : float
+(** Energy of computing the check bits on a write. *)
+
+val secded_correct_pj : float
+(** Extra energy of one single-bit correction (syndrome decode + flip). *)
+
+val storage_overhead_bits : kind -> entry_bits:int -> int
+(** Extra storage bits per entry: 0, 1 (parity), or the SECDED check-bit
+    count [ceil(log2 entry_bits) + 2]. Reported in the resilience report;
+    not charged to energy directly (leakage is proportional to time, not
+    capacity, in {!Axmemo_energy.Model}). *)
+
+val energy_pj : kind -> lookups:int -> updates:int -> corrections:int -> float
+(** [energy_pj kind ~lookups ~updates ~corrections] is the total modeled
+    protection energy of a run: a check per lookup, an encode (plus check)
+    per update, and the correction surcharge. [Unprotected] costs nothing. *)

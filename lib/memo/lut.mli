@@ -13,12 +13,29 @@ type t
 type policy = Lru | Fifo | Random
 (** Replacement policy. The paper uses LRU; the alternatives exist for the
     ablation study (Fifo replaces the oldest insertion; Random uses a
-    deterministic xorshift stream). *)
+    deterministic xorshift stream). Only [Lru] maintains the recency clock:
+    [Fifo] records insertion order only and [Random] never reads it. *)
 
-val create : ?payload_bytes:int -> ?policy:policy -> size_bytes:int -> unit -> t
+val create :
+  ?payload_bytes:int ->
+  ?policy:policy ->
+  ?faults:Axmemo_faults.Injector.t * Axmemo_faults.Fault_model.lut_sites ->
+  size_bytes:int ->
+  unit ->
+  t
 (** [create ~size_bytes ()] builds an empty LUT of [size_bytes] total storage
     (tags + data). [payload_bytes] is 4 or 8 (default 8, the 4-way
     configuration); [policy] defaults to [Lru].
+
+    [?faults] attaches a fault injector and names which
+    {!Axmemo_faults.Fault_model.site}s this level draws
+    ({!Axmemo_faults.Fault_model.l1_sites} or [l2_sites]). Every probed set
+    then exposes each way's tag, payload, valid bit, and LRU counter to one
+    fault opportunity per access; the injector's
+    {!Axmemo_faults.Protection.kind} decides whether corrupted entries are
+    detected (parity — treated as a miss), corrected (SECDED single flips),
+    or silently returned. Absent, behaviour is bit-identical to a LUT built
+    without the fault subsystem.
     @raise Invalid_argument on a geometry that does not fill whole sets. *)
 
 val sets : t -> int

@@ -3,6 +3,8 @@ module Crc = Axmemo_crc
 module Payload = Axmemo_ir.Payload
 module Interp = Axmemo_ir.Interp
 module Registry = Axmemo_telemetry.Registry
+module Fault_model = Axmemo_faults.Fault_model
+module Injector = Axmemo_faults.Injector
 
 type adaptive_config = {
   profile_period : int;
@@ -33,6 +35,7 @@ type config = {
   policy : Lut.policy;
   rounding : rounding;
   adaptive : adaptive_config option;
+  faults : Fault_model.spec option;
 }
 
 let default_config =
@@ -46,6 +49,7 @@ let default_config =
     policy = Lut.Lru;
     rounding = Truncate;
     adaptive = None;
+    faults = None;
   }
 
 type lut_decl = { lut_id : int; payload : Payload.kind }
@@ -93,6 +97,7 @@ type monitor_state = {
   mutable window_bad : int;
   mutable comparisons : int;
   mutable tripped : bool;
+  mutable trip_at : int option;  (* lookup count at which the monitor tripped *)
 }
 
 (* Telemetry attachment. All instruments are created once at [create]; the
@@ -132,6 +137,20 @@ type telem = {
   mon_comparisons_c : Registry.counter;
 }
 
+(* Fault instruments are registered only when BOTH a registry and an injector
+   are attached, so the metrics snapshot of a fault-free run stays
+   byte-identical to one taken before this subsystem existed. *)
+type fault_telem = {
+  injected_c : Registry.counter;
+  by_site : (Fault_model.site * Registry.counter) list;
+  parity_detected_c : Registry.counter;
+  secded_corrected_c : Registry.counter;
+  secded_detected_c : Registry.counter;
+  sdc_hits_c : Registry.counter;
+  tag_aliases_c : Registry.counter;
+  trip_lookup_g : Registry.gauge;
+}
+
 type t = {
   cfg : config;
   decls : (int, lut_decl) Hashtbl.t;
@@ -159,6 +178,11 @@ type t = {
   mutable invalidations : int;
   mutable collisions : int;
   mutable telem : telem option;
+  injector : Injector.t option;
+  crc_fault : (int -> int64) option;
+      (* the injector's datapath hook, resolved once so [engines] can pass it
+         straight to [Crc.Engine.start] *)
+  fault_telem : fault_telem option;
 }
 
 let make_telem reg ~has_l2 =
@@ -218,16 +242,19 @@ let create ?metrics cfg decls =
              d.lut_id (Payload.width d.payload) cfg.payload_bytes);
       Hashtbl.replace tbl d.lut_id d)
     decls;
+  let injector = Option.map Injector.create cfg.faults in
+  let lut_faults sites = Option.map (fun inj -> (inj, sites)) injector in
   {
     cfg;
     decls = tbl;
     l1 =
       Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy
-        ~size_bytes:cfg.l1_bytes ();
+        ?faults:(lut_faults Fault_model.l1_sites) ~size_bytes:cfg.l1_bytes ();
     l2 =
       Option.map
         (fun b ->
-          Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy ~size_bytes:b ())
+          Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy
+            ?faults:(lut_faults Fault_model.l2_sites) ~size_bytes:b ())
         cfg.l2_bytes;
     hvr = Hashtbl.create 8;
     latched_key = Hashtbl.create 8;
@@ -241,6 +268,7 @@ let create ?metrics cfg decls =
         window_bad = 0;
         comparisons = 0;
         tripped = false;
+        trip_at = None;
       };
     adapt =
       Option.map
@@ -267,16 +295,43 @@ let create ?metrics cfg decls =
     invalidations = 0;
     collisions = 0;
     telem = Option.map (fun reg -> make_telem reg ~has_l2:(cfg.l2_bytes <> None)) metrics;
+    injector;
+    crc_fault = (match injector with Some inj -> Injector.crc_hook inj | None -> None);
+    fault_telem =
+      (match (metrics, injector, cfg.faults) with
+      | Some reg, Some _, Some spec ->
+          Some
+            {
+              injected_c = Registry.counter reg "faults.injected";
+              by_site =
+                List.map
+                  (fun site ->
+                    ( site,
+                      Registry.counter reg
+                        ("faults.injected." ^ Fault_model.site_name site) ))
+                  (List.filter (fun s -> List.mem s spec.sites) Fault_model.all_sites);
+              parity_detected_c = Registry.counter reg "faults.parity_detected";
+              secded_corrected_c = Registry.counter reg "faults.secded_corrected";
+              secded_detected_c = Registry.counter reg "faults.secded_detected";
+              sdc_hits_c = Registry.counter reg "faults.sdc_hits";
+              tag_aliases_c = Registry.counter reg "faults.tag_aliases";
+              trip_lookup_g = Registry.gauge reg "faults.monitor.trip_lookup";
+            }
+      | _ -> None);
   }
 
 let disabled t = t.monitor.tripped
+let trip_lookup t = t.monitor.trip_at
+let injector t = t.injector
 
 let engines t ~tid lut =
   match Hashtbl.find_opt t.hvr (lut, tid) with
   | Some e -> e
   | None ->
       let e =
-        ( Crc.Engine.start t.cfg.crc,
+        (* Only the tag hash is real hardware; the fingerprint engine is a
+           measurement aid and stays fault-free. *)
+        ( Crc.Engine.start ?fault:t.crc_fault t.cfg.crc,
           if t.cfg.collision_tracking then Some (Crc.Engine.start Crc.Poly.crc64_xz)
           else None )
       in
@@ -405,6 +460,13 @@ let lookup ?(tid = 0) t ~lut =
   else begin
     let crc, fp_engine = engines t ~tid lut in
     let key = Crc.Engine.value crc in
+    (* The HVR holds the in-flight hash; an upset there corrupts the key the
+       probe and a subsequent update both use. *)
+    let key =
+      match t.injector with
+      | None -> key
+      | Some inj -> Injector.corrupt inj Fault_model.Hvr ~width:t.cfg.crc.Crc.Poly.width key
+    in
     let fp = Option.map Crc.Engine.value fp_engine in
     (* The hash register is consumed: the next send starts a fresh hash. *)
     Hashtbl.remove t.hvr (lut, tid);
@@ -486,7 +548,10 @@ let monitor_compare t ~lut ~expected_payload ~actual_payload =
   if bad then m.window_bad <- m.window_bad + 1;
   if m.window_count >= window then begin
     if float_of_int m.window_bad > fraction_threshold *. float_of_int m.window_count
-    then m.tripped <- true;
+    then begin
+      if not m.tripped then m.trip_at <- Some t.lookups;
+      m.tripped <- true
+    end;
     (match t.telem with
     | Some tl ->
         Registry.incr tl.mon_windows;
@@ -602,7 +667,22 @@ let flush_metrics t =
           Array.iter (fun n -> Registry.observe h (float_of_int n)) (Lut.set_occupancies l2)
       | _ -> ());
       Registry.set tl.hit_rate_g (hit_rate t);
-      Registry.set tl.tripped_g (if t.monitor.tripped then 1.0 else 0.0)
+      Registry.set tl.tripped_g (if t.monitor.tripped then 1.0 else 0.0);
+      match (t.fault_telem, t.injector) with
+      | Some ft, Some inj ->
+          let s = Injector.stats inj in
+          Registry.set_count ft.injected_c s.injected_total;
+          List.iter
+            (fun (site, c) -> Registry.set_count c (Injector.injected_at inj site))
+            ft.by_site;
+          Registry.set_count ft.parity_detected_c s.parity_detected;
+          Registry.set_count ft.secded_corrected_c s.secded_corrected;
+          Registry.set_count ft.secded_detected_c s.secded_detected;
+          Registry.set_count ft.sdc_hits_c s.sdc_hits;
+          Registry.set_count ft.tag_aliases_c s.tag_aliases;
+          Registry.set ft.trip_lookup_g
+            (match t.monitor.trip_at with Some n -> float_of_int n | None -> -1.0)
+      | _ -> ()
 
 let l1_ways t = Lut.ways t.l1
 
@@ -622,6 +702,7 @@ let reset t =
   t.monitor.window_bad <- 0;
   t.monitor.comparisons <- 0;
   t.monitor.tripped <- false;
+  t.monitor.trip_at <- None;
   (match (t.adapt, t.cfg.adaptive) with
   | Some a, Some cfg ->
       a.countdown <- cfg.profile_period;

@@ -47,11 +47,16 @@ type config = {
           in which every lookup misses, compares recomputed results against
           LUT contents, and raises or lowers a per-LUT {e extra} truncation
           applied on top of the instructions' static level. *)
+  faults : Axmemo_faults.Fault_model.spec option;
+      (** Attach a fault injector: SEUs strike the named sites at the spec's
+          rate, and the spec's protection kind guards the LUT entries. [None]
+          (the default) leaves every run bit-identical to a unit built
+          without the fault subsystem. *)
 }
 
 val default_config : config
 (** 8 KB L1, no L2, 8-byte payloads, CRC-32, monitor on, collision tracking
-    on, no adaptive truncation. *)
+    on, no adaptive truncation, no fault injection. *)
 
 type lut_decl = { lut_id : int; payload : Axmemo_ir.Payload.kind }
 (** Static declaration of one logical LUT: its id and how its 8-byte data
@@ -104,6 +109,15 @@ val last_lookup_level : t -> level
 
 val disabled : t -> bool
 (** True once the quality monitor has shut memoization off. *)
+
+val trip_lookup : t -> int option
+(** The lookup count at which the monitor first tripped ([None] if it never
+    did) — the campaign's latency-to-trip measure. *)
+
+val injector : t -> Axmemo_faults.Injector.t option
+(** The attached fault injector, when [config.faults] was set. The runner
+    uses it to install the cycle clock and tracer observer, and to read
+    {!Axmemo_faults.Injector.stats} at the end of the run. *)
 
 val stats : t -> stats
 

@@ -58,3 +58,22 @@ let shuffle t a =
 let choose t a =
   if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
   a.(int t (Array.length a))
+
+(* Root seed: one process-wide knob from which every stochastic stream in
+   the repository (dataset generators, the Random replacement policy, fault
+   streams) derives its own seed. 0 means "unset": [derive_stream] is then
+   the identity, so default runs keep their historical fixed seeds and stay
+   bit-identical across PRs. Set once at CLI startup, before any worker
+   domain spawns; domains share the heap, so all workers observe it. *)
+let root = ref 0L
+
+let set_root_seed s = root := s
+let root_seed () = !root
+
+let derive_stream salt =
+  if !root = 0L then salt
+  else
+    let s = mix (Int64.add (mix !root) salt) in
+    (* Never hand out 0: some consumers (xorshift state) treat it as an
+       absorbing state. *)
+    if s = 0L then salt else s

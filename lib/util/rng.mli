@@ -46,3 +46,24 @@ val shuffle : t -> 'a array -> unit
 
 val choose : t -> 'a array -> 'a
 (** [choose t a] picks a uniform element of the non-empty array [a]. *)
+
+(** {2 Root seed}
+
+    Every stochastic stream in the repository derives its seed through
+    {!derive_stream}, so one recorded root seed re-keys datasets, the Random
+    replacement policy, and fault-injection streams together ([--seed] on
+    the CLI). *)
+
+val set_root_seed : int64 -> unit
+(** [set_root_seed s] installs the process-wide root seed. Call once at
+    startup, before worker domains spawn. [0L] restores the default
+    (historical fixed seeds). *)
+
+val root_seed : unit -> int64
+(** The current root seed; [0L] when unset. *)
+
+val derive_stream : int64 -> int64
+(** [derive_stream salt] mixes [salt] with the root seed into an
+    independent stream seed. With the root unset it returns [salt]
+    unchanged, keeping default runs bit-identical. Never returns [0L] when
+    the root is set. *)

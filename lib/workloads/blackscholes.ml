@@ -142,7 +142,7 @@ let make (variant : Workload.variant) : Workload.instance =
     | Sample -> (11L, 150, 4_000)
     | Eval -> (42L, 200, 20_000)
   in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   let options = generate_options rng ~distinct ~total in
   let mem = Memory.create () in
   let flat = Array.concat (Array.to_list options) in

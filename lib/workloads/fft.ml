@@ -102,7 +102,7 @@ let build_main ~n ~log2n =
 let make (variant : Workload.variant) : Workload.instance =
   let seed, log2n = match variant with Sample -> (3L, 10) | Eval -> (29L, 12) in
   let n = 1 lsl log2n in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   (* A multi-tone signal with additive noise. *)
   let re =
     Array.init n (fun i ->

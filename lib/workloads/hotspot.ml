@@ -96,7 +96,7 @@ let generate_power rng ~side =
 
 let make (variant : Workload.variant) : Workload.instance =
   let seed, side, iters = match variant with Sample -> (17L, 32, 10) | Eval -> (37L, 64, 20) in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   let n = side * side in
   let power = generate_power rng ~side in
   let temp = Array.init n (fun i -> 65.0 +. (10.0 *. power.(i))) in

@@ -130,7 +130,7 @@ let generate_pairs rng n =
 
 let make (variant : Workload.variant) : Workload.instance =
   let seed, total = match variant with Sample -> (61L, 2_000) | Eval -> (67L, 10_000) in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   let coords = generate_pairs rng total in
   let mem = Memory.create () in
   let in_base = Workload.alloc_f32s mem coords in

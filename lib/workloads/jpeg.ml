@@ -192,7 +192,7 @@ let generate_image rng ~side =
 
 let make (variant : Workload.variant) : Workload.instance =
   let seed, side = match variant with Sample -> (71L, 64) | Eval -> (73L, 128) in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   let img = generate_image rng ~side in
   let mem = Memory.create () in
   let img_base = Workload.alloc_i32s mem img in

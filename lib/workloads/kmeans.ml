@@ -137,7 +137,7 @@ let generate_pixels rng ~side =
 let make (variant : Workload.variant) : Workload.instance =
   let seed, side, iters = match variant with Sample -> (13L, 48, 4) | Eval -> (31L, 96, 6) in
   let n = side * side in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   let pixels = generate_pixels rng ~side in
   let mem = Memory.create () in
   let flat =

@@ -106,7 +106,7 @@ let make (variant : Workload.variant) : Workload.instance =
   let seed, boxes_per_side, per_box =
     match variant with Sample -> (41L, 2, 10) | Eval -> (43L, 2, 24)
   in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   let particles = generate_particles rng ~boxes_per_side ~per_box in
   let n = Array.length particles in
   let mem = Memory.create () in

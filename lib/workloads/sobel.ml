@@ -92,7 +92,7 @@ let make (variant : Workload.variant) : Workload.instance =
   let seed, width, height =
     match variant with Sample -> (7L, 64, 64) | Eval -> (19L, 128, 128)
   in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   let img = Workload.synth_image rng ~width ~height ~tones:14 ~slope:0.05 () in
   let mem = Memory.create () in
   let in_base = Workload.alloc_f32s mem img in

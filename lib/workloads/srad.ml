@@ -127,7 +127,7 @@ let build_main ~side ~iters ~stats_base =
 
 let make (variant : Workload.variant) : Workload.instance =
   let seed, side, iters = match variant with Sample -> (53L, 48, 3) | Eval -> (59L, 96, 4) in
-  let rng = Rng.create seed in
+  let rng = Rng.create (Rng.derive_stream seed) in
   (* Ultrasound-like: gently-sloped tissue regions plus sparse speckle; the
      intensity floor keeps Jc away from zero. *)
   let img =

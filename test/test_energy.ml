@@ -68,10 +68,17 @@ let test_model_breakdown_sums () =
   in
   let b = Model.of_run ~pipeline:stats ~hierarchy ~memo:None ~l1_lut_bytes:8192 () in
   Alcotest.(check (float 1e-6)) "total = parts minus dram"
-    (b.pipeline_pj +. b.cache_pj +. b.memo_pj +. b.leakage_pj)
+    (b.pipeline_pj +. b.cache_pj +. b.memo_pj +. b.protection_pj +. b.leakage_pj)
     b.total_pj;
   Alcotest.(check bool) "dram accounted separately" true (b.dram_pj > 0.0);
-  Alcotest.(check (float 1e-9)) "no memo hardware" 0.0 b.memo_pj
+  Alcotest.(check (float 1e-9)) "no memo hardware" 0.0 b.memo_pj;
+  Alcotest.(check (float 1e-9)) "no protection by default" 0.0 b.protection_pj;
+  let bp =
+    Model.of_run ~protection_pj:42.0 ~pipeline:stats ~hierarchy ~memo:None
+      ~l1_lut_bytes:8192 ()
+  in
+  Alcotest.(check (float 1e-6)) "protection charge lands in the total"
+    (b.total_pj +. 42.0) bp.total_pj
 
 let test_model_memo_energy () =
   let stats, hierarchy = run_stats [ Ir.Const { dst = 0; ty = I32; value = VI 1L } ] in

@@ -480,8 +480,121 @@ let prop_lut_occupancy_bounded =
         keys;
       Lut.occupancy l <= Lut.capacity_entries l)
 
+let policy_gen = QCheck.Gen.oneofl [ Lut.Lru; Lut.Fifo; Lut.Random ]
+
+let policy_arb =
+  QCheck.make policy_gen ~print:(function
+    | Lut.Lru -> "lru"
+    | Lut.Fifo -> "fifo"
+    | Lut.Random -> "random")
+
+let prop_lut_lookup_after_insert =
+  QCheck.Test.make ~name:"lookup right after insert returns the payload" ~count:150
+    QCheck.(
+      pair policy_arb
+        (list_of_size (QCheck.Gen.int_range 1 120) (pair (int_bound 5_000) int64)))
+    (fun (policy, ops) ->
+      let l = Lut.create ~policy ~size_bytes:256 () in
+      List.for_all
+        (fun (k, payload) ->
+          let key = Int64.of_int k in
+          Lut.insert l ~lut_id:0 ~key ~payload None;
+          Lut.lookup l ~lut_id:0 ~key = Some payload)
+        ops)
+
+let prop_lut_invalidate_leaves_no_entry =
+  QCheck.Test.make ~name:"invalidate_lut leaves no entry of that id" ~count:150
+    QCheck.(
+      pair policy_arb
+        (list_of_size (QCheck.Gen.int_range 0 150) (pair (int_bound 2) (int_bound 5_000))))
+    (fun (policy, ops) ->
+      let l = Lut.create ~policy ~size_bytes:256 () in
+      List.iter
+        (fun (lut_id, k) -> Lut.insert l ~lut_id ~key:(Int64.of_int k) ~payload:1L None)
+        ops;
+      Lut.invalidate_lut l ~lut_id:0;
+      List.for_all (fun (id, _, _) -> id <> 0) (Lut.entries l)
+      && List.for_all
+           (fun (lut_id, k) ->
+             lut_id <> 0 || Lut.lookup l ~lut_id:0 ~key:(Int64.of_int k) = None)
+           ops)
+
+let prop_lut_evicts_only_when_set_full =
+  (* A 64-byte LUT is one 4-way set: the evict hook must stay silent until
+     the set holds [ways] live entries, and every eviction must balance the
+     books (distinct inserts = occupancy + evictions). *)
+  QCheck.Test.make ~name:"eviction only from a full set" ~count:150
+    QCheck.(
+      pair policy_arb (list_of_size (QCheck.Gen.int_range 0 60) (int_bound 1_000)))
+    (fun (policy, keys) ->
+      let l = Lut.create ~policy ~size_bytes:64 () in
+      let ways = Lut.ways l in
+      let evictions = ref 0 and fresh = ref 0 in
+      let sound = ref true in
+      let live = Hashtbl.create 16 in
+      let hook ~lut_id:_ ~key ~payload:_ =
+        incr evictions;
+        if Lut.occupancy l < ways then sound := false;
+        Hashtbl.remove live (Int64.to_int key)
+      in
+      List.iter
+        (fun k ->
+          if not (Hashtbl.mem live k) then incr fresh;
+          Hashtbl.replace live k ();
+          Lut.insert l ~lut_id:0 ~key:(Int64.of_int k) ~payload:0L (Some hook))
+        keys;
+      !sound
+      && !fresh = Lut.occupancy l + !evictions
+      && Lut.occupancy l = Hashtbl.length live
+      && Lut.occupancy l <= ways)
+
+(* Satellite regressions for the replacement-policy fixes. *)
+
+let test_fifo_update_in_place_keeps_age () =
+  (* Re-inserting an existing key updates the payload but must NOT refresh
+     its age under FIFO — it stays the oldest and is evicted first. *)
+  let l = Lut.create ~policy:Lut.Fifo ~size_bytes:64 () in
+  for k = 0 to 3 do
+    Lut.insert l ~lut_id:0 ~key:(Int64.of_int k) ~payload:0L None
+  done;
+  for _ = 1 to 10 do
+    Lut.insert l ~lut_id:0 ~key:0L ~payload:7L None
+  done;
+  Alcotest.(check (option int64)) "payload updated" (Some 7L)
+    (Lut.lookup l ~lut_id:0 ~key:0L);
+  Lut.insert l ~lut_id:0 ~key:100L ~payload:0L None;
+  Alcotest.(check (option int64)) "oldest evicted despite updates" None
+    (Lut.lookup l ~lut_id:0 ~key:0L);
+  Alcotest.(check (option int64)) "second-oldest survives" (Some 0L)
+    (Lut.lookup l ~lut_id:0 ~key:1L)
+
+let test_random_insensitive_to_hits () =
+  (* Hits must not advance any replacement state under Random: a LUT that
+     absorbs extra lookups between inserts evicts identically to one that
+     does not. *)
+  let fill extra_lookups =
+    let l = Lut.create ~policy:Lut.Random ~size_bytes:64 () in
+    for k = 0 to 20 do
+      Lut.insert l ~lut_id:0 ~key:(Int64.of_int k) ~payload:(Int64.of_int k) None;
+      if extra_lookups then
+        for j = 0 to k do
+          ignore (Lut.lookup l ~lut_id:0 ~key:(Int64.of_int j))
+        done
+    done;
+    List.sort compare (Lut.entries l)
+  in
+  Alcotest.(check bool) "same survivors with and without hits" true
+    (fill false = fill true)
+
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest [ prop_store_then_lookup; prop_lut_occupancy_bounded ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_store_then_lookup;
+      prop_lut_occupancy_bounded;
+      prop_lut_lookup_after_insert;
+      prop_lut_invalidate_leaves_no_entry;
+      prop_lut_evicts_only_when_set_full;
+    ]
 
 let () =
   Alcotest.run "memo"
@@ -517,7 +630,10 @@ let () =
       ( "policies",
         [
           Alcotest.test_case "fifo ignores hits" `Quick test_fifo_ignores_hits;
+          Alcotest.test_case "fifo update keeps age" `Quick
+            test_fifo_update_in_place_keeps_age;
           Alcotest.test_case "random deterministic" `Quick test_random_policy_works;
+          Alcotest.test_case "random ignores hits" `Quick test_random_insensitive_to_hits;
           Alcotest.test_case "payload width check" `Quick test_narrow_unit_rejects_wide_payloads;
         ] );
       ( "rounding",
