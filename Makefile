@@ -1,11 +1,11 @@
 # Developer entry points. `make check` is the one-stop gate: full build,
-# test suite, the perf smoke, and a bounded fault-injection smoke
-# (both timeouts so a hung pool cannot wedge CI).
+# test suite, the perf smoke, and bounded fault-injection and multi-core
+# co-run smokes (all under timeouts so a hung pool cannot wedge CI).
 
 SMOKE_TIMEOUT ?= 900
 JOBS ?= 4
 
-.PHONY: all build test smoke faults-smoke check clean
+.PHONY: all build test smoke faults-smoke corun-smoke check clean
 
 all: build
 
@@ -26,7 +26,16 @@ faults-smoke: build
 	  -b fft --sample --seed 1234 --rates 1e-3,1e-2 --jobs $(JOBS) \
 	  --quiet --metrics FAULTS_SMOKE.json
 
-check: build test smoke faults-smoke
+# Small fixed-seed co-run matrix: two-workload mix over 1 and 2 cores, all
+# partitioning policies, fanned over the pool. Exercises the shared LUT,
+# arbitration, the scheduler and the bounded co-run report end to end; the
+# report is uploaded as a CI artifact.
+corun-smoke: build
+	timeout $(SMOKE_TIMEOUT) dune exec bin/axmemo_cli.exe -- corun \
+	  -b blackscholes,sobel --sample --seed 1234 --cores 1,2 --requests 8 \
+	  --jobs $(JOBS) --quiet --metrics CORUN_SMOKE.json
+
+check: build test smoke faults-smoke corun-smoke
 
 clean:
 	dune clean

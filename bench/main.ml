@@ -12,7 +12,7 @@
                                     throughput and writes BENCH_PR1.json
 
    Experiment ids: table1 table2 table3 table4 table5 fig7a fig7b fig8 fig9
-                   fig10a fig10b fig11 atm l2sens faults *)
+                   fig10a fig10b fig11 atm l2sens faults corun *)
 
 module W = Axmemo_workloads
 module Workload = W.Workload
@@ -30,6 +30,8 @@ module Json = Axmemo_util.Json
 module Report = Axmemo_telemetry.Report
 module Campaign = Axmemo_resilience.Campaign
 module Protection = Axmemo_faults.Protection
+module Shared_lut = Axmemo_multicore.Shared_lut
+module Corun = Axmemo_multicore.Corun
 
 let benchmarks = W.Registry.all
 let names = W.Registry.names
@@ -919,6 +921,82 @@ let faults_exp () =
   Printf.printf "wrote BENCH_FAULTS.json\n"
 
 (* ------------------------------------------------------------------ *)
+
+(* Multi-core co-run: a mixed request stream over cores sharing one L2 LUT
+   carved from the LLC, swept over core count x partitioning policy. Checks
+   the subsystem's headline claims — throughput scales with cores, the
+   shared LUT stays coherent without a protocol, and partitioning changes
+   where the ways go without breaking determinism — then writes
+   BENCH_CORUN.json (cluster-level registries only, so the report stays
+   small no matter how long the streams were). *)
+let corun_mix = [ "fft"; "sobel" ]
+
+let corun_exp () =
+  heading "Co-run: shared L2 LUT across cores (throughput scheduler)";
+  let partitions =
+    [ Shared_lut.Free_for_all; Shared_lut.Static;
+      Shared_lut.Utility { period = 2048 } ]
+  in
+  let cfgs =
+    List.concat_map
+      (fun ncores ->
+        List.map
+          (fun partition ->
+            {
+              Corun.default with
+              ncores;
+              partition;
+              workloads = corun_mix;
+              requests = 8;
+              variant = Workload.Eval;
+            })
+          partitions)
+      [ 1; 2; 4 ]
+  in
+  let outcomes = Corun.run_matrix ~jobs:(jobs ()) cfgs in
+  let header =
+    [ "cores"; "partition"; "makespan"; "thrpt/s"; "speedup"; "hit"; "fair";
+      "cont"; "repart"; "divergent" ]
+  in
+  let rows =
+    List.map
+      (fun (o : Corun.outcome) ->
+        [
+          string_of_int o.cfg.Corun.ncores;
+          Shared_lut.partition_name o.cfg.Corun.partition;
+          string_of_int o.makespan_cycles;
+          Printf.sprintf "%.0f" o.throughput_rps;
+          Table.fmt_x o.speedup;
+          Table.fmt_pct o.aggregate_hit_rate;
+          Printf.sprintf "%.3f" o.fairness;
+          string_of_int o.contention_cycles;
+          string_of_int o.repartitions;
+          Printf.sprintf "%d/%d" o.coherence_divergent o.coherence_keys;
+        ])
+      outcomes
+  in
+  Table.print
+    ~align:
+      [ Right; Left; Right; Right; Right; Right; Right; Right; Right; Right ]
+    ~header rows;
+  let of_cores n =
+    List.find
+      (fun (o : Corun.outcome) ->
+        o.cfg.Corun.ncores = n && o.cfg.Corun.partition = Shared_lut.Free_for_all)
+      outcomes
+  in
+  let t1 = (of_cores 1).throughput_rps and t4 = (of_cores 4).throughput_rps in
+  Printf.printf
+    "\n4-core free-for-all throughput %.2fx the 1-core stream; %d entries \
+     diverge across LUT levels in the whole matrix\n"
+    (t1 |> fun t1 -> if t1 = 0.0 then 0.0 else t4 /. t1)
+    (List.fold_left
+       (fun a (o : Corun.outcome) -> a + o.coherence_divergent)
+       0 outcomes);
+  Corun.write_report ~per_core:false "BENCH_CORUN.json" outcomes;
+  Printf.printf "wrote BENCH_CORUN.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Each experiment declares the (benchmark, config) cells it reads so the
    driver can prewarm them as one parallel matrix. [result] still covers
    anything undeclared, serially. *)
@@ -969,6 +1047,7 @@ let experiments =
         suite_cells [ Runner.Baseline; Runner.l1_8k_l2_512k; ablation_adaptive_cfg ]),
       ablation_adaptive );
     ("faults", no_cells, faults_exp);
+    ("corun", no_cells, corun_exp);
   ]
 
 let () =

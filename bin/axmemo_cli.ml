@@ -5,6 +5,7 @@
      run -b <bench> [-c cfg]  simulate one benchmark under one configuration
      sweep [-b <bench>]       run every configuration (optionally one bench)
      faults [-b <bench>]      SEU resilience campaign (site x rate x protection)
+     corun [-b <m1,m2>]       multi-core co-run over a shared L2 LUT
      analyze -b <bench>       DDDG candidate analysis (Table 1 row)
      ir -b <bench>            dump the benchmark's IR *)
 
@@ -490,6 +491,143 @@ let faults_cmd =
       $ fault_kind_arg $ basis_arg $ protections_arg $ sites_arg $ l2_kb_arg
       $ metrics_arg $ csv_arg $ chrome_trace_arg $ quiet_arg)
 
+(* ---- corun: multi-core co-run study --------------------------------- *)
+
+module Shared_lut = Axmemo_multicore.Shared_lut
+module Corun = Axmemo_multicore.Corun
+
+let partition_conv =
+  Arg.conv
+    ( (fun s ->
+        match Shared_lut.parse_partition s with
+        | Some p -> Ok p
+        | None ->
+            Error
+              (`Msg (s ^ ": expected free-for-all (ffa), static, or utility"))),
+      fun ppf p -> Format.pp_print_string ppf (Shared_lut.partition_name p) )
+
+let corun_bench_arg =
+  Arg.(
+    value
+    & opt (list bench_conv) [ "blackscholes"; "sobel" ]
+    & info [ "b"; "benchmarks" ] ~docv:"NAME,.."
+        ~doc:"Comma-separated workload mix, round-robined into the stream.")
+
+let cores_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4 ]
+    & info [ "cores" ] ~docv:"N,.." ~doc:"Core counts to sweep.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"Length of the request stream dispatched across the cores.")
+
+let partitions_arg =
+  Arg.(
+    value
+    & opt (list partition_conv)
+        [ Shared_lut.Free_for_all; Shared_lut.Static;
+          Shared_lut.Utility { period = 2048 } ]
+    & info [ "partition" ] ~docv:"P,.."
+        ~doc:
+          "Shared-LUT partitioning policies to sweep: free-for-all, static, \
+           utility.")
+
+let banks_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "banks" ] ~docv:"N" ~doc:"Banks of the shared LUT.")
+
+let ports_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "ports" ] ~docv:"N" ~doc:"Ports per bank of the shared LUT.")
+
+let fault_rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fault-rate" ] ~docv:"R"
+        ~doc:
+          "Also strike the shared LUT's storage with transient upsets at \
+           per-access rate $(docv).")
+
+let corun_cmd =
+  let doc = "Multi-core co-run: shared L2 LUT, partitioning, arbitration." in
+  let run benches sample seed cores requests partitions banks ports fault_rate
+      jobs metrics csv quiet =
+    apply_seed seed;
+    print_seed quiet;
+    let faults =
+      Option.map
+        (fun rate ->
+          {
+            Fault_model.default with
+            rate;
+            sites =
+              Fault_model.[ L2_tag; L2_payload; L2_valid; L2_lru ];
+          })
+        fault_rate
+    in
+    let cfgs =
+      List.concat_map
+        (fun ncores ->
+          List.map
+            (fun partition ->
+              {
+                Corun.default with
+                ncores;
+                partition;
+                banks;
+                ports;
+                workloads = benches;
+                requests;
+                variant = variant_of sample;
+                faults;
+              })
+            partitions)
+        cores
+    in
+    let outcomes = Corun.run_matrix ?jobs cfgs in
+    if not quiet then begin
+      let header =
+        [ "cores"; "partition"; "makespan"; "thrpt/s"; "speedup"; "hit"; "fair";
+          "cont"; "repart" ]
+      in
+      let rows =
+        List.map
+          (fun (o : Corun.outcome) ->
+            [
+              string_of_int o.cfg.Corun.ncores;
+              Shared_lut.partition_name o.cfg.Corun.partition;
+              string_of_int o.makespan_cycles;
+              Printf.sprintf "%.0f" o.throughput_rps;
+              Table.fmt_x o.speedup;
+              Table.fmt_pct o.aggregate_hit_rate;
+              Printf.sprintf "%.3f" o.fairness;
+              string_of_int o.contention_cycles;
+              string_of_int o.repartitions;
+            ])
+          outcomes
+      in
+      Table.print
+        ~align:[ Right; Left; Right; Right; Right; Right; Right; Right; Right ]
+        ~header rows
+    end;
+    Option.iter (fun path -> Corun.write_report path outcomes) metrics;
+    Option.iter
+      (fun path -> Report.write_csv path (Corun.report_runs outcomes))
+      csv
+  in
+  Cmd.v (Cmd.info "corun" ~doc)
+    Term.(
+      const run $ corun_bench_arg $ variant_arg $ seed_arg $ cores_arg
+      $ requests_arg $ partitions_arg $ banks_arg $ ports_arg $ fault_rate_arg
+      $ jobs_arg $ metrics_arg $ csv_arg $ quiet_arg)
+
 let analyze_cmd =
   let doc = "DDDG candidate analysis on the sample dataset (Table 1 row)." in
   let run bench =
@@ -538,4 +676,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; analyze_cmd; ir_cmd; check_cmd ]))
+          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; corun_cmd; analyze_cmd;
+            ir_cmd; check_cmd ]))

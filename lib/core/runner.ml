@@ -104,9 +104,18 @@ type result = {
   outputs : Workload.outputs;
 }
 
-let speedup ~baseline other = float_of_int baseline.cycles /. float_of_int other.cycles
+(* Both ratio helpers are total: reports must stay nan/inf-free even for
+   degenerate cells (an empty program, a crashed faulty run with nothing
+   charged). Two zeroes compare equal — ratio 1 — and a lone zero
+   denominator is clamped to one cycle / one picojoule. *)
+let guarded_ratio num den =
+  if num = 0.0 && den = 0.0 then 1.0 else num /. Float.max den 1.0
 
-let energy_saving ~baseline other = baseline.energy.Model.total_pj /. other.energy.Model.total_pj
+let speedup ~baseline other =
+  guarded_ratio (float_of_int baseline.cycles) (float_of_int other.cycles)
+
+let energy_saving ~baseline other =
+  guarded_ratio baseline.energy.Model.total_pj other.energy.Model.total_pj
 
 (* Block-label based hit counting for the software schemes. Returns a flat
    [fname bidx iidx] callback for composition into an [Interp.hooks]

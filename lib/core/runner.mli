@@ -121,7 +121,11 @@ val run_matrix_telemetry :
     parallel execution. *)
 
 val speedup : baseline:result -> result -> float
-(** Cycle ratio baseline/other. *)
+(** Cycle ratio baseline/other. Always finite: if both runs report zero
+    cycles the ratio is 1.0, and a lone zero denominator is clamped to one
+    cycle — a report can never contain [nan] or [inf] from this helper. *)
 
 val energy_saving : baseline:result -> result -> float
-(** Energy ratio baseline/other (the paper's E_baseline / E_AxMemo). *)
+(** Energy ratio baseline/other (the paper's E_baseline / E_AxMemo). Guarded
+    like {!speedup}: 1.0 when both are zero, denominator clamped to 1 pJ
+    otherwise. *)

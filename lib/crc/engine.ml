@@ -7,12 +7,13 @@ let reflect ~bits v =
   !r
 
 (* Step tables are memoized per parameterisation: building one models loading
-   the constants RAM of the parallel hardware unit. The cache is shared by
-   every engine in the process, so it is mutex-guarded: parallel simulations
-   (Axmemo_util.Pool workers) all start engines concurrently. Tables are
-   immutable once published. *)
-let table_cache : (string, int64 array) Hashtbl.t = Hashtbl.create 8
-let table_cache_mutex = Mutex.create ()
+   the constants RAM of the parallel hardware unit. The cache is per-domain
+   (Domain.DLS), so Axmemo_util.Pool workers starting engines concurrently
+   never serialize on a shared lock — each domain rebuilds the 256-entry
+   table at most once per parameterisation, which is far cheaper than
+   contending for a process-wide mutex on every [start]. *)
+let table_cache_key : (string, int64 array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let build_table (p : Poly.t) =
   let mask = Poly.mask p in
@@ -42,17 +43,13 @@ let build_table (p : Poly.t) =
   table
 
 let table (p : Poly.t) =
-  Mutex.lock table_cache_mutex;
-  let t =
-    match Hashtbl.find_opt table_cache p.name with
-    | Some t -> t
-    | None ->
-        let t = build_table p in
-        Hashtbl.add table_cache p.name t;
-        t
-  in
-  Mutex.unlock table_cache_mutex;
-  t
+  let cache = Domain.DLS.get table_cache_key in
+  match Hashtbl.find_opt cache p.name with
+  | Some t -> t
+  | None ->
+      let t = build_table p in
+      Hashtbl.add cache p.name t;
+      t
 
 type t = {
   poly : Poly.t;

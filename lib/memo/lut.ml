@@ -235,8 +235,20 @@ let lookup t ~lut_id ~key =
       | Some fp -> faulty_hit fp t idx)
   | None -> None
 
-let insert t ~lut_id ~key ~payload evict_hook =
+let insert ?ways t ~lut_id ~key ~payload evict_hook =
   inject_probe t key;
+  (* Allocation may be confined to a way range (shared-LUT partitioning, CAT
+     style): hits and in-place refreshes still match any way, but the victim
+     for a new entry comes only from [lo..hi]. The full range reproduces the
+     unrestricted scan exactly. *)
+  let lo, hi =
+    match ways with
+    | None -> (0, t.nways - 1)
+    | Some (lo, hi) ->
+        if lo < 0 || hi >= t.nways || lo > hi then
+          invalid_arg "Lut.insert: way range out of bounds";
+        (lo, hi)
+  in
   match find t ~lut_id ~key with
   | Some idx ->
       t.payloads.(idx) <- payload;
@@ -250,9 +262,9 @@ let insert t ~lut_id ~key ~payload evict_hook =
       let is_valid idx =
         match t.faults with None -> t.valid.(idx) | Some fp -> eff_valid_fp fp t idx
       in
-      let victim = ref base in
+      let victim = ref (base + lo) in
       (try
-         for w = 0 to t.nways - 1 do
+         for w = lo to hi do
            if not (is_valid (base + w)) then begin
              victim := base + w;
              raise Exit
@@ -260,10 +272,10 @@ let insert t ~lut_id ~key ~payload evict_hook =
          done;
          match t.policy with
          | Lru | Fifo ->
-             for w = 1 to t.nways - 1 do
+             for w = lo + 1 to hi do
                if t.lru.(base + w) < t.lru.(!victim) then victim := base + w
              done
-         | Random -> victim := base + (next_rand t mod t.nways)
+         | Random -> victim := base + lo + (next_rand t mod (hi - lo + 1))
        with Exit -> ());
       let idx = !victim in
       if is_valid idx then begin

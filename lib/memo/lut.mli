@@ -48,13 +48,26 @@ val lookup : t -> lut_id:int -> key:int64 -> int64 option
     tag {v {valid, lut_id, key-high} v}; LRU is refreshed on hit. *)
 
 val insert :
+  ?ways:int * int ->
   t -> lut_id:int -> key:int64 -> payload:int64 ->
   (lut_id:int -> key:int64 -> payload:int64 -> unit) option ->
   unit
 (** [insert t ~lut_id ~key ~payload evict_hook] writes an entry, replacing
     LRU on a full set. If a valid victim is displaced and [evict_hook] is
     [Some f], [f] receives the victim (used to spill L1 LUT victims into the
-    L2 LUT). Inserting an existing key refreshes its payload in place. *)
+    L2 LUT). Inserting an existing key refreshes its payload in place.
+
+    [?ways:(lo, hi)] confines allocation to the inclusive way range
+    [lo..hi] — the mechanism behind shared-LUT way partitioning. Like
+    Intel CAT, only victim selection is restricted: lookups and in-place
+    refreshes still match an entry in any way. Omitting it (or passing the
+    full range) reproduces the unrestricted scan exactly.
+    @raise Invalid_argument if the range falls outside [0..ways-1]. *)
+
+val set_of_key : t -> int64 -> int
+(** Set index selected by a key's low bits — exposed so bank arbitration
+    can map concurrent probes onto banks the way the hardware decoder
+    would, and so tests can construct same-set key conflicts. *)
 
 val invalidate_lut : t -> lut_id:int -> unit
 (** Drop all entries of one logical LUT (the [invalidate] instruction). *)

@@ -54,6 +54,16 @@ let default_config =
 
 type lut_decl = { lut_id : int; payload : Payload.kind }
 
+(* External next-level LUT (the multi-core shared L2). The unit treats it
+   exactly like its private L2 — probe on an L1 miss, fill on update, drop a
+   logical LUT on invalidate — but the storage, partitioning and arbitration
+   all live with the caller. *)
+type shared_l2 = {
+  sl_lookup : lut_id:int -> key:int64 -> int64 option;
+  sl_insert : lut_id:int -> key:int64 -> payload:int64 -> unit;
+  sl_invalidate : lut_id:int -> unit;
+}
+
 type level = Hit_l1 | Hit_l2 | Miss
 
 type stats = {
@@ -156,6 +166,7 @@ type t = {
   decls : (int, lut_decl) Hashtbl.t;
   l1 : Lut.t;
   l2 : Lut.t option;
+  shared_l2 : shared_l2 option;
   (* Hash value registers: in-flight CRC state per logical LUT. The optional
      second engine computes a 64-bit fingerprint of the same byte stream for
      collision measurement. *)
@@ -185,7 +196,7 @@ type t = {
   fault_telem : fault_telem option;
 }
 
-let make_telem reg ~has_l2 =
+let make_telem reg ~has_l2 ~private_l2 =
   let occ_bounds nways = Array.init (nways + 1) float_of_int in
   let counter = Registry.counter reg in
   let l1_evictions = counter "memo.l1.evictions" in
@@ -201,8 +212,10 @@ let make_telem reg ~has_l2 =
     trunc_hist =
       Registry.histogram reg "memo.trunc_bits" ~bounds:(Array.init 33 float_of_int);
     l1_occ = Registry.histogram reg "memo.l1.set_occupancy" ~bounds:(occ_bounds 8);
+    (* A shared next level keeps its own occupancy instruments on the cluster
+       registry; only a private L2 histograms here. *)
     l2_occ =
-      (if has_l2 then
+      (if private_l2 then
          Some (Registry.histogram reg "memo.l2.set_occupancy" ~bounds:(occ_bounds 8))
        else None);
     l1_evictions;
@@ -229,7 +242,11 @@ let make_telem reg ~has_l2 =
     mon_comparisons_c = counter "memo.monitor.comparisons";
   }
 
-let create ?metrics cfg decls =
+let create ?metrics ?shared_l2 cfg decls =
+  (match (cfg.l2_bytes, shared_l2) with
+  | Some _, Some _ ->
+      invalid_arg "Memo_unit.create: a unit cannot have both a private and a shared L2 LUT"
+  | _ -> ());
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun d ->
@@ -256,6 +273,7 @@ let create ?metrics cfg decls =
           Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy
             ?faults:(lut_faults Fault_model.l2_sites) ~size_bytes:b ())
         cfg.l2_bytes;
+    shared_l2;
     hvr = Hashtbl.create 8;
     latched_key = Hashtbl.create 8;
     latched_fp = Hashtbl.create 8;
@@ -294,7 +312,13 @@ let create ?metrics cfg decls =
     updates = 0;
     invalidations = 0;
     collisions = 0;
-    telem = Option.map (fun reg -> make_telem reg ~has_l2:(cfg.l2_bytes <> None)) metrics;
+    telem =
+      Option.map
+        (fun reg ->
+          make_telem reg
+            ~has_l2:(cfg.l2_bytes <> None || Option.is_some shared_l2)
+            ~private_l2:(cfg.l2_bytes <> None))
+        metrics;
     injector;
     crc_fault = (match injector with Some inj -> Injector.crc_hook inj | None -> None);
     fault_telem =
@@ -413,7 +437,10 @@ let adapt_tick t =
                 (* A different truncation changes every hash: drop the now
                    unreachable entries. *)
                 Lut.invalidate_lut t.l1 ~lut_id:lut;
-                Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2
+                Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2;
+                match t.shared_l2 with
+                | Some s -> s.sl_invalidate ~lut_id:lut
+                | None -> ()
               end;
               match t.telem with
               | Some tl ->
@@ -481,9 +508,21 @@ let lookup ?(tid = 0) t ~lut =
           Some payload
       | None -> (
           match t.l2 with
-          | None ->
-              t.last_level <- Miss;
-              None
+          | None -> (
+              match t.shared_l2 with
+              | None ->
+                  t.last_level <- Miss;
+                  None
+              | Some s -> (
+                  match s.sl_lookup ~lut_id:lut ~key with
+                  | Some payload ->
+                      t.last_level <- Hit_l2;
+                      (* The shared level is inclusive too: fill the L1 LUT. *)
+                      Lut.insert t.l1 ~lut_id:lut ~key ~payload (l1_evict_hook t);
+                      Some payload
+                  | None ->
+                      t.last_level <- Miss;
+                      None))
           | Some l2 -> (
               match Lut.lookup l2 ~lut_id:lut ~key with
               | Some payload ->
@@ -600,7 +639,10 @@ let update ?(tid = 0) t ~lut payload =
         Lut.insert t.l1 ~lut_id:lut ~key ~payload (l1_evict_hook t);
         (match t.l2 with
         | Some l2 -> Lut.insert l2 ~lut_id:lut ~key ~payload (l2_evict_hook t)
-        | None -> ());
+        | None -> (
+            match t.shared_l2 with
+            | Some s -> s.sl_insert ~lut_id:lut ~key ~payload
+            | None -> ()));
         if t.cfg.collision_tracking then
           Option.iter
             (fun fp -> Hashtbl.replace t.fingerprints (lut, key) fp)
@@ -611,9 +653,16 @@ let invalidate t ~lut =
   t.invalidations <- t.invalidations + 1;
   Lut.invalidate_lut t.l1 ~lut_id:lut;
   Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2;
+  (match t.shared_l2 with Some s -> s.sl_invalidate ~lut_id:lut | None -> ());
   Hashtbl.iter
     (fun (l, tid) _ -> if l = lut then Hashtbl.remove t.hvr (l, tid))
     (Hashtbl.copy t.hvr)
+
+(* Receiver side of the cross-core invalidate broadcast: another core retired
+   an [invalidate] for [lut], so this core's private L1 copies are stale. Only
+   the storage is dropped — in-flight hashes, latched keys and the local
+   invalidation count belong to this core's own instruction stream. *)
+let invalidate_external t ~lut = Lut.invalidate_lut t.l1 ~lut_id:lut
 
 let hooks ?(tid = 0) t : Interp.memo_hooks =
   {

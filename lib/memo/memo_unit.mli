@@ -79,16 +79,31 @@ type stats = {
   monitor_comparisons : int;
 }
 
+type shared_l2 = {
+  sl_lookup : lut_id:int -> key:int64 -> int64 option;
+  sl_insert : lut_id:int -> key:int64 -> payload:int64 -> unit;
+  sl_invalidate : lut_id:int -> unit;
+}
+(** Externally owned next-level LUT, used when several cores share one
+    inclusive L2 LUT (the multi-core co-run model). The unit drives it
+    exactly like a private L2 — [sl_lookup] on an L1 miss (an inclusive hit
+    fills the L1), [sl_insert] on update, [sl_invalidate] on the
+    [invalidate] instruction and on adaptive-truncation changes — while the
+    caller owns storage, partitioning and arbitration. *)
+
 type t
 
-val create : ?metrics:Axmemo_telemetry.Registry.t -> config -> lut_decl list -> t
+val create :
+  ?metrics:Axmemo_telemetry.Registry.t -> ?shared_l2:shared_l2 -> config -> lut_decl list -> t
 (** [create config decls] builds a unit serving the declared logical LUTs.
     With [?metrics], the unit registers its instruments (all names under
     [memo.*]) and records live events — per-send truncation levels, LUT
     evictions/spills, adaptive and monitor window outcomes — as it runs.
     Telemetry is purely observational: results are bit-identical with or
-    without it.
-    @raise Invalid_argument on duplicate or out-of-range (0..7) LUT ids. *)
+    without it. With [?shared_l2], L1 misses fall through to the given
+    external level instead of a private L2.
+    @raise Invalid_argument on duplicate or out-of-range (0..7) LUT ids, or
+    if both [config.l2_bytes] and [?shared_l2] are set. *)
 
 val hooks : ?tid:int -> t -> Axmemo_ir.Interp.memo_hooks
 (** Adapter for {!Axmemo_ir.Interp.create}, bound to one hardware thread
@@ -103,6 +118,12 @@ val send : ?tid:int -> t -> lut:int -> ty:Axmemo_ir.Ir.ty -> trunc:int -> Axmemo
 val lookup : ?tid:int -> t -> lut:int -> int64 option
 val update : ?tid:int -> t -> lut:int -> int64 -> unit
 val invalidate : t -> lut:int -> unit
+
+val invalidate_external : t -> lut:int -> unit
+(** Receiver side of the cross-core invalidate broadcast: drop this core's
+    private L1 entries for [lut] because {e another} core retired an
+    [invalidate]. Does not touch hash registers, the shared level, or this
+    core's invalidation count — those belong to the issuing core. *)
 
 val last_lookup_level : t -> level
 (** Latency class of the most recent lookup ([Miss] before any lookup). *)

@@ -1,0 +1,35 @@
+(** Bank/port arbitration for the shared L2 LUT.
+
+    Cores run one after another (determinism demands a canonical order over
+    the one shared mutable LUT), so contention is {e settled post hoc}:
+    every shared-LUT access is recorded with its absolute issue cycle, then
+    {!settle} bins the log by (bank, service window) — the bank is the set
+    index modulo [banks], the window is [window] cycles wide — and charges
+    every access beyond [ports] per bin one full window of stall cycles to
+    its issuing core. Ties inside a bin resolve by (cycle, core, log order),
+    making the settlement a pure function of the recorded stream. *)
+
+type t
+
+val create : ?banks:int -> ?ports:int -> window:int -> unit -> t
+(** Defaults: 8 banks, 1 port per bank. [window] is the service latency of
+    one probe (the L2 LUT lookup latency in the co-run model).
+    @raise Invalid_argument on non-positive parameters. *)
+
+val record : t -> core:int -> set:int -> at:int -> unit
+(** Log one access to the bank holding [set], issued by [core] at absolute
+    cycle [at]. *)
+
+type settlement = {
+  accesses : int;  (** everything recorded *)
+  contended : int;  (** accesses that lost arbitration *)
+  stall_cycles : int array;  (** per-core contention cycles *)
+  retried : int array;  (** per-core lost-arbitration counts *)
+}
+
+val settle : t -> ncores:int -> settlement
+(** Deterministic, order-independent settlement of the whole log. *)
+
+val banks : t -> int
+val ports : t -> int
+val window : t -> int

@@ -1,0 +1,657 @@
+module Interp = Axmemo_ir.Interp
+module Hierarchy = Axmemo_cache.Hierarchy
+module Pipeline = Axmemo_cpu.Pipeline
+module Machine = Axmemo_cpu.Machine
+module Memo_unit = Axmemo_memo.Memo_unit
+module Model = Axmemo_energy.Model
+module Transform = Axmemo_compiler.Transform
+module Workload = Axmemo_workloads.Workload
+module Workloads = Axmemo_workloads.Registry
+module Registry = Axmemo_telemetry.Registry
+module Report = Axmemo_telemetry.Report
+module Timing = Axmemo_isa.Timing
+module Fault_model = Axmemo_faults.Fault_model
+module Injector = Axmemo_faults.Injector
+module Runner = Axmemo.Runner
+module Json = Axmemo_util.Json
+module Pool = Axmemo_util.Pool
+module Rng = Axmemo_util.Rng
+
+type config = {
+  ncores : int;
+  l1_bytes : int;
+  shared_l2_bytes : int;
+  partition : Shared_lut.partition;
+  banks : int;
+  ports : int;
+  workloads : string list;
+  requests : int;
+  variant : Workload.variant;
+  retain_luts : bool;
+  faults : Fault_model.spec option;  (* strikes the shared LUT's storage *)
+}
+
+let default =
+  {
+    ncores = 2;
+    l1_bytes = 8 * 1024;
+    shared_l2_bytes = 512 * 1024;
+    partition = Shared_lut.Free_for_all;
+    banks = 8;
+    ports = 1;
+    workloads = [ "blackscholes" ];
+    requests = 8;
+    variant = Workload.Sample;
+    retain_luts = true;
+    faults = None;
+  }
+
+let label cfg =
+  Printf.sprintf "corun(%dcore,%s,%s)" cfg.ncores
+    (Shared_lut.partition_name cfg.partition)
+    (String.concat "+" cfg.workloads)
+
+let machine = Machine.hpi
+
+(* ---- workload mix ----------------------------------------------------- *)
+
+(* One co-run mixes programs that each number their logical LUTs from zero,
+   while the per-core unit and the shared level serve a single LUT_ID
+   namespace. Each workload therefore gets its regions renumbered onto a
+   disjoint id range (in mix order, region order preserved), which leaves a
+   single-workload mix — and hence the 1-core Runner.run equivalence —
+   untouched, since every benchmark already numbers its regions 0..n-1. *)
+type mix_entry = {
+  wname : string;
+  make : Workload.variant -> Workload.instance;
+  offset : int;
+  nregions : int;
+}
+
+let resolve_mix cfg =
+  (match cfg.workloads with
+  | [] -> invalid_arg "Corun: empty workload mix"
+  | _ -> ());
+  let next = ref 0 in
+  let mix =
+    List.map
+      (fun name ->
+        match Workloads.find name with
+        | None -> invalid_arg (Printf.sprintf "Corun: unknown benchmark %S" name)
+        | Some (_meta, make) ->
+            let probe = make cfg.variant in
+            let n = List.length probe.Workload.regions in
+            let e = { wname = name; make; offset = !next; nregions = n } in
+            next := !next + n;
+            e)
+      cfg.workloads
+  in
+  if !next > 8 then
+    invalid_arg
+      (Printf.sprintf
+         "Corun: the workload mix needs %d logical LUTs but LUT_ID is 3 bits (max 8)"
+         !next);
+  mix
+
+let remap_regions ~offset regions =
+  if offset = 0 then regions
+  else
+    List.mapi
+      (fun i (r : Transform.region) ->
+        ignore i;
+        { r with Transform.lut_id = r.Transform.lut_id + offset })
+      regions
+
+(* The union of every workload's (renumbered) LUT declarations — what each
+   core's unit is built to serve. *)
+let mix_decls cfg mix =
+  List.concat_map
+    (fun e ->
+      let probe = e.make cfg.variant in
+      Transform.lut_decls probe.Workload.program
+        (remap_regions ~offset:e.offset probe.Workload.regions))
+    mix
+
+(* ---- cluster ---------------------------------------------------------- *)
+
+type core_timing = { mutable base : int; mutable clock : unit -> int }
+
+type core = {
+  id : int;
+  timing : core_timing;
+  unit_ : Memo_unit.t;
+  hierarchy : Hierarchy.t;
+  metrics : Registry.t option;
+}
+
+type cluster = {
+  cfg : config;
+  mix : mix_entry list;
+  shared : Shared_lut.t;
+  arbiter : Arbiter.t;
+  cores : core array;
+  cluster_metrics : Registry.t option;
+  injector : Injector.t option;
+  active : core_timing ref;
+}
+
+let create_cluster ?(metrics = false) cfg =
+  if cfg.ncores < 1 then invalid_arg "Corun: need at least one core";
+  let mix = resolve_mix cfg in
+  let decls = mix_decls cfg mix in
+  let injector = Option.map Injector.create cfg.faults in
+  let cluster_metrics = if metrics then Some (Registry.create ()) else None in
+  let shared =
+    Shared_lut.create ?metrics:cluster_metrics
+      ?faults:(Option.map (fun inj -> (inj, Fault_model.l2_sites)) injector)
+      ~payload_bytes:Memo_unit.default_config.Memo_unit.payload_bytes
+      ~policy:Memo_unit.default_config.Memo_unit.policy ~ncores:cfg.ncores
+      ~size_bytes:cfg.shared_l2_bytes ~partition:cfg.partition ()
+  in
+  let arbiter =
+    Arbiter.create ~banks:cfg.banks ~ports:cfg.ports ~window:Timing.lookup_l2_cycles ()
+  in
+  let active = ref { base = 0; clock = (fun () -> 0) } in
+  (* Per-cycle fault bases integrate over the clock of whichever core is
+     currently executing (requests run one at a time). *)
+  (match injector with
+  | Some inj ->
+      Injector.set_clock inj (fun () ->
+          let t = !active in
+          t.base + t.clock ())
+  | None -> ());
+  let mk_core id =
+    let timing = { base = 0; clock = (fun () -> 0) } in
+    let shared_l2 =
+      {
+        Memo_unit.sl_lookup =
+          (fun ~lut_id ~key ->
+            Arbiter.record arbiter ~core:id
+              ~set:(Shared_lut.set_of_key shared key)
+              ~at:(timing.base + timing.clock ());
+            Shared_lut.lookup shared ~core:id ~lut_id ~key);
+        sl_insert =
+          (fun ~lut_id ~key ~payload ->
+            Arbiter.record arbiter ~core:id
+              ~set:(Shared_lut.set_of_key shared key)
+              ~at:(timing.base + timing.clock ());
+            Shared_lut.insert shared ~core:id ~lut_id ~key ~payload);
+        sl_invalidate = (fun ~lut_id -> Shared_lut.invalidate_lut shared ~lut_id);
+      }
+    in
+    let core_metrics = if metrics then Some (Registry.create ()) else None in
+    let unit_ =
+      Memo_unit.create ?metrics:core_metrics ~shared_l2
+        { Memo_unit.default_config with l1_bytes = cfg.l1_bytes }
+        decls
+    in
+    let hierarchy =
+      Hierarchy.create (Hierarchy.carve_l2 Hierarchy.hpi_default ~lut_bytes:cfg.shared_l2_bytes)
+    in
+    { id; timing; unit_; hierarchy; metrics = core_metrics }
+  in
+  { cfg; mix; shared; arbiter; cores = Array.init cfg.ncores mk_core;
+    cluster_metrics; injector; active }
+
+let core_unit cluster ~core = cluster.cores.(core).unit_
+let shared_lut cluster = cluster.shared
+
+(* A core's memo hooks, wrapped so a retired [invalidate] broadcasts to
+   every other core's private L1 (Section 3.4's cross-core visibility: the
+   shared level is dropped by the issuing unit itself, the peers' stale L1
+   copies are dropped here). *)
+let memo_hooks cluster ~core =
+  let own = Memo_unit.hooks cluster.cores.(core).unit_ in
+  {
+    own with
+    Interp.invalidate =
+      (fun ~lut ->
+        own.Interp.invalidate ~lut;
+        Array.iter
+          (fun o -> if o.id <> core then Memo_unit.invalidate_external o.unit_ ~lut)
+          cluster.cores);
+  }
+
+(* ---- per-request execution -------------------------------------------- *)
+
+module Ir = Axmemo_ir.Ir
+
+(* [Transform.memoize] ends the entry function with one [Invalidate] per
+   region — right for a standalone run, but it would wipe the LUTs after
+   every request and nothing could stay warm across the stream. Under
+   [retain_luts] those trailing drops are stripped (mid-program invalidates,
+   e.g. kmeans' phase barrier, are untouched); with it off, requests keep
+   the standalone epilogue and a 1-core co-run replays [Runner.run] bit for
+   bit. *)
+let strip_trailing_invalidates ~entry (program : Ir.program) =
+  let strip_block (b : Ir.block) =
+    match b.term with
+    | Ir.Ret _ ->
+        let rec drop = function
+          | Ir.Memo (Ir.Invalidate _) :: rest -> drop rest
+          | l -> l
+        in
+        {
+          b with
+          Ir.instrs =
+            Array.of_list (List.rev (drop (List.rev (Array.to_list b.instrs))));
+        }
+    | Ir.Jmp _ | Ir.Br _ | Ir.Br_memo _ -> b
+  in
+  {
+    Ir.funcs =
+      Array.map
+        (fun (fn : Ir.func) ->
+          if fn.Ir.fname <> entry then fn
+          else { fn with Ir.blocks = Array.map strip_block fn.Ir.blocks })
+        program.Ir.funcs;
+  }
+
+let stats_delta (a : Memo_unit.stats) (b : Memo_unit.stats) : Memo_unit.stats =
+  {
+    sends = b.sends - a.sends;
+    bytes_hashed = b.bytes_hashed - a.bytes_hashed;
+    lookups = b.lookups - a.lookups;
+    l1_hits = b.l1_hits - a.l1_hits;
+    l2_hits = b.l2_hits - a.l2_hits;
+    misses = b.misses - a.misses;
+    forced_misses = b.forced_misses - a.forced_misses;
+    updates = b.updates - a.updates;
+    invalidations = b.invalidations - a.invalidations;
+    collisions = b.collisions - a.collisions;
+    monitor_comparisons = b.monitor_comparisons - a.monitor_comparisons;
+  }
+
+let run_request cluster ~core ~start (entry : mix_entry) =
+  let cfg = cluster.cfg in
+  let c = cluster.cores.(core) in
+  let instance = entry.make cfg.variant in
+  let regions = remap_regions ~offset:entry.offset instance.Workload.regions in
+  let program =
+    Transform.memoize ?barrier:instance.Workload.barrier ~entry:instance.Workload.entry
+      instance.Workload.program regions
+  in
+  let program =
+    if cfg.retain_luts then
+      strip_trailing_invalidates ~entry:instance.Workload.entry program
+    else program
+  in
+  (* The data caches stay warm across requests (they model the core's own
+     hierarchy), but their counters restart so the request's energy bill
+     covers only its own accesses. *)
+  Hierarchy.reset_stats c.hierarchy;
+  c.timing.base <- start;
+  let lookup_level () =
+    match Memo_unit.last_lookup_level c.unit_ with
+    | Memo_unit.Hit_l1 -> `L1
+    | Memo_unit.Hit_l2 -> `L2
+    | Memo_unit.Miss -> `Miss
+  in
+  let pipe =
+    Pipeline.create ~machine ~lookup_level ~l2_lut_present:true
+      ~l1_lut_ways:(Memo_unit.l1_ways c.unit_)
+      ~crc_bytes_per_cycle:Timing.crc_bytes_per_cycle ~program ~hierarchy:c.hierarchy ()
+  in
+  c.timing.clock <- (fun () -> Pipeline.cycles pipe);
+  cluster.active := c.timing;
+  let before = Memo_unit.stats c.unit_ in
+  let interp =
+    Interp.create ~memo:(memo_hooks cluster ~core) ~hooks:(Pipeline.hooks pipe) ~program
+      ~mem:instance.Workload.mem ()
+  in
+  let crashed =
+    match cluster.injector with
+    | None ->
+        ignore (Interp.run interp instance.Workload.entry instance.Workload.args);
+        None
+    | Some _ -> (
+        (* Same DUE semantics as Runner.run_hw: an injected upset may crash
+           the simulated program; keep what was computed up to the crash. *)
+        try
+          ignore (Interp.run interp instance.Workload.entry instance.Workload.args);
+          None
+        with e -> Some (Printexc.to_string e))
+  in
+  let ms = stats_delta before (Memo_unit.stats c.unit_) in
+  let pipeline_stats = Pipeline.stats pipe in
+  let energy =
+    Model.of_run ~pipeline:pipeline_stats ~hierarchy:c.hierarchy ~memo:(Some ms)
+      ~l1_lut_bytes:cfg.l1_bytes ()
+  in
+  let cycles = pipeline_stats.Pipeline.cycles in
+  {
+    Runner.label = label cfg;
+    cycles;
+    seconds = float_of_int cycles /. (machine.Machine.freq_ghz *. 1e9);
+    dyn_normal = pipeline_stats.Pipeline.dyn_normal;
+    dyn_memo = pipeline_stats.Pipeline.dyn_memo;
+    pipeline = pipeline_stats;
+    energy;
+    lookups = ms.lookups;
+    hits = ms.l1_hits + ms.l2_hits;
+    hit_rate =
+      (if ms.lookups = 0 then 0.0
+       else float_of_int (ms.l1_hits + ms.l2_hits) /. float_of_int ms.lookups);
+    collisions = ms.collisions;
+    memo_disabled = Memo_unit.disabled c.unit_;
+    trip_lookup = Memo_unit.trip_lookup c.unit_;
+    faults = None;
+    crashed;
+    outputs = instance.Workload.read_outputs ();
+  }
+
+(* ---- the co-run ------------------------------------------------------- *)
+
+type request_run = {
+  rid : int;
+  workload : string;
+  core : int;
+  start : int;
+  finish : int;
+  result : Runner.result;
+}
+
+type core_summary = {
+  core : int;
+  served : int;
+  busy_cycles : int;  (* execution only *)
+  contention_cycles : int;  (* arbitration stalls charged at settlement *)
+  retried : int;
+  finish_cycles : int;  (* busy + contention *)
+  lookups : int;
+  hits : int;
+  hit_rate : float;
+  baseline_cycles : int;  (* un-memoized single-core cost of its requests *)
+  speedup : float;
+  way_range : int * int;  (* final shared-LUT allocation *)
+  shadow_hits : int;
+}
+
+type outcome = {
+  cfg : config;
+  requests : request_run list;
+  cores : core_summary array;
+  makespan_cycles : int;
+  throughput_rps : float;
+  speedup : float;  (* aggregate: sum of baselines over the makespan *)
+  aggregate_hit_rate : float;
+  fairness : float;
+  shared_accesses : int;
+  contended_accesses : int;
+  contention_cycles : int;
+  contention_pj : float;
+  repartitions : int;
+  shared_occupancy : int;
+  coherence_keys : int;  (* (lut, key) pairs present in several structures *)
+  coherence_divergent : int;  (* of those, tags equal but data unequal *)
+  faults : Injector.stats option;
+  snapshots : (string * Registry.snapshot) list;
+}
+
+(* The paper's no-coherence argument, measured: collect every structure's
+   valid entries and count (lut_id, key) pairs that appear in more than one
+   of them — and how many of those hold diverging payloads. *)
+let coherence_check (cluster : cluster) =
+  let tbl : (int * int64, int64 list) Hashtbl.t = Hashtbl.create 1024 in
+  let add entries =
+    List.iter
+      (fun (lut_id, key, payload) ->
+        let k = (lut_id, key) in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+        Hashtbl.replace tbl k (payload :: prev))
+      entries
+  in
+  Array.iter (fun c -> add (Memo_unit.lut_entries c.unit_)) cluster.cores;
+  add (Shared_lut.entries cluster.shared);
+  Hashtbl.fold
+    (fun _k payloads (keys, divergent) ->
+      match payloads with
+      | [] | [ _ ] -> (keys, divergent)
+      | p :: rest ->
+          (keys + 1, if List.for_all (fun q -> q = p) rest then divergent else divergent + 1))
+    tbl (0, 0)
+
+let run ?(metrics = false) cfg =
+  let cluster = create_cluster ~metrics cfg in
+  let stream = Schedule.stream ~workloads:cfg.workloads ~requests:cfg.requests in
+  let mix_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun e -> Hashtbl.replace tbl e.wname e) cluster.mix;
+    fun name -> Hashtbl.find tbl name
+  in
+  (* Un-memoized single-core reference per workload, for per-core speedup. *)
+  let baselines = Hashtbl.create 8 in
+  let baseline_of name =
+    match Hashtbl.find_opt baselines name with
+    | Some c -> c
+    | None ->
+        let e = mix_of name in
+        let r = Runner.run Runner.Baseline (e.make cfg.variant) in
+        Hashtbl.replace baselines name r.Runner.cycles;
+        r.Runner.cycles
+  in
+  let placements, busy =
+    Schedule.dispatch ~ncores:cfg.ncores
+      ~run:(fun (r : Schedule.request) ~core ~start ->
+        let result = run_request cluster ~core ~start (mix_of r.Schedule.workload) in
+        (result.Runner.cycles, result))
+      stream
+  in
+  let settlement = Arbiter.settle cluster.arbiter ~ncores:cfg.ncores in
+  let requests =
+    List.map
+      (fun (p : Runner.result Schedule.placement) ->
+        {
+          rid = p.Schedule.request.Schedule.rid;
+          workload = p.Schedule.request.Schedule.workload;
+          core = p.Schedule.core;
+          start = p.Schedule.start;
+          finish = p.Schedule.finish;
+          result = p.Schedule.payload;
+        })
+      placements
+  in
+  let cores =
+    Array.init cfg.ncores (fun i ->
+        let mine = List.filter (fun (r : request_run) -> r.core = i) requests in
+        let served = List.length mine in
+        let lookups = List.fold_left (fun a r -> a + r.result.Runner.lookups) 0 mine in
+        let hits = List.fold_left (fun a r -> a + r.result.Runner.hits) 0 mine in
+        let baseline_cycles =
+          List.fold_left (fun a r -> a + baseline_of r.workload) 0 mine
+        in
+        let busy_cycles = busy.(i) in
+        let contention_cycles = settlement.Arbiter.stall_cycles.(i) in
+        let finish_cycles = busy_cycles + contention_cycles in
+        {
+          core = i;
+          served;
+          busy_cycles;
+          contention_cycles;
+          retried = settlement.Arbiter.retried.(i);
+          finish_cycles;
+          lookups;
+          hits;
+          hit_rate = (if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups);
+          baseline_cycles;
+          speedup =
+            (if baseline_cycles = 0 && finish_cycles = 0 then 1.0
+             else float_of_int baseline_cycles /. float_of_int (max 1 finish_cycles));
+          way_range = Shared_lut.way_range cluster.shared ~core:i;
+          shadow_hits = (Shared_lut.shadow_hits cluster.shared).(i);
+        })
+  in
+  let makespan_cycles = Array.fold_left (fun a c -> max a c.finish_cycles) 0 cores in
+  let total_lookups = Array.fold_left (fun a c -> a + c.lookups) 0 cores in
+  let total_hits = Array.fold_left (fun a c -> a + c.hits) 0 cores in
+  let total_baseline = Array.fold_left (fun a c -> a + c.baseline_cycles) 0 cores in
+  let contention_cycles = Array.fold_left ( + ) 0 settlement.Arbiter.stall_cycles in
+  let keys, divergent = coherence_check cluster in
+  (* Flush before snapshotting: per-core registries mirror the unit's
+     cumulative stats, the cluster registry the shared structure's. *)
+  Array.iter (fun c -> Memo_unit.flush_metrics c.unit_) cluster.cores;
+  Shared_lut.flush_metrics cluster.shared;
+  let snapshots =
+    List.concat
+      (Array.to_list
+         (Array.map
+            (fun c ->
+              match c.metrics with
+              | Some reg -> [ (Printf.sprintf "core%d" c.id, Registry.snapshot reg) ]
+              | None -> [])
+            cluster.cores))
+    @
+    match cluster.cluster_metrics with
+    | Some reg -> [ ("cluster", Registry.snapshot reg) ]
+    | None -> []
+  in
+  {
+    cfg;
+    requests;
+    cores;
+    makespan_cycles;
+    throughput_rps =
+      (if makespan_cycles = 0 then 0.0
+       else
+         float_of_int cfg.requests
+         /. (float_of_int makespan_cycles /. (machine.Machine.freq_ghz *. 1e9)));
+    speedup =
+      (if total_baseline = 0 && makespan_cycles = 0 then 1.0
+       else float_of_int total_baseline /. float_of_int (max 1 makespan_cycles));
+    aggregate_hit_rate =
+      (if total_lookups = 0 then 0.0
+       else float_of_int total_hits /. float_of_int total_lookups);
+    fairness =
+      Schedule.jain_fairness
+        (Array.map (fun c -> float_of_int c.finish_cycles) cores);
+    shared_accesses = settlement.Arbiter.accesses;
+    contended_accesses = settlement.Arbiter.contended;
+    contention_cycles;
+    contention_pj =
+      float_of_int settlement.Arbiter.contended *. Model.default_constants.Model.l2_access_pj;
+    repartitions = Shared_lut.repartitions cluster.shared;
+    shared_occupancy = Shared_lut.occupancy cluster.shared;
+    coherence_keys = keys;
+    coherence_divergent = divergent;
+    faults = Option.map Injector.stats cluster.injector;
+    snapshots;
+  }
+
+let run_matrix ?jobs cfgs = Pool.run ?jobs (fun cfg -> run ~metrics:true cfg) cfgs
+
+(* ---- report ----------------------------------------------------------- *)
+
+let core_summary_json c =
+  let lo, hi = c.way_range in
+  Json.Obj
+    [
+      ("core", Json.Int c.core);
+      ("served", Json.Int c.served);
+      ("busy_cycles", Json.Int c.busy_cycles);
+      ("contention_cycles", Json.Int c.contention_cycles);
+      ("retried", Json.Int c.retried);
+      ("finish_cycles", Json.Int c.finish_cycles);
+      ("lookups", Json.Int c.lookups);
+      ("hits", Json.Int c.hits);
+      ("hit_rate", Json.Float c.hit_rate);
+      ("baseline_cycles", Json.Int c.baseline_cycles);
+      ("speedup", Json.Float c.speedup);
+      ("way_lo", Json.Int lo);
+      ("way_hi", Json.Int hi);
+      ("shadow_hits", Json.Int c.shadow_hits);
+    ]
+
+(* Keep checked-in reports small: only the head of the schedule is listed
+   row by row; everything else is already aggregated per core. *)
+let schedule_head_rows = 24
+
+let outcome_json o =
+  let cfg = o.cfg in
+  let head = List.filteri (fun i _ -> i < schedule_head_rows) o.requests in
+  Json.Obj
+    [
+      ("label", Json.Str (label cfg));
+      ("ncores", Json.Int cfg.ncores);
+      ("partition", Json.Str (Shared_lut.partition_name cfg.partition));
+      ("l1_bytes", Json.Int cfg.l1_bytes);
+      ("shared_l2_bytes", Json.Int cfg.shared_l2_bytes);
+      ("banks", Json.Int cfg.banks);
+      ("ports", Json.Int cfg.ports);
+      ("workloads", Json.Arr (List.map (fun w -> Json.Str w) cfg.workloads));
+      ("requests", Json.Int cfg.requests);
+      ("makespan_cycles", Json.Int o.makespan_cycles);
+      ("throughput_rps", Json.Float o.throughput_rps);
+      ("speedup", Json.Float o.speedup);
+      ("aggregate_hit_rate", Json.Float o.aggregate_hit_rate);
+      ("fairness", Json.Float o.fairness);
+      ("shared_accesses", Json.Int o.shared_accesses);
+      ("contended_accesses", Json.Int o.contended_accesses);
+      ("contention_cycles", Json.Int o.contention_cycles);
+      ("contention_pj", Json.Float o.contention_pj);
+      ("repartitions", Json.Int o.repartitions);
+      ("shared_occupancy", Json.Int o.shared_occupancy);
+      ("coherence_keys", Json.Int o.coherence_keys);
+      ("coherence_divergent", Json.Int o.coherence_divergent);
+      ("cores", Json.Arr (Array.to_list (Array.map core_summary_json o.cores)));
+      ( "schedule_head",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Str
+                 (Printf.sprintf "r%d %s core%d [%d..%d] hit=%.3f" r.rid r.workload
+                    r.core r.start r.finish r.result.Runner.hit_rate))
+             head) );
+      ("schedule_rows_omitted", Json.Int (max 0 (List.length o.requests - schedule_head_rows)));
+      ( "faults",
+        match o.faults with
+        | None -> Json.Null
+        | Some s ->
+            Json.Obj
+              [
+                ("injected", Json.Int s.Injector.injected_total);
+                ("sdc_hits", Json.Int s.Injector.sdc_hits);
+                ("parity_detected", Json.Int s.Injector.parity_detected);
+                ("secded_corrected", Json.Int s.Injector.secded_corrected);
+                ("secded_detected", Json.Int s.Injector.secded_detected);
+                ("tag_aliases", Json.Int s.Injector.tag_aliases);
+              ] );
+    ]
+
+let default_series_cap = 32
+
+let report_runs ?(series_cap = default_series_cap) ?(per_core = true) outcomes =
+  List.concat_map
+      (fun o ->
+        let snaps =
+          if per_core then o.snapshots
+          else List.filter (fun (who, _) -> who = "cluster") o.snapshots
+        in
+        List.map
+          (fun (who, snap) ->
+            {
+              Report.benchmark = String.concat "+" o.cfg.workloads;
+              config = Printf.sprintf "%s:%s" (label o.cfg) who;
+              summary =
+                [
+                  ("makespan_cycles", Json.Int o.makespan_cycles);
+                  ("throughput_rps", Json.Float o.throughput_rps);
+                  ("aggregate_hit_rate", Json.Float o.aggregate_hit_rate);
+                  ("fairness", Json.Float o.fairness);
+                ];
+              metrics = Registry.decimate ~cap:series_cap snap;
+            })
+          snaps)
+    outcomes
+
+let report ?series_cap ?per_core outcomes =
+  let runs = report_runs ?series_cap ?per_core outcomes in
+  let extra =
+    [
+      ("root_seed", Json.Str (Int64.to_string (Rng.root_seed ())));
+      ("corun", Json.Arr (List.map outcome_json outcomes));
+    ]
+  in
+  Report.make ~extra runs
+
+let write_report ?series_cap ?per_core path outcomes =
+  Json.write_file ~indent:2 path (report ?series_cap ?per_core outcomes)

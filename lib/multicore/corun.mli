@@ -1,0 +1,151 @@
+(** The N-core co-run simulator.
+
+    Each core owns a private pipeline, data-cache hierarchy, hash/value
+    registers and L1 LUT (all reused from the single-core model); every
+    core's L2-level memoization traffic goes to one {!Shared_lut} carved
+    from the shared LLC, with bank/port contention charged by an
+    {!Arbiter} and requests placed by {!Schedule}. A fixed request stream
+    keeps the LUTs warm across requests, which is where the co-run
+    throughput of the paper's Section 6 comes from.
+
+    Determinism contract: with a fixed root seed, [run] and [run_matrix]
+    are pure functions of their configuration — reports are byte-identical
+    for any [--jobs] setting, and a 1-core free-for-all co-run of a single
+    workload reproduces [Runner.run (Hw_memo ...)] bit for bit. *)
+
+type config = {
+  ncores : int;
+  l1_bytes : int;  (** per-core private L1 LUT *)
+  shared_l2_bytes : int;  (** the shared LUT carved from the LLC *)
+  partition : Shared_lut.partition;
+  banks : int;
+  ports : int;  (** ports per bank of the shared LUT *)
+  workloads : string list;  (** the mix, round-robined into the stream *)
+  requests : int;
+  variant : Axmemo_workloads.Workload.variant;
+  retain_luts : bool;
+      (** keep LUT contents warm across requests by stripping the trailing
+          per-region [Invalidate]s the compiler emits for standalone runs
+          (mid-program invalidates are untouched); off, every request keeps
+          the standalone epilogue and a 1-core co-run replays [Runner.run]
+          bit for bit *)
+  faults : Axmemo_faults.Fault_model.spec option;
+      (** when set, upsets strike the shared LUT's storage *)
+}
+
+val default : config
+(** 2 cores, 8 KiB L1 / 512 KiB shared, free-for-all, 8 banks x 1 port,
+    8 blackscholes requests, warm LUTs, no faults. *)
+
+val label : config -> string
+
+(** {1 The cluster}
+
+    Exposed mainly for tests that need to poke a core's memoization hooks
+    directly. *)
+
+type cluster
+
+val create_cluster : ?metrics:bool -> config -> cluster
+(** Builds the cores, the shared LUT and the arbiter. Every workload's
+    logical LUT ids are renumbered onto a disjoint range (mix order), so a
+    mixed stream never aliases; single-workload mixes keep their original
+    ids. [metrics] attaches one registry per core (the unit's instruments)
+    plus a cluster registry (the shared LUT's).
+    @raise Invalid_argument on an unknown benchmark, an empty mix, fewer
+    than one core, or a mix needing more than 8 logical LUTs. *)
+
+val memo_hooks : cluster -> core:int -> Axmemo_ir.Interp.memo_hooks
+(** The core's own hooks with [invalidate] wrapped to broadcast: the
+    issuing unit drops its L1 and the shared level, the wrapper drops every
+    {e other} core's private L1 so no stale private copy survives. *)
+
+val core_unit : cluster -> core:int -> Axmemo_memo.Memo_unit.t
+val shared_lut : cluster -> Shared_lut.t
+
+(** {1 Running} *)
+
+type request_run = {
+  rid : int;
+  workload : string;
+  core : int;
+  start : int;
+  finish : int;
+  result : Axmemo.Runner.result;
+}
+
+type core_summary = {
+  core : int;
+  served : int;
+  busy_cycles : int;  (** execution only *)
+  contention_cycles : int;  (** arbitration stalls charged at settlement *)
+  retried : int;
+  finish_cycles : int;  (** busy + contention *)
+  lookups : int;
+  hits : int;
+  hit_rate : float;
+  baseline_cycles : int;  (** un-memoized single-core cost of its requests *)
+  speedup : float;  (** baseline over (busy + contention); always finite *)
+  way_range : int * int;  (** final shared-LUT allocation *)
+  shadow_hits : int;
+}
+
+type outcome = {
+  cfg : config;
+  requests : request_run list;
+  cores : core_summary array;
+  makespan_cycles : int;
+  throughput_rps : float;  (** requests per simulated second *)
+  speedup : float;  (** sum of baselines over the makespan; always finite *)
+  aggregate_hit_rate : float;
+  fairness : float;  (** Jain's index over per-core finish cycles *)
+  shared_accesses : int;
+  contended_accesses : int;
+  contention_cycles : int;
+  contention_pj : float;  (** re-issued probes at the L2 access energy *)
+  repartitions : int;
+  shared_occupancy : int;
+  coherence_keys : int;
+      (** (lut, key) pairs simultaneously present in several structures *)
+  coherence_divergent : int;  (** of those, how many hold unequal payloads *)
+  faults : Axmemo_faults.Injector.stats option;
+  snapshots : (string * Axmemo_telemetry.Registry.snapshot) list;
+      (** ["core<i>"] per-core registries, ["cluster"] the shared LUT's;
+          empty unless [run ~metrics:true] *)
+}
+
+val run : ?metrics:bool -> config -> outcome
+(** Simulates one co-run: streams the requests, dispatches them with
+    {!Schedule.dispatch}, settles arbitration, and measures coherence
+    divergence across all LUT levels. Baseline cycles come from a fresh
+    un-memoized [Runner.run Baseline] per workload. *)
+
+val run_matrix : ?jobs:int -> config list -> outcome list
+(** Runs each configuration as one independent cell (with metrics) fanned
+    over a domain pool; results are in input order and byte-identical to a
+    serial run. *)
+
+(** {1 Reports} *)
+
+val default_series_cap : int
+
+val report_runs :
+  ?series_cap:int ->
+  ?per_core:bool ->
+  outcome list ->
+  Axmemo_telemetry.Report.run list
+(** The per-registry report rows ([core<i>] and [cluster] per outcome),
+    series decimated to [series_cap]; what {!report} embeds and what CSV
+    export flattens. [~per_core:false] keeps only the cluster registries —
+    per-core aggregates stay available in the outcome block, so a big
+    matrix can ship a small report. *)
+
+val report :
+  ?series_cap:int -> ?per_core:bool -> outcome list -> Axmemo_util.Json.t
+(** Bounded report: telemetry series are decimated to [series_cap] samples
+    ({!Axmemo_telemetry.Registry.decimate}) and only the head of each
+    schedule is listed row by row, so the file stays small no matter how
+    long the streams were. *)
+
+val write_report :
+  ?series_cap:int -> ?per_core:bool -> string -> outcome list -> unit

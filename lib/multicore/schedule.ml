@@ -1,0 +1,51 @@
+(* The request-stream scheduler: a deterministic round-robin stream of
+   workload invocations, dispatched greedily to whichever core frees up
+   first. Ties always break toward the lowest core index, so the placement
+   — and therefore every downstream number — is a pure function of the
+   stream and the per-request cycle counts. *)
+
+type request = { rid : int; workload : string }
+
+let stream ~workloads ~requests =
+  (match workloads with [] -> invalid_arg "Schedule.stream: no workloads" | _ -> ());
+  if requests < 0 then invalid_arg "Schedule.stream: negative request count";
+  let arr = Array.of_list workloads in
+  List.init requests (fun rid -> { rid; workload = arr.(rid mod Array.length arr) })
+
+type 'a placement = {
+  request : request;
+  core : int;
+  start : int;  (* core-local cycle at which the core picked the request up *)
+  finish : int;
+  payload : 'a;
+}
+
+let dispatch ~ncores ~run requests =
+  if ncores < 1 then invalid_arg "Schedule.dispatch: need at least one core";
+  let busy = Array.make ncores 0 in
+  let place r =
+    let core = ref 0 in
+    for c = 1 to ncores - 1 do
+      if busy.(c) < busy.(!core) then core := c
+    done;
+    let core = !core in
+    let start = busy.(core) in
+    let cycles, payload = run r ~core ~start in
+    if cycles < 0 then invalid_arg "Schedule.dispatch: negative request cycles";
+    busy.(core) <- start + cycles;
+    { request = r; core; start; finish = start + cycles; payload }
+  in
+  let placements = List.map place requests in
+  (placements, busy)
+
+(* Jain's fairness index over per-core service: (sum x)^2 / (n * sum x^2),
+   1.0 when perfectly balanced, 1/n when one core does everything. Defined
+   as 1.0 for degenerate inputs (no cores, or no work at all). *)
+let jain_fairness xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let sq = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+    if sq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sq)
+  end

@@ -1,0 +1,38 @@
+(** Deterministic request-stream scheduling for the co-run model.
+
+    A stream is a fixed round-robin interleaving of workload invocations; a
+    dispatch places each request, in stream order, on the core that frees up
+    first (ties to the lowest index). Because both rules are pure functions
+    of their inputs, any two runs of the same configuration place every
+    request identically — which is what lets co-run reports stay
+    byte-identical across [--jobs] settings. *)
+
+type request = { rid : int; workload : string }
+
+val stream : workloads:string list -> requests:int -> request list
+(** Round-robin over [workloads], [requests] entries long.
+    @raise Invalid_argument on an empty workload list or a negative count. *)
+
+type 'a placement = {
+  request : request;
+  core : int;
+  start : int;  (** cycle at which the core picked the request up *)
+  finish : int;
+  payload : 'a;
+}
+
+val dispatch :
+  ncores:int ->
+  run:(request -> core:int -> start:int -> int * 'a) ->
+  request list ->
+  'a placement list * int array
+(** [dispatch ~ncores ~run requests] executes each request on its chosen
+    core via [run] (which returns the request's cycle cost plus an arbitrary
+    payload) and returns the placements in stream order together with the
+    final per-core busy times. [run] is called sequentially, in stream
+    order — concurrency exists only in the cycle accounting.
+    @raise Invalid_argument on [ncores < 1] or a negative cycle cost. *)
+
+val jain_fairness : float array -> float
+(** Jain's index: 1.0 = perfectly balanced, 1/n = maximally skewed; 1.0 on
+    degenerate (empty or all-zero) input. *)

@@ -148,6 +148,26 @@ let snapshot t =
     t.instruments []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Post-hoc series bounding for report emitters. Applies the exact halving
+   rule the live sampler uses (keep odd indices, double the stride), so a
+   decimated snapshot is indistinguishable from one taken with a smaller
+   [cap] — and the operation is deterministic and idempotent. *)
+let decimate ~cap snap =
+  if cap <= 0 then invalid_arg "Registry.decimate: non-positive cap";
+  List.map
+    (fun (name, data) ->
+      match data with
+      | Series { stride; samples } when Array.length samples > cap ->
+          let stride = ref stride and samples = ref samples in
+          while Array.length !samples > cap do
+            let m = Array.length !samples / 2 in
+            samples := Array.init m (fun i -> !samples.((2 * i) + 1));
+            stride := !stride * 2
+          done;
+          (name, Series { stride = !stride; samples = !samples })
+      | _ -> (name, data))
+    snap
+
 let merge snaps =
   let acc : (string, data) Hashtbl.t = Hashtbl.create 64 in
   let combine name a b =

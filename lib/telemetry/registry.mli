@@ -94,6 +94,14 @@ type snapshot = (string * data) list
 val snapshot : t -> snapshot
 (** An immutable copy of every instrument's current state. *)
 
+val decimate : cap:int -> snapshot -> snapshot
+(** [decimate ~cap snap] bounds every series in [snap] to at most [cap]
+    samples by repeatedly applying the live sampler's own halving rule (keep
+    every other sample, double the stride). Counters, gauges and histograms
+    pass through untouched. Deterministic and idempotent — report emitters
+    use it to keep checked-in JSON small without changing its schema.
+    @raise Invalid_argument on a non-positive [cap]. *)
+
 val merge : snapshot list -> snapshot
 (** Deterministic cross-run aggregation, applied left to right: counters
     sum; histograms with identical bounds sum bucket-wise; gauges keep the
