@@ -1,11 +1,13 @@
 # Developer entry points. `make check` is the one-stop gate: full build,
-# test suite, the perf smoke, and bounded fault-injection and multi-core
-# co-run smokes (all under timeouts so a hung pool cannot wedge CI).
+# test suite, the perf smoke, bounded fault-injection and multi-core
+# co-run smokes (all under timeouts so a hung pool cannot wedge CI), and
+# the diff gate comparing each smoke report against its committed
+# baseline snapshot.
 
 SMOKE_TIMEOUT ?= 900
 JOBS ?= 4
 
-.PHONY: all build test smoke faults-smoke corun-smoke check clean
+.PHONY: all build test smoke faults-smoke corun-smoke diff-gate check clean
 
 all: build
 
@@ -35,7 +37,17 @@ corun-smoke: build
 	  -b blackscholes,sobel --sample --seed 1234 --cores 1,2 --requests 8 \
 	  --jobs $(JOBS) --quiet --metrics CORUN_SMOKE.json
 
-check: build test smoke faults-smoke corun-smoke
+# Regression gate: every metric in the fresh smoke reports must match the
+# committed baseline exactly (the simulator is deterministic; wall-clock
+# numbers live outside the compared run blocks). A legitimate perf or
+# model change updates the snapshot in the same PR:
+#   cp BENCH_PR1.json FAULTS_SMOKE.json CORUN_SMOKE.json bench/baselines/
+diff-gate: smoke faults-smoke corun-smoke
+	dune exec bin/axmemo_cli.exe -- diff bench/baselines/BENCH_PR1.json BENCH_PR1.json --gate --quiet
+	dune exec bin/axmemo_cli.exe -- diff bench/baselines/FAULTS_SMOKE.json FAULTS_SMOKE.json --gate --quiet
+	dune exec bin/axmemo_cli.exe -- diff bench/baselines/CORUN_SMOKE.json CORUN_SMOKE.json --gate --quiet
+
+check: build test diff-gate
 
 clean:
 	dune clean

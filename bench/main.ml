@@ -807,6 +807,7 @@ let perf_smoke () =
               ("hit_rate", Json.Float r.hit_rate);
             ];
           metrics = snapshot;
+          profile = None;
         })
       cell_benchmarks telem
   in

@@ -6,6 +6,8 @@
      sweep [-b <bench>]       run every configuration (optionally one bench)
      faults [-b <bench>]      SEU resilience campaign (site x rate x protection)
      corun [-b <m1,m2>]       multi-core co-run over a shared L2 LUT
+     profile -b <bench>       attribution profile (cycles/energy/misses/error)
+     diff A.json B.json       compare two run reports; --gate for CI
      analyze -b <bench>       DDDG candidate analysis (Table 1 row)
      ir -b <bench>            dump the benchmark's IR *)
 
@@ -20,6 +22,8 @@ module Tracer = Axmemo_telemetry.Tracer
 module Campaign = Axmemo_resilience.Campaign
 module Fault_model = Axmemo_faults.Fault_model
 module Protection = Axmemo_faults.Protection
+module Profile = Axmemo_obs.Profile
+module Diff = Axmemo_obs.Diff
 open Cmdliner
 
 let config_of_string = function
@@ -217,6 +221,7 @@ let run_cmd =
           config = r.label;
           summary = summary_of ?base r;
           metrics = snapshot;
+          profile = None;
         }
       in
       Option.iter
@@ -322,6 +327,7 @@ let sweep_cmd =
                      config = r.label;
                      summary = summary_of ?base r;
                      metrics = snapshot;
+                     profile = None;
                    })
                  rs snaps)
              selected)
@@ -555,10 +561,19 @@ let fault_rate_arg =
           "Also strike the shared LUT's storage with transient upsets at \
            per-access rate $(docv).")
 
+let corun_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attach an attribution profiler to every core: the report gains \
+           per-core and merged $(b,profile) sections, and shared-LUT \
+           arbitration stalls are charged back to core and region.")
+
 let corun_cmd =
   let doc = "Multi-core co-run: shared L2 LUT, partitioning, arbitration." in
   let run benches sample seed cores requests partitions banks ports fault_rate
-      jobs metrics csv quiet =
+      jobs profile metrics csv quiet =
     apply_seed seed;
     print_seed quiet;
     let faults =
@@ -591,7 +606,7 @@ let corun_cmd =
             partitions)
         cores
     in
-    let outcomes = Corun.run_matrix ?jobs cfgs in
+    let outcomes = Corun.run_matrix ?jobs ~profile cfgs in
     if not quiet then begin
       let header =
         [ "cores"; "partition"; "makespan"; "thrpt/s"; "speedup"; "hit"; "fair";
@@ -617,6 +632,16 @@ let corun_cmd =
         ~align:[ Right; Left; Right; Right; Right; Right; Right; Right; Right ]
         ~header rows
     end;
+    if profile && not quiet then
+      List.iter
+        (fun (o : Corun.outcome) ->
+          match o.Corun.profiles with
+          | Some ps ->
+              Printf.printf "\n%s — merged attribution profile:\n"
+                (Corun.label o.Corun.cfg);
+              print_string (Profile.render (Profile.merge (Array.to_list ps)))
+          | None -> ())
+        outcomes;
     Option.iter (fun path -> Corun.write_report path outcomes) metrics;
     Option.iter
       (fun path -> Report.write_csv path (Corun.report_runs outcomes))
@@ -626,7 +651,145 @@ let corun_cmd =
     Term.(
       const run $ corun_bench_arg $ variant_arg $ seed_arg $ cores_arg
       $ requests_arg $ partitions_arg $ banks_arg $ ports_arg $ fault_rate_arg
-      $ jobs_arg $ metrics_arg $ csv_arg $ quiet_arg)
+      $ jobs_arg $ corun_profile_arg $ metrics_arg $ csv_arg $ quiet_arg)
+
+(* ---- profile: attribution profiler ----------------------------------- *)
+
+let profile_cmd =
+  let doc =
+    "Attribution profile: where the cycles and picojoules went, why every \
+     LUT lookup missed, and which region contributed the error."
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N" ~doc:"Show only the $(docv) hottest regions.")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write folded flame stacks ($(b,region;class cycles) lines, \
+             loadable by speedscope or flamegraph.pl) to $(docv).")
+  in
+  let run bench config sample seed top folded metrics quiet =
+    apply_seed seed;
+    print_seed quiet;
+    let _, make = Option.get (W.Registry.find bench) in
+    let variant = variant_of sample in
+    (* A profiled baseline run of the same instance family gives the
+       cycles-saved column; skipped when the baseline itself is profiled. *)
+    let base =
+      match config with
+      | Runner.Baseline -> None
+      | _ ->
+          let inst = make variant in
+          let p = Profile.create ~regions:(Runner.profile_regions inst) in
+          let r = Runner.run ~profile:p Runner.Baseline inst in
+          Some (r, Profile.snapshot p)
+    in
+    let inst = make variant in
+    let prof = Profile.create ~regions:(Runner.profile_regions inst) in
+    let r, snapshot, _ = Runner.run_telemetry ~profile:prof config inst in
+    let snap = Profile.snapshot prof in
+    if not quiet then begin
+      print_result ~base:(Option.map fst base) r;
+      print_newline ();
+      print_string (Profile.render ?top ?baseline:(Option.map snd base) snap)
+    end;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Profile.to_folded ~app:bench snap)))
+      folded;
+    Option.iter
+      (fun path ->
+        Report.write ~extra:(seed_extra ()) path
+          [
+            {
+              Report.benchmark = bench;
+              config = r.Runner.label;
+              summary = summary_of ?base:(Option.map fst base) r;
+              metrics = snapshot;
+              profile = Some (Profile.to_json snap);
+            };
+          ])
+      metrics
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ bench_arg $ config_arg $ variant_arg $ seed_arg $ top_arg
+      $ folded_arg $ metrics_arg $ quiet_arg)
+
+(* ---- diff: report comparison / regression gate ------------------------ *)
+
+let diff_cmd =
+  let doc = "Compare two run reports metric by metric; $(b,--gate) for CI." in
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"A.json" ~doc:"Reference report (the baseline).")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"B.json" ~doc:"Candidate report to compare against A.")
+  in
+  let tol_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tol" ] ~docv:"SPEC"
+          ~doc:
+            "Tolerance spec: comma-separated $(b,name=rel) or \
+             $(b,name=rel:abs) entries; $(b,*) wildcards match any \
+             substring and $(b,default=) sets the fallback (exact match \
+             when absent). Example: \
+             $(b,default=0,summary.seconds=0.05,gauges.*=1e-9).")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit non-zero when any metric moves outside tolerance or a run \
+             is missing on either side — the CI regression gate.")
+  in
+  let show_all_arg =
+    Arg.(
+      value & flag
+      & info [ "show-all" ] ~doc:"Also list the in-tolerance changes.")
+  in
+  let run a b tol gate show_all quiet =
+    let tolerances =
+      match tol with
+      | None -> Diff.exact
+      | Some spec -> (
+          match Diff.parse_tolerances spec with
+          | Ok t -> t
+          | Error e ->
+              prerr_endline ("axmemo diff: " ^ e);
+              exit 2)
+    in
+    match Diff.diff_files ~tol:tolerances a b with
+    | Error e ->
+        prerr_endline ("axmemo diff: " ^ e);
+        exit 2
+    | Ok d ->
+        if not quiet then print_string (Diff.render ~show_all d);
+        if gate && not (Diff.gate_ok d) then exit 1
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const run $ file_a $ file_b $ tol_arg $ gate_arg $ show_all_arg
+      $ quiet_arg)
 
 let analyze_cmd =
   let doc = "DDDG candidate analysis on the sample dataset (Table 1 row)." in
@@ -676,5 +839,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; corun_cmd; analyze_cmd;
-            ir_cmd; check_cmd ]))
+          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; corun_cmd; profile_cmd;
+            diff_cmd; analyze_cmd; ir_cmd; check_cmd ]))

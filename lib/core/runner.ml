@@ -11,6 +11,7 @@ module Tracer = Axmemo_telemetry.Tracer
 module Fault_model = Axmemo_faults.Fault_model
 module Injector = Axmemo_faults.Injector
 module Protection = Axmemo_faults.Protection
+module Profile = Axmemo_obs.Profile
 
 type config =
   | Baseline
@@ -186,8 +187,8 @@ let no_instants _fname _bidx _iidx _instr _addr = ()
 
 (* Shared hardware-memoization path: Hw_memo and Hw_custom differ only in how
    the unit configuration is assembled. *)
-let run_hw ?metrics ?(trace = false) ~label ~(unit_cfg : Memo_unit.config) ~approximate
-    ~total_l2 ~crc_bytes_per_cycle (instance : Workload.instance) =
+let run_hw ?metrics ?profile ?(trace = false) ~label ~(unit_cfg : Memo_unit.config)
+    ~approximate ~total_l2 ~crc_bytes_per_cycle (instance : Workload.instance) =
   let regions =
     if approximate then instance.regions
     else List.map Transform.zero_truncs instance.regions
@@ -210,7 +211,10 @@ let run_hw ?metrics ?(trace = false) ~label ~(unit_cfg : Memo_unit.config) ~appr
   in
   let hierarchy = Hierarchy.create ?metrics hier_cfg in
   let unit =
-    Memo_unit.create ?metrics unit_cfg (Transform.lut_decls instance.program regions)
+    Memo_unit.create ?metrics
+      ?profile:(Option.map Profile.memo_hooks profile)
+      unit_cfg
+      (Transform.lut_decls instance.program regions)
   in
   let lookup_level () =
     match Memo_unit.last_lookup_level unit with
@@ -219,9 +223,10 @@ let run_hw ?metrics ?(trace = false) ~label ~(unit_cfg : Memo_unit.config) ~appr
     | Memo_unit.Miss -> `Miss
   in
   let pipe =
-    Pipeline.create ?metrics ~machine ~lookup_level
-      ~l2_lut_present:(unit_cfg.l2_bytes <> None) ~l1_lut_ways:(Memo_unit.l1_ways unit)
-      ~crc_bytes_per_cycle ~program ~hierarchy ()
+    Pipeline.create ?metrics
+      ?profile:(Option.map Profile.pipeline_profile profile)
+      ~machine ~lookup_level ~l2_lut_present:(unit_cfg.l2_bytes <> None)
+      ~l1_lut_ways:(Memo_unit.l1_ways unit) ~crc_bytes_per_cycle ~program ~hierarchy ()
   in
   (* Per-cycle fault rates integrate over the pipeline's simulated clock. *)
   (match Memo_unit.injector unit with
@@ -277,6 +282,7 @@ let run_hw ?metrics ?(trace = false) ~label ~(unit_cfg : Memo_unit.config) ~appr
           None
         with e -> Some (Printexc.to_string e))
   in
+  Pipeline.profile_close pipe;
   Memo_unit.flush_metrics unit;
   Pipeline.flush_metrics pipe;
   Hierarchy.flush_metrics hierarchy;
@@ -297,13 +303,15 @@ let run_hw ?metrics ?(trace = false) ~label ~(unit_cfg : Memo_unit.config) ~appr
       ~outputs:(instance.read_outputs ()) ~machine (),
     tracer )
 
-let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
+let run_impl ?metrics ?profile ?(trace = false) config (instance : Workload.instance) =
   let label = config_label config in
   match config with
   | Baseline ->
       let hierarchy = Hierarchy.create ?metrics Hierarchy.hpi_default in
       let pipe =
-        Pipeline.create ?metrics ~machine ~program:instance.program ~hierarchy ()
+        Pipeline.create ?metrics
+          ?profile:(Option.map Profile.pipeline_profile profile)
+          ~machine ~program:instance.program ~hierarchy ()
       in
       let tracer =
         if trace then Some (Tracer.create ~clock:(fun () -> Pipeline.cycles pipe) ())
@@ -318,6 +326,7 @@ let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
       in
       let interp = Interp.create ~hooks ~program:instance.program ~mem:instance.mem () in
       ignore (Interp.run interp instance.entry instance.args);
+      Pipeline.profile_close pipe;
       Pipeline.flush_metrics pipe;
       Hierarchy.flush_metrics hierarchy;
       ( finish ~label ~pipeline_stats:(Pipeline.stats pipe) ~hierarchy ~memo_stats:None
@@ -334,10 +343,10 @@ let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
           adaptive = (if adaptive then Some Memo_unit.default_adaptive else None);
         }
       in
-      run_hw ?metrics ~trace ~label ~unit_cfg ~approximate ~total_l2
+      run_hw ?metrics ?profile ~trace ~label ~unit_cfg ~approximate ~total_l2
         ~crc_bytes_per_cycle:Axmemo_isa.Timing.crc_bytes_per_cycle instance
   | Hw_custom { label; unit_cfg; approximate; crc_bytes_per_cycle } ->
-      run_hw ?metrics ~trace ~label ~unit_cfg ~approximate ~total_l2:None
+      run_hw ?metrics ?profile ~trace ~label ~unit_cfg ~approximate ~total_l2:None
         ~crc_bytes_per_cycle instance
   | Software { table_log2 } | Atm { table_log2 } ->
       let sw_memoize =
@@ -351,7 +360,11 @@ let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
           ?barrier:instance.barrier instance.program instance.regions
       in
       let hierarchy = Hierarchy.create ?metrics Hierarchy.hpi_default in
-      let pipe = Pipeline.create ?metrics ~machine ~program ~hierarchy () in
+      let pipe =
+        Pipeline.create ?metrics
+          ?profile:(Option.map Profile.pipeline_profile profile)
+          ~machine ~program ~hierarchy ()
+      in
       let tracer =
         if trace then Some (Tracer.create ~clock:(fun () -> Pipeline.cycles pipe) ())
         else None
@@ -374,6 +387,7 @@ let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
       in
       let interp = Interp.create ~hooks ~program ~mem:instance.mem () in
       ignore (Interp.run interp instance.entry instance.args);
+      Pipeline.profile_close pipe;
       Pipeline.flush_metrics pipe;
       Hierarchy.flush_metrics hierarchy;
       let lookups = !hits + !misses in
@@ -382,11 +396,14 @@ let run_impl ?metrics ?(trace = false) config (instance : Workload.instance) =
           ~outputs:(instance.read_outputs ()) ~machine (),
         tracer )
 
-let run config instance = fst (run_impl config instance)
+let run ?profile config instance = fst (run_impl ?profile config instance)
 
-let run_telemetry ?(trace = false) config instance =
+let profile_regions (instance : Workload.instance) =
+  List.map (fun (r : Transform.region) -> (r.kernel, r.lut_id)) instance.regions
+
+let run_telemetry ?(trace = false) ?profile config instance =
   let reg = Registry.create () in
-  let result, tracer = run_impl ~metrics:reg ~trace config instance in
+  let result, tracer = run_impl ~metrics:reg ?profile ~trace config instance in
   (result, Registry.snapshot reg, tracer)
 
 (* Parallel experiment matrix. Every (config, instance) cell is an
@@ -408,4 +425,16 @@ let run_matrix_telemetry ?jobs cells =
       let reg = Registry.create () in
       let result, _ = run_impl ~metrics:reg config instance in
       (result, Registry.snapshot reg))
+    cells
+
+(* Each worker builds the cell's collector on its own domain, and snapshots
+   come back in cell order, so profile reports are byte-identical between
+   serial and parallel execution — pinned by test_obs. *)
+let run_matrix_profiled ?jobs cells =
+  Axmemo_util.Pool.run ?jobs
+    (fun (config, instance) ->
+      let reg = Registry.create () in
+      let profile = Profile.create ~regions:(profile_regions instance) in
+      let result, _ = run_impl ~metrics:reg ~profile config instance in
+      (result, Registry.snapshot reg, Profile.snapshot profile))
     cells

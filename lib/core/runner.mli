@@ -78,12 +78,21 @@ type result = {
   outputs : Axmemo_workloads.Workload.outputs;
 }
 
-val run : config -> Axmemo_workloads.Workload.instance -> result
+val run :
+  ?profile:Axmemo_obs.Profile.t -> config -> Axmemo_workloads.Workload.instance -> result
 (** [run config instance] transforms (if needed), simulates, and collects.
-    The instance's memory is mutated by the run. *)
+    The instance's memory is mutated by the run. With [?profile], the
+    collector's hooks are attached to the pipeline (every config) and the
+    memo unit (hardware configs), and the pipeline is profile-closed when
+    the run ends; the [result] is bit-identical either way. *)
+
+val profile_regions : Axmemo_workloads.Workload.instance -> (string * int) list
+(** The instance's static regions as [(kernel, lut_id)] pairs, in the
+    declaration order {!Axmemo_obs.Profile.create} expects. *)
 
 val run_telemetry :
   ?trace:bool ->
+  ?profile:Axmemo_obs.Profile.t ->
   config ->
   Axmemo_workloads.Workload.instance ->
   result * Axmemo_telemetry.Registry.snapshot * Axmemo_telemetry.Tracer.t option
@@ -119,6 +128,14 @@ val run_matrix_telemetry :
     domains), and snapshots return in input order, so merging them — and
     any report built from them — is byte-identical between serial and
     parallel execution. *)
+
+val run_matrix_profiled :
+  ?jobs:int ->
+  (config * Axmemo_workloads.Workload.instance) list ->
+  (result * Axmemo_telemetry.Registry.snapshot * Axmemo_obs.Profile.snapshot) list
+(** {!run_matrix_telemetry} with a per-cell attribution profiler (regions
+    from {!profile_regions}). Same determinism contract: snapshots are
+    byte-identical for any [jobs]. *)
 
 val speedup : baseline:result -> result -> float
 (** Cycle ratio baseline/other. Always finite: if both runs report zero

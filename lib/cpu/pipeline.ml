@@ -49,6 +49,38 @@ type telem = {
   crc_stall_s : Registry.series;  (* stall magnitude over issue cycles *)
 }
 
+(* Attribution-profiler attachment (lib/obs): wall-clock cycle deltas and
+   instruction counts charged to (static region, instruction class). The
+   collector outlives any one pipeline — a co-run reuses it across the
+   per-request pipelines — so it is created standalone ({!profile}) and
+   handed to [create]. Purely observational. *)
+type profile = {
+  p_nregions : int;  (* region ids are 0..n-1; index n is the program body *)
+  p_region_of_func : string -> int;  (* kernel name -> region id, -1 = inherit *)
+  p_region_of_lut : int -> int;  (* logical LUT id -> region id, -1 = current *)
+  mutable p_stack : int list;  (* region of each live frame, innermost first *)
+  mutable p_last : int;  (* pipeline clock at the previous charge *)
+  p_counts : int array array;  (* (nregions+1) x (nclasses+1) instructions *)
+  p_cycles : int array array;  (* (nregions+1) x (nclasses+1) wall cycles *)
+}
+
+let nclasses = 15
+let drain_class = nclasses  (* synthetic column: end-of-run pipeline drain *)
+
+let profile ~nregions ~region_of_func ~region_of_lut =
+  {
+    p_nregions = nregions;
+    p_region_of_func = region_of_func;
+    p_region_of_lut = region_of_lut;
+    p_stack = [];
+    p_last = 0;
+    p_counts = Array.make_matrix (nregions + 1) (nclasses + 1) 0;
+    p_cycles = Array.make_matrix (nregions + 1) (nclasses + 1) 0;
+  }
+
+let profile_counts p = Array.map Array.copy p.p_counts
+let profile_cycles p = Array.map Array.copy p.p_cycles
+
 type t = {
   machine : Machine.t;
   hier : Hierarchy.t;
@@ -76,6 +108,7 @@ type t = {
   mutable dyn_normal : int;
   mutable dyn_memo : int;
   telem : telem option;
+  profile : profile option;
 }
 
 let class_index = function
@@ -137,13 +170,20 @@ let make_telem reg =
     crc_stall_s = Registry.series reg "pipeline.crc_stall" ();
   }
 
-let create ?metrics ?(machine = Machine.hpi) ?lookup_level ?(l2_lut_present = false)
-    ?(l1_lut_ways = 4) ?(crc_bytes_per_cycle = Timing.crc_bytes_per_cycle) ~program
-    ~hierarchy () =
+let create ?metrics ?profile:prof ?(machine = Machine.hpi) ?lookup_level
+    ?(l2_lut_present = false) ?(l1_lut_ways = 4)
+    ?(crc_bytes_per_cycle = Timing.crc_bytes_per_cycle) ~program ~hierarchy () =
   let nregs_of = Hashtbl.create 16 in
   Array.iter
     (fun (f : Ir.func) -> Hashtbl.replace nregs_of f.fname f.nregs)
     (program : Ir.program).funcs;
+  (* A reattached collector keeps its accumulated matrices but restarts its
+     clock and frame stack with this pipeline. *)
+  (match prof with
+  | Some p ->
+      p.p_last <- 0;
+      p.p_stack <- []
+  | None -> ());
   {
     machine;
     hier = hierarchy;
@@ -171,6 +211,7 @@ let create ?metrics ?(machine = Machine.hpi) ?lookup_level ?(l2_lut_present = fa
     dyn_normal = 0;
     dyn_memo = 0;
     telem = Option.map make_telem metrics;
+    profile = prof;
   }
 
 (* Attribute [cyc] occupancy cycles to [cls]. Only meaningful with telemetry
@@ -442,15 +483,125 @@ let on_leave t _fname =
           Array.iter (fun r -> caller_ready.(r) <- t.last_ret_ready) dsts
       | None -> ())
 
-(* Allocation-free attachment: flat callbacks, no event record per
-   instruction. Preferred on the simulation hot path. *)
-let hooks t : Interp.hooks =
+let cycles t = max t.slot_cycle t.horizon
+
+(* Static classification, mirroring the class each [exec_instr] /
+   [exec_term] arm charges — used by the profiler to label work without
+   touching the timing paths. *)
+let classify_instr : Ir.instr -> instr_class = function
+  | Const _ | Mov _ | Select _ | Icmp _ -> C_ialu
+  | Binop { op; _ } -> (
+      match op with
+      | Mul -> C_imul
+      | Div | Rem -> C_idiv
+      | Add | Sub | And | Or | Xor | Shl | Lshr | Ashr -> C_ialu)
+  | Fbinop { op; _ } -> (
+      match op with Fdiv -> C_fdiv_sqrt | Fadd | Fsub | Fmul -> C_fp)
+  | Funop { op; _ } -> (
+      match op with
+      | Fsqrt -> C_fdiv_sqrt
+      | Fsin | Fcos | Fexp | Flog -> C_ftrig
+      | Fneg | Fabs | Ffloor | Fround -> C_fp)
+  | Fcmp _ -> C_fp
+  | Cast { op; _ } -> (
+      match op with
+      | I_to_f | F_to_i | F32_of_f64 | F64_of_f32 -> C_fp
+      | Bits_of_f32 | F32_of_bits | Bits_of_f64 | F64_of_bits | Sext_32_64
+      | Trunc_64_32 ->
+          C_ialu)
+  | Load _ -> C_load
+  | Store _ -> C_store
+  | Call _ -> C_call_ret
+  | Memo (Ld_crc _) -> C_load
+  | Memo (Reg_crc _) -> C_memo_send
+  | Memo (Lookup _) -> C_memo_lookup
+  | Memo (Update _) -> C_memo_update
+  | Memo (Invalidate _) -> C_memo_invalidate
+
+let classify_term : Ir.terminator -> instr_class = function
+  | Jmp _ | Br _ -> C_branch
+  | Br_memo _ -> C_memo_branch
+  | Ret _ -> C_call_ret
+
+let memo_lut_of : Ir.memo_instr -> int = function
+  | Ld_crc { lut; _ } | Reg_crc { lut; _ } | Lookup { lut; _ } | Update { lut; _ }
+  | Invalidate { lut } ->
+      lut
+
+let p_current p = match p.p_stack with r :: _ -> r | [] -> p.p_nregions
+
+(* Charge the wall-cycle delta since the previous charge to (region, class).
+   Every advance of the pipeline clock lands in exactly one cell, so the
+   matrix total equals [cycles t] at all times. *)
+let p_charge t p r k =
+  let c = cycles t in
+  if c > p.p_last then begin
+    p.p_cycles.(r).(k) <- p.p_cycles.(r).(k) + (c - p.p_last);
+    p.p_last <- c
+  end
+
+let profiled_hooks t p : Interp.hooks =
   {
-    Interp.on_enter = on_enter t;
-    on_leave = on_leave t;
-    on_exec = (fun _fname _bidx _iidx instr addr -> exec_instr t instr addr);
-    on_term = (fun _fname _bidx term -> exec_term t term);
+    Interp.on_enter =
+      (fun fname ->
+        on_enter t fname;
+        let r = p.p_region_of_func fname in
+        let r = if r < 0 then p_current p else r in
+        p.p_stack <- r :: p.p_stack);
+    on_leave =
+      (fun fname ->
+        on_leave t fname;
+        match p.p_stack with [] -> () | _ :: rest -> p.p_stack <- rest);
+    on_exec =
+      (fun _fname _bidx _iidx instr addr ->
+        exec_instr t instr addr;
+        let r =
+          match instr with
+          | Ir.Memo mi ->
+              let r = p.p_region_of_lut (memo_lut_of mi) in
+              if r < 0 then p_current p else r
+          | _ -> p_current p
+        in
+        let k = class_index (classify_instr instr) in
+        p.p_counts.(r).(k) <- p.p_counts.(r).(k) + 1;
+        p_charge t p r k);
+    on_term =
+      (fun _fname _bidx term ->
+        exec_term t term;
+        let r = p_current p in
+        let k = class_index (classify_term term) in
+        p.p_counts.(r).(k) <- p.p_counts.(r).(k) + 1;
+        p_charge t p r k);
   }
+
+(* Allocation-free attachment: flat callbacks, no event record per
+   instruction. Preferred on the simulation hot path. With a profiler
+   attached the callbacks additionally attribute each instruction to its
+   static region; without one they are exactly the unprofiled closures. *)
+let hooks t : Interp.hooks =
+  match t.profile with
+  | Some p -> profiled_hooks t p
+  | None ->
+      {
+        Interp.on_enter = on_enter t;
+        on_leave = on_leave t;
+        on_exec = (fun _fname _bidx _iidx instr addr -> exec_instr t instr addr);
+        on_term = (fun _fname _bidx term -> exec_term t term);
+      }
+
+let profile_close t =
+  match t.profile with
+  | None -> ()
+  | Some p ->
+      (* Whatever the clock advanced past the last retired instruction is
+         in-flight completion (the drain): charge it to the program body so
+         the matrix still sums to [cycles t]. *)
+      let c = cycles t in
+      if c > p.p_last then begin
+        p.p_cycles.(p.p_nregions).(drain_class) <-
+          p.p_cycles.(p.p_nregions).(drain_class) + (c - p.p_last);
+        p.p_last <- c
+      end
 
 (* Event-based convenience form, kept for observers that want a reified
    event stream; allocates one event per callback upstream. *)
@@ -460,8 +611,6 @@ let hook t (ev : Interp.event) =
   | Leave { fname } -> on_leave t fname
   | Exec { instr; addr; _ } -> exec_instr t instr addr
   | Term { term; _ } -> exec_term t term
-
-let cycles t = max t.slot_cycle t.horizon
 
 let stats t =
   {

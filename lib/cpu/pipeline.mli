@@ -42,10 +42,54 @@ val class_name : instr_class -> string
 (** Stable lowercase name ([ialu], [memo_lookup], ...) used in metric and
     report keys. *)
 
+val all_classes : instr_class list
+(** Every class, in {!class_index} order (index [i] of this list is the
+    class whose per-region matrix column is [i]). *)
+
+val class_index : instr_class -> int
+
+val nclasses : int
+(** [List.length all_classes]; per-region matrices carry one extra column
+    ({!drain_class}) for end-of-run pipeline drain. *)
+
+val drain_class : int
+
+(** {1 Region attribution (the profiler's collector)} *)
+
+type profile
+(** Accumulates wall-clock cycles and instruction counts per
+    [(static region, instruction class)] cell. A collector outlives any one
+    pipeline — a co-run core reattaches it to each request's fresh pipeline
+    and the matrices keep accumulating — so it is created standalone and
+    passed to {!create}.
+
+    Attribution rule: after each retired instruction/terminator the advance
+    of the pipeline clock since the previous charge lands in one cell. The
+    region is the LUT's region for memo instructions ([region_of_lut]),
+    otherwise the region of the innermost frame whose function
+    [region_of_func] recognised (entry code and helpers inherit their
+    caller's region; the outermost frames belong to the synthetic {e
+    program} region [nregions]). Both callbacks return [-1] for "no
+    opinion". After {!profile_close}, the cycle matrix sums exactly to
+    {!cycles} of every pipeline the collector was attached to. *)
+
+val profile :
+  nregions:int ->
+  region_of_func:(string -> int) ->
+  region_of_lut:(int -> int) ->
+  profile
+
+val profile_counts : profile -> int array array
+(** Copy of the [(nregions+1) x (nclasses+1)] instruction-count matrix. *)
+
+val profile_cycles : profile -> int array array
+(** Copy of the cycle matrix (same shape). *)
+
 type t
 
 val create :
   ?metrics:Axmemo_telemetry.Registry.t ->
+  ?profile:profile ->
   ?machine:Machine.t ->
   ?lookup_level:(unit -> [ `L1 | `L2 | `Miss ]) ->
   ?l2_lut_present:bool ->
@@ -66,11 +110,21 @@ val create :
 
 val hooks : t -> Axmemo_ir.Interp.hooks
 (** Allocation-free attachment; pass as the interpreter's [hooks]. This is
-    the hot-path form: no event record is built per dynamic instruction. *)
+    the hot-path form: no event record is built per dynamic instruction.
+    With a [?profile] collector attached the callbacks also attribute every
+    instruction to its static region; without one they are exactly the
+    unprofiled closures. *)
 
 val hook : t -> Axmemo_ir.Interp.event -> unit
 (** Feed one event; pass as the interpreter's [hook]. Convenience/legacy
-    form of {!hooks} — each event costs an allocation upstream. *)
+    form of {!hooks} — each event costs an allocation upstream and it does
+    {e not} feed the region profiler. *)
+
+val profile_close : t -> unit
+(** Charge the cycles between the last retired instruction and the final
+    pipeline drain to the program region's {!drain_class} column, restoring
+    the matrix-sums-to-{!cycles} invariant. Call once per pipeline, after
+    the run; no-op without a collector. *)
 
 val stats : t -> stats
 

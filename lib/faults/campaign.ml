@@ -173,6 +173,7 @@ let run ?jobs cfg benchmarks ~variant =
               config = r.label;
               summary = summary ~extra r;
               metrics = snap;
+              profile = None;
             }
           in
           runs := mk_run base_snap base [] :: !runs;

@@ -35,6 +35,9 @@ type t = {
   payloads : int64 array;
   lru : int array;
   mutable clock : int;
+  (* live count of set [valid] bits, so [occupancy] is O(1) — eviction
+     observers (telemetry, the attribution profiler) read it per spill *)
+  mutable occupied : int;
   faults : fault_port option;
 }
 
@@ -61,6 +64,7 @@ let create ?(payload_bytes = 8) ?(policy = Lru) ?faults ~size_bytes () =
     payloads = Array.make n 0L;
     lru = Array.make n 0;
     clock = 0;
+    occupied = 0;
     faults =
       Option.map
         (fun (inj, sites) ->
@@ -147,6 +151,7 @@ let error_bits fp idx =
   + if fp.valid_err.(idx) then 1 else 0
 
 let invalidate_entry fp t idx =
+  if t.valid.(idx) then t.occupied <- t.occupied - 1;
   t.valid.(idx) <- false;
   clear_err fp idx
 
@@ -289,6 +294,7 @@ let insert ?ways t ~lut_id ~key ~payload evict_hook =
                   ~payload:(eff_payload_fp fp t idx))
         | None -> ()
       end;
+      if not t.valid.(idx) then t.occupied <- t.occupied + 1;
       t.valid.(idx) <- true;
       t.lut_ids.(idx) <- lut_id;
       t.keys.(idx) <- key;
@@ -300,6 +306,7 @@ let invalidate_lut t ~lut_id =
   for i = 0 to Array.length t.valid - 1 do
     if t.valid.(i) && t.lut_ids.(i) = lut_id then begin
       t.valid.(i) <- false;
+      t.occupied <- t.occupied - 1;
       match t.faults with
       | Some fp -> fp.valid_err.(i) <- false  (* the valid bit was rewritten *)
       | None -> ()
@@ -308,6 +315,7 @@ let invalidate_lut t ~lut_id =
 
 let invalidate_all t =
   Array.fill t.valid 0 (Array.length t.valid) false;
+  t.occupied <- 0;
   match t.faults with
   | Some fp -> Array.fill fp.valid_err 0 (Array.length fp.valid_err) false
   | None -> ()
@@ -319,8 +327,7 @@ let entries t =
   done;
   !acc
 
-let occupancy t =
-  Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.valid
+let occupancy t = t.occupied
 
 let set_occupancies t =
   Array.init t.nsets (fun set ->

@@ -75,7 +75,10 @@ val invalidate_lut : t -> lut_id:int -> unit
 val invalidate_all : t -> unit
 
 val occupancy : t -> int
-(** Number of valid entries. *)
+(** Number of valid entries (by the stored valid bits; a faulted valid
+    line does not change the count until the cell is rewritten). O(1) —
+    maintained incrementally so eviction observers can ask "was the level
+    full?" on every spill without a scan. *)
 
 val set_occupancies : t -> int array
 (** Valid-entry count per set, indexed by set number — the telemetry layer

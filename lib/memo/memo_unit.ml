@@ -66,6 +66,26 @@ type shared_l2 = {
 
 type level = Hit_l1 | Hit_l2 | Miss
 
+(* Profiling attachment (the attribution profiler in lib/obs). Like
+   [shared_l2] this is a neutral closure record so the unit does not depend
+   on the observability layer: the collector classifies misses by replaying
+   residency from these events. Purely observational. *)
+type profile_hooks = {
+  pr_lookup :
+    lut:int -> key:int64 -> fp:int64 option -> level:level -> forced:bool -> unit;
+      (* every lookup outcome, after all monitor/adaptive overrides *)
+  pr_insert : lev:[ `L1 | `L2 ] -> lut:int -> key:int64 -> fp:int64 option -> unit;
+      (* a level gained [key]; [fp] only on a real update (fills pass None) *)
+  pr_evict : lev:[ `L1 | `L2 ] -> lut:int -> key:int64 -> full:bool -> unit;
+      (* a level displaced [key]; [full] = the whole level was at capacity,
+         separating capacity evictions from set-conflict evictions *)
+  pr_invalidate : lut:int -> unit;  (* a logical LUT was dropped everywhere *)
+  pr_error : lut:int -> err:float -> unit;
+      (* one shadow-exact comparison (monitor or adaptive window): worst
+         relative error between the LUT payload and the recomputed value *)
+  pr_collision : lut:int -> unit;  (* fingerprint mismatch on a tag hit *)
+}
+
 type stats = {
   sends : int;
   bytes_hashed : int;
@@ -189,6 +209,15 @@ type t = {
   mutable invalidations : int;
   mutable collisions : int;
   mutable telem : telem option;
+  profile : profile_hooks option;
+  (* scratch for the profiler: was the in-flight miss forced by the adaptive
+     profiling window? (plain field, so the unprofiled path stays
+     allocation-free) *)
+  mutable pr_forced : bool;
+  (* evict observers, pre-combined (telemetry counters + profiler) at
+     [create] so insert sites pass one option without allocating *)
+  l1_evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
+  l2_evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
   injector : Injector.t option;
   crc_fault : (int -> int64) option;
       (* the injector's datapath hook, resolved once so [engines] can pass it
@@ -242,7 +271,7 @@ let make_telem reg ~has_l2 ~private_l2 =
     mon_comparisons_c = counter "memo.monitor.comparisons";
   }
 
-let create ?metrics ?shared_l2 cfg decls =
+let create ?metrics ?shared_l2 ?profile cfg decls =
   (match (cfg.l2_bytes, shared_l2) with
   | Some _, Some _ ->
       invalid_arg "Memo_unit.create: a unit cannot have both a private and a shared L2 LUT"
@@ -261,18 +290,57 @@ let create ?metrics ?shared_l2 cfg decls =
     decls;
   let injector = Option.map Injector.create cfg.faults in
   let lut_faults sites = Option.map (fun inj -> (inj, sites)) injector in
+  let l1 =
+    Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy
+      ?faults:(lut_faults Fault_model.l1_sites) ~size_bytes:cfg.l1_bytes ()
+  in
+  let l2 =
+    Option.map
+      (fun b ->
+        Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy
+          ?faults:(lut_faults Fault_model.l2_sites) ~size_bytes:b ())
+      cfg.l2_bytes
+  in
+  let telem =
+    Option.map
+      (fun reg ->
+        make_telem reg
+          ~has_l2:(cfg.l2_bytes <> None || Option.is_some shared_l2)
+          ~private_l2:(cfg.l2_bytes <> None))
+      metrics
+  in
+  (* Pre-combine the eviction observers: telemetry counters and the
+     profiler's residency events share one closure per level, chosen once
+     here so the hot insert sites stay a single option pass. *)
+  let combine_evict lut lev telem_hook =
+    match (telem_hook, profile) with
+    | None, None -> None
+    | Some f, None -> Some f
+    | _ ->
+        Some
+          (fun ~lut_id ~key ~payload ->
+            (match telem_hook with Some f -> f ~lut_id ~key ~payload | None -> ());
+            match profile with
+            | Some pr ->
+                pr.pr_evict ~lev ~lut:lut_id ~key
+                  ~full:(Lut.occupancy lut = Lut.capacity_entries lut)
+            | None -> ())
+  in
+  let l1_evict_opt =
+    combine_evict l1 `L1 (match telem with Some tl -> tl.l1_evict_opt | None -> None)
+  in
+  let l2_evict_opt =
+    match l2 with
+    | None -> None
+    | Some l2lut ->
+        combine_evict l2lut `L2
+          (match telem with Some tl -> tl.l2_evict_opt | None -> None)
+  in
   {
     cfg;
     decls = tbl;
-    l1 =
-      Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy
-        ?faults:(lut_faults Fault_model.l1_sites) ~size_bytes:cfg.l1_bytes ();
-    l2 =
-      Option.map
-        (fun b ->
-          Lut.create ~payload_bytes:cfg.payload_bytes ~policy:cfg.policy
-            ?faults:(lut_faults Fault_model.l2_sites) ~size_bytes:b ())
-        cfg.l2_bytes;
+    l1;
+    l2;
     shared_l2;
     hvr = Hashtbl.create 8;
     latched_key = Hashtbl.create 8;
@@ -312,13 +380,11 @@ let create ?metrics ?shared_l2 cfg decls =
     updates = 0;
     invalidations = 0;
     collisions = 0;
-    telem =
-      Option.map
-        (fun reg ->
-          make_telem reg
-            ~has_l2:(cfg.l2_bytes <> None || Option.is_some shared_l2)
-            ~private_l2:(cfg.l2_bytes <> None))
-        metrics;
+    telem;
+    profile;
+    pr_forced = false;
+    l1_evict_opt;
+    l2_evict_opt;
     injector;
     crc_fault = (match injector with Some inj -> Injector.crc_hook inj | None -> None);
     fault_telem =
@@ -382,8 +448,8 @@ let extra_truncation t ~lut_id =
   | None -> 0
   | Some a -> Option.value ~default:0 (Hashtbl.find_opt a.deltas lut_id)
 
-let l1_evict_hook t = match t.telem with Some tl -> tl.l1_evict_opt | None -> None
-let l2_evict_hook t = match t.telem with Some tl -> tl.l2_evict_opt | None -> None
+let l1_evict_hook t = t.l1_evict_opt
+let l2_evict_hook t = t.l2_evict_opt
 
 let send ?(tid = 0) t ~lut ~ty ~trunc v =
   if not t.monitor.tripped then begin
@@ -438,8 +504,11 @@ let adapt_tick t =
                    unreachable entries. *)
                 Lut.invalidate_lut t.l1 ~lut_id:lut;
                 Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2;
-                match t.shared_l2 with
+                (match t.shared_l2 with
                 | Some s -> s.sl_invalidate ~lut_id:lut
+                | None -> ());
+                match t.profile with
+                | Some pr -> pr.pr_invalidate ~lut
                 | None -> ()
               end;
               match t.telem with
@@ -472,7 +541,9 @@ let record_hit_fingerprint t ~lut ~key ~fp =
   | None -> ()
   | Some fp_val -> (
       match Hashtbl.find_opt t.fingerprints (lut, key) with
-      | Some stored when stored <> fp_val -> t.collisions <- t.collisions + 1
+      | Some stored when stored <> fp_val -> (
+          t.collisions <- t.collisions + 1;
+          match t.profile with Some pr -> pr.pr_collision ~lut | None -> ())
       | Some _ -> ()
       | None -> ())
 
@@ -482,9 +553,14 @@ let lookup ?(tid = 0) t ~lut =
   if t.monitor.tripped then begin
     t.last_level <- Miss;
     t.misses <- t.misses + 1;
+    (* Tripped units never compute a key; the profiler sees a forced miss. *)
+    (match t.profile with
+    | Some pr -> pr.pr_lookup ~lut ~key:0L ~fp:None ~level:Miss ~forced:true
+    | None -> ());
     None
   end
   else begin
+    t.pr_forced <- false;
     let crc, fp_engine = engines t ~tid lut in
     let key = Crc.Engine.value crc in
     (* The HVR holds the in-flight hash; an upset there corrupts the key the
@@ -519,6 +595,9 @@ let lookup ?(tid = 0) t ~lut =
                       t.last_level <- Hit_l2;
                       (* The shared level is inclusive too: fill the L1 LUT. *)
                       Lut.insert t.l1 ~lut_id:lut ~key ~payload (l1_evict_hook t);
+                      (match t.profile with
+                      | Some pr -> pr.pr_insert ~lev:`L1 ~lut ~key ~fp:None
+                      | None -> ());
                       Some payload
                   | None ->
                       t.last_level <- Miss;
@@ -529,6 +608,9 @@ let lookup ?(tid = 0) t ~lut =
                   t.last_level <- Hit_l2;
                   (* Fill the L1 LUT on an L2 hit (inclusive hierarchy). *)
                   Lut.insert t.l1 ~lut_id:lut ~key ~payload (l1_evict_hook t);
+                  (match t.profile with
+                  | Some pr -> pr.pr_insert ~lev:`L1 ~lut ~key ~fp:None
+                  | None -> ());
                   Some payload
               | None ->
                   t.last_level <- Miss;
@@ -540,6 +622,7 @@ let lookup ?(tid = 0) t ~lut =
           Hashtbl.replace a.pending_cmp lut (key, payload);
           t.forced_misses <- t.forced_misses + 1;
           t.last_level <- Miss;
+          t.pr_forced <- true;
           None
       | Some a, r ->
           a.norm_lookups <- a.norm_lookups + 1;
@@ -550,6 +633,9 @@ let lookup ?(tid = 0) t ~lut =
     match result with
     | None ->
         t.misses <- t.misses + 1;
+        (match t.profile with
+        | Some pr -> pr.pr_lookup ~lut ~key ~fp ~level:Miss ~forced:t.pr_forced
+        | None -> ());
         None
     | Some payload ->
         t.monitor.hits_seen <- t.monitor.hits_seen + 1;
@@ -560,6 +646,9 @@ let lookup ?(tid = 0) t ~lut =
           t.forced_misses <- t.forced_misses + 1;
           t.misses <- t.misses + 1;
           t.last_level <- Miss;
+          (match t.profile with
+          | Some pr -> pr.pr_lookup ~lut ~key ~fp ~level:Miss ~forced:true
+          | None -> ());
           None
         end
         else begin
@@ -567,6 +656,9 @@ let lookup ?(tid = 0) t ~lut =
           | Hit_l1 -> t.l1_hits <- t.l1_hits + 1
           | Hit_l2 -> t.l2_hits <- t.l2_hits + 1
           | Miss -> ());
+          (match t.profile with
+          | Some pr -> pr.pr_lookup ~lut ~key ~fp ~level:t.last_level ~forced:false
+          | None -> ());
           Some payload
         end
   end
@@ -583,6 +675,9 @@ let monitor_compare t ~lut ~expected_payload ~actual_payload =
     Payload.relative_errors kind ~expected:actual_payload ~actual:expected_payload
   in
   let bad = Array.exists (fun e -> e > error_threshold) errs in
+  (match t.profile with
+  | Some pr -> pr.pr_error ~lut ~err:(Array.fold_left Float.max 0.0 errs)
+  | None -> ());
   m.window_count <- m.window_count + 1;
   if bad then m.window_bad <- m.window_bad + 1;
   if m.window_count >= window then begin
@@ -624,6 +719,9 @@ let update ?(tid = 0) t ~lut payload =
                   r
             in
             bucket := worst :: !bucket;
+            (match t.profile with
+            | Some pr -> pr.pr_error ~lut ~err:worst
+            | None -> ());
             Hashtbl.remove a.pending_cmp lut
         | Some _ | None -> ())
     | None -> ());
@@ -643,6 +741,13 @@ let update ?(tid = 0) t ~lut payload =
             match t.shared_l2 with
             | Some s -> s.sl_insert ~lut_id:lut ~key ~payload
             | None -> ()));
+        (match t.profile with
+        | Some pr ->
+            let fp = Hashtbl.find_opt t.latched_fp (lut, tid) in
+            pr.pr_insert ~lev:`L1 ~lut ~key ~fp;
+            if Option.is_some t.l2 || Option.is_some t.shared_l2 then
+              pr.pr_insert ~lev:`L2 ~lut ~key ~fp
+        | None -> ());
         if t.cfg.collision_tracking then
           Option.iter
             (fun fp -> Hashtbl.replace t.fingerprints (lut, key) fp)
@@ -654,6 +759,7 @@ let invalidate t ~lut =
   Lut.invalidate_lut t.l1 ~lut_id:lut;
   Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2;
   (match t.shared_l2 with Some s -> s.sl_invalidate ~lut_id:lut | None -> ());
+  (match t.profile with Some pr -> pr.pr_invalidate ~lut | None -> ());
   Hashtbl.iter
     (fun (l, tid) _ -> if l = lut then Hashtbl.remove t.hvr (l, tid))
     (Hashtbl.copy t.hvr)
@@ -662,7 +768,9 @@ let invalidate t ~lut =
    an [invalidate] for [lut], so this core's private L1 copies are stale. Only
    the storage is dropped — in-flight hashes, latched keys and the local
    invalidation count belong to this core's own instruction stream. *)
-let invalidate_external t ~lut = Lut.invalidate_lut t.l1 ~lut_id:lut
+let invalidate_external t ~lut =
+  Lut.invalidate_lut t.l1 ~lut_id:lut;
+  match t.profile with Some pr -> pr.pr_invalidate ~lut | None -> ()
 
 let hooks ?(tid = 0) t : Interp.memo_hooks =
   {

@@ -91,17 +91,59 @@ type shared_l2 = {
     [invalidate] instruction and on adaptive-truncation changes — while the
     caller owns storage, partitioning and arbitration. *)
 
+type profile_hooks = {
+  pr_lookup :
+    lut:int -> key:int64 -> fp:int64 option -> level:level -> forced:bool -> unit;
+  pr_insert : lev:[ `L1 | `L2 ] -> lut:int -> key:int64 -> fp:int64 option -> unit;
+  pr_evict : lev:[ `L1 | `L2 ] -> lut:int -> key:int64 -> full:bool -> unit;
+  pr_invalidate : lut:int -> unit;
+  pr_error : lut:int -> err:float -> unit;
+  pr_collision : lut:int -> unit;
+}
+(** Event port for the attribution profiler ([Axmemo_obs.Profile]). Like
+    {!shared_l2}, a neutral closure record so this library stays independent
+    of the observability layer. The unit reports, per logical LUT:
+
+    - [pr_lookup]: the final outcome of every lookup (after monitor and
+      adaptive overrides), with the probe key and — when collision tracking
+      is on — the full-input fingerprint. Forced misses (quality monitor
+      sampling, adaptive profiling windows, a tripped monitor) come with
+      [forced:true]; a tripped unit reports [key:0L] since no hash is
+      computed.
+    - [pr_insert] / [pr_evict]: residency changes per LUT level. Inclusive
+      L1 fills on an L2 hit pass [fp:None] (the entry's fingerprint is
+      unchanged); [pr_evict]'s [full] says whether the whole level was at
+      capacity when the victim was displaced, distinguishing capacity from
+      set-conflict evictions. The external shared level reports its own
+      evictions through the cluster, not here.
+    - [pr_invalidate]: the LUT was dropped at every level this core can
+      see (the [invalidate] instruction, an adaptive-truncation change, or
+      a cross-core broadcast received by {!invalidate_external}).
+    - [pr_error]: one shadow-exact comparison — the worst relative error
+      between a LUT payload and the freshly recomputed value (monitor
+      sampling and adaptive windows).
+    - [pr_collision]: a tag hit whose stored fingerprint differed.
+
+    All events are purely observational. *)
+
 type t
 
 val create :
-  ?metrics:Axmemo_telemetry.Registry.t -> ?shared_l2:shared_l2 -> config -> lut_decl list -> t
+  ?metrics:Axmemo_telemetry.Registry.t ->
+  ?shared_l2:shared_l2 ->
+  ?profile:profile_hooks ->
+  config ->
+  lut_decl list ->
+  t
 (** [create config decls] builds a unit serving the declared logical LUTs.
     With [?metrics], the unit registers its instruments (all names under
     [memo.*]) and records live events — per-send truncation levels, LUT
     evictions/spills, adaptive and monitor window outcomes — as it runs.
     Telemetry is purely observational: results are bit-identical with or
     without it. With [?shared_l2], L1 misses fall through to the given
-    external level instead of a private L2.
+    external level instead of a private L2. With [?profile], the unit
+    feeds the attribution profiler's event port ({!profile_hooks}); absent,
+    the hot path pays one pattern match per site and allocates nothing.
     @raise Invalid_argument on duplicate or out-of-range (0..7) LUT ids, or
     if both [config.l2_bytes] and [?shared_l2] are set. *)
 

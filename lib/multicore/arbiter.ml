@@ -19,8 +19,8 @@ type t = {
   banks : int;
   ports : int;
   window : int;
-  bins : (int * int, (int * int * int) list ref) Hashtbl.t;
-      (* (bank, slot) -> (at, core, seq) accesses, newest first *)
+  bins : (int * int, (int * int * int * int) list ref) Hashtbl.t;
+      (* (bank, slot) -> (at, core, seq, tag) accesses, newest first *)
   mutable seq : int;  (* global log order, the final tie-breaker *)
 }
 
@@ -33,7 +33,7 @@ let banks t = t.banks
 let ports t = t.ports
 let window t = t.window
 
-let record t ~core ~set ~at =
+let record ?(tag = -1) t ~core ~set ~at =
   let bank = set mod t.banks in
   let slot = at / t.window in
   let key = (bank, slot) in
@@ -45,7 +45,7 @@ let record t ~core ~set ~at =
         Hashtbl.add t.bins key r;
         r
   in
-  cell := (at, core, t.seq) :: !cell;
+  cell := (at, core, t.seq, tag) :: !cell;
   t.seq <- t.seq + 1
 
 type settlement = {
@@ -53,27 +53,37 @@ type settlement = {
   contended : int;  (* accesses that lost arbitration somewhere *)
   stall_cycles : int array;  (* per core *)
   retried : int array;  (* per core *)
+  tag_stalls : (int * int * int) list;  (* (core, tag, cycles), sorted *)
 }
 
 let settle t ~ncores =
   let stall = Array.make ncores 0 and retried = Array.make ncores 0 in
   let contended = ref 0 in
+  let by_tag : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
   (* Bins are independent, so per-core sums do not depend on the hash
-     iteration order. *)
+     iteration order; the per-(core, tag) table is extracted sorted for the
+     same reason. *)
   Hashtbl.iter
     (fun _key cell ->
       let n = List.length !cell in
       if n > t.ports then begin
         let sorted = List.sort compare !cell in
         List.iteri
-          (fun rank (_at, core, _seq) ->
+          (fun rank (_at, core, _seq, tag) ->
             if rank >= t.ports then begin
               (* Losing arbitration costs a full re-issued probe window. *)
               stall.(core) <- stall.(core) + t.window;
               retried.(core) <- retried.(core) + 1;
+              let k = (core, tag) in
+              Hashtbl.replace by_tag k
+                (Option.value ~default:0 (Hashtbl.find_opt by_tag k) + t.window);
               incr contended
             end)
           sorted
       end)
     t.bins;
-  { accesses = t.seq; contended = !contended; stall_cycles = stall; retried }
+  let tag_stalls =
+    Hashtbl.fold (fun (core, tag) c acc -> (core, tag, c) :: acc) by_tag []
+    |> List.sort compare
+  in
+  { accesses = t.seq; contended = !contended; stall_cycles = stall; retried; tag_stalls }

@@ -16,15 +16,21 @@ val create : ?banks:int -> ?ports:int -> window:int -> unit -> t
     one probe (the L2 LUT lookup latency in the co-run model).
     @raise Invalid_argument on non-positive parameters. *)
 
-val record : t -> core:int -> set:int -> at:int -> unit
+val record : ?tag:int -> t -> core:int -> set:int -> at:int -> unit
 (** Log one access to the bank holding [set], issued by [core] at absolute
-    cycle [at]. *)
+    cycle [at]. [?tag] (default [-1] = untagged) rides along unchanged —
+    the co-run passes the logical LUT id so settled stalls can be
+    attributed back to a memoization region; it never affects arbitration
+    (ties break on cycle, core, log order before the tag is reachable). *)
 
 type settlement = {
   accesses : int;  (** everything recorded *)
   contended : int;  (** accesses that lost arbitration *)
   stall_cycles : int array;  (** per-core contention cycles *)
   retried : int array;  (** per-core lost-arbitration counts *)
+  tag_stalls : (int * int * int) list;
+      (** per-[(core, tag)] stall cycles, sorted by [(core, tag)];
+          row sums over a core equal [stall_cycles.(core)] *)
 }
 
 val settle : t -> ncores:int -> settlement

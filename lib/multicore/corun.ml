@@ -13,6 +13,7 @@ module Timing = Axmemo_isa.Timing
 module Fault_model = Axmemo_faults.Fault_model
 module Injector = Axmemo_faults.Injector
 module Runner = Axmemo.Runner
+module Profile = Axmemo_obs.Profile
 module Json = Axmemo_util.Json
 module Pool = Axmemo_util.Pool
 module Rng = Axmemo_util.Rng
@@ -133,12 +134,31 @@ type cluster = {
   cluster_metrics : Registry.t option;
   injector : Injector.t option;
   active : core_timing ref;
+  profiles : Profile.t array option;  (* one collector per core *)
 }
 
-let create_cluster ?(metrics = false) cfg =
+(* Every core serves the whole mix's LUT namespace, so every collector is
+   declared over the same remapped region list — which is what lets the
+   per-core snapshots merge into one cluster profile. *)
+let mix_regions cfg mix =
+  List.concat_map
+    (fun e ->
+      let probe = e.make cfg.variant in
+      List.map
+        (fun (r : Transform.region) -> (r.Transform.kernel, r.Transform.lut_id + e.offset))
+        probe.Workload.regions)
+    mix
+
+let create_cluster ?(metrics = false) ?(profile = false) cfg =
   if cfg.ncores < 1 then invalid_arg "Corun: need at least one core";
   let mix = resolve_mix cfg in
   let decls = mix_decls cfg mix in
+  let profiles =
+    if profile then
+      let regions = mix_regions cfg mix in
+      Some (Array.init cfg.ncores (fun _ -> Profile.create ~regions))
+    else None
+  in
   let injector = Option.map Injector.create cfg.faults in
   let cluster_metrics = if metrics then Some (Registry.create ()) else None in
   let shared =
@@ -151,6 +171,13 @@ let create_cluster ?(metrics = false) cfg =
   let arbiter =
     Arbiter.create ~banks:cfg.banks ~ports:cfg.ports ~window:Timing.lookup_l2_cycles ()
   in
+  (* A shared-level eviction drops the key for every core at once, so the
+     residency event is broadcast to each collector. *)
+  (match profiles with
+  | Some ps ->
+      Shared_lut.set_evict_observer shared (fun ~lut_id ~key ~full ->
+          Array.iter (fun p -> Profile.shared_evict p ~lut:lut_id ~key ~full) ps)
+  | None -> ());
   let active = ref { base = 0; clock = (fun () -> 0) } in
   (* Per-cycle fault bases integrate over the clock of whichever core is
      currently executing (requests run one at a time). *)
@@ -166,13 +193,13 @@ let create_cluster ?(metrics = false) cfg =
       {
         Memo_unit.sl_lookup =
           (fun ~lut_id ~key ->
-            Arbiter.record arbiter ~core:id
+            Arbiter.record ~tag:lut_id arbiter ~core:id
               ~set:(Shared_lut.set_of_key shared key)
               ~at:(timing.base + timing.clock ());
             Shared_lut.lookup shared ~core:id ~lut_id ~key);
         sl_insert =
           (fun ~lut_id ~key ~payload ->
-            Arbiter.record arbiter ~core:id
+            Arbiter.record ~tag:lut_id arbiter ~core:id
               ~set:(Shared_lut.set_of_key shared key)
               ~at:(timing.base + timing.clock ());
             Shared_lut.insert shared ~core:id ~lut_id ~key ~payload);
@@ -181,7 +208,9 @@ let create_cluster ?(metrics = false) cfg =
     in
     let core_metrics = if metrics then Some (Registry.create ()) else None in
     let unit_ =
-      Memo_unit.create ?metrics:core_metrics ~shared_l2
+      Memo_unit.create ?metrics:core_metrics
+        ?profile:(Option.map (fun ps -> Profile.memo_hooks ps.(id)) profiles)
+        ~shared_l2
         { Memo_unit.default_config with l1_bytes = cfg.l1_bytes }
         decls
     in
@@ -191,7 +220,7 @@ let create_cluster ?(metrics = false) cfg =
     { id; timing; unit_; hierarchy; metrics = core_metrics }
   in
   { cfg; mix; shared; arbiter; cores = Array.init cfg.ncores mk_core;
-    cluster_metrics; injector; active }
+    cluster_metrics; injector; active; profiles }
 
 let core_unit cluster ~core = cluster.cores.(core).unit_
 let shared_lut cluster = cluster.shared
@@ -288,7 +317,12 @@ let run_request cluster ~core ~start (entry : mix_entry) =
     | Memo_unit.Miss -> `Miss
   in
   let pipe =
-    Pipeline.create ~machine ~lookup_level ~l2_lut_present:true
+    Pipeline.create
+      ?profile:
+        (Option.map
+           (fun ps -> Profile.pipeline_profile ps.(core))
+           cluster.profiles)
+      ~machine ~lookup_level ~l2_lut_present:true
       ~l1_lut_ways:(Memo_unit.l1_ways c.unit_)
       ~crc_bytes_per_cycle:Timing.crc_bytes_per_cycle ~program ~hierarchy:c.hierarchy ()
   in
@@ -312,6 +346,7 @@ let run_request cluster ~core ~start (entry : mix_entry) =
           None
         with e -> Some (Printexc.to_string e))
   in
+  Pipeline.profile_close pipe;
   let ms = stats_delta before (Memo_unit.stats c.unit_) in
   let pipeline_stats = Pipeline.stats pipe in
   let energy =
@@ -386,6 +421,7 @@ type outcome = {
   coherence_divergent : int;  (* of those, tags equal but data unequal *)
   faults : Injector.stats option;
   snapshots : (string * Registry.snapshot) list;
+  profiles : Profile.snapshot array option;  (* per core, core order *)
 }
 
 (* The paper's no-coherence argument, measured: collect every structure's
@@ -411,8 +447,8 @@ let coherence_check (cluster : cluster) =
           (keys + 1, if List.for_all (fun q -> q = p) rest then divergent else divergent + 1))
     tbl (0, 0)
 
-let run ?(metrics = false) cfg =
-  let cluster = create_cluster ~metrics cfg in
+let run ?(metrics = false) ?(profile = false) cfg =
+  let cluster = create_cluster ~metrics ~profile cfg in
   let stream = Schedule.stream ~workloads:cfg.workloads ~requests:cfg.requests in
   let mix_of =
     let tbl = Hashtbl.create 8 in
@@ -438,6 +474,15 @@ let run ?(metrics = false) cfg =
       stream
   in
   let settlement = Arbiter.settle cluster.arbiter ~ncores:cfg.ncores in
+  (* The settled stalls flow back to (core, region) through the tag each
+     shared-LUT access was recorded with. *)
+  (match cluster.profiles with
+  | Some ps ->
+      List.iter
+        (fun (core, tag, cycles) ->
+          if tag >= 0 then Profile.note_contention ps.(core) ~lut:tag ~cycles)
+        settlement.Arbiter.tag_stalls
+  | None -> ());
   let requests =
     List.map
       (fun (p : Runner.result Schedule.placement) ->
@@ -535,9 +580,11 @@ let run ?(metrics = false) cfg =
     coherence_divergent = divergent;
     faults = Option.map Injector.stats cluster.injector;
     snapshots;
+    profiles = Option.map (Array.map Profile.snapshot) cluster.profiles;
   }
 
-let run_matrix ?jobs cfgs = Pool.run ?jobs (fun cfg -> run ~metrics:true cfg) cfgs
+let run_matrix ?jobs ?(profile = false) cfgs =
+  Pool.run ?jobs (fun cfg -> run ~metrics:true ~profile cfg) cfgs
 
 (* ---- report ----------------------------------------------------------- *)
 
@@ -619,6 +666,21 @@ let outcome_json o =
 
 let default_series_cap = 32
 
+(* The "cluster" run carries the merged (all-cores) profile; each "core<i>"
+   run carries its own. Merging per-core snapshots in core order is a
+   pointwise sum, so the report is byte-identical for any [--jobs]. *)
+let profile_json_for o who =
+  match o.profiles with
+  | None -> None
+  | Some ps ->
+      if who = "cluster" then
+        Some (Profile.to_json (Profile.merge (Array.to_list ps)))
+      else if String.length who > 4 && String.sub who 0 4 = "core" then
+        match int_of_string_opt (String.sub who 4 (String.length who - 4)) with
+        | Some i when i >= 0 && i < Array.length ps -> Some (Profile.to_json ps.(i))
+        | _ -> None
+      else None
+
 let report_runs ?(series_cap = default_series_cap) ?(per_core = true) outcomes =
   List.concat_map
       (fun o ->
@@ -639,6 +701,7 @@ let report_runs ?(series_cap = default_series_cap) ?(per_core = true) outcomes =
                   ("fairness", Json.Float o.fairness);
                 ];
               metrics = Registry.decimate ~cap:series_cap snap;
+              profile = profile_json_for o who;
             })
           snaps)
     outcomes

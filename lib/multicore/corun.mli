@@ -46,12 +46,14 @@ val label : config -> string
 
 type cluster
 
-val create_cluster : ?metrics:bool -> config -> cluster
+val create_cluster : ?metrics:bool -> ?profile:bool -> config -> cluster
 (** Builds the cores, the shared LUT and the arbiter. Every workload's
     logical LUT ids are renumbered onto a disjoint range (mix order), so a
     mixed stream never aliases; single-workload mixes keep their original
     ids. [metrics] attaches one registry per core (the unit's instruments)
-    plus a cluster registry (the shared LUT's).
+    plus a cluster registry (the shared LUT's). [profile] attaches one
+    {!Axmemo_obs.Profile} collector per core over the mix's remapped
+    regions, with shared-LUT evictions broadcast to every collector.
     @raise Invalid_argument on an unknown benchmark, an empty mix, fewer
     than one core, or a mix needing more than 8 logical LUTs. *)
 
@@ -112,15 +114,23 @@ type outcome = {
   snapshots : (string * Axmemo_telemetry.Registry.snapshot) list;
       (** ["core<i>"] per-core registries, ["cluster"] the shared LUT's;
           empty unless [run ~metrics:true] *)
+  profiles : Axmemo_obs.Profile.snapshot array option;
+      (** per-core attribution profiles (core order), with shared-LUT
+          arbitration stalls already charged back to each core's regions;
+          [None] unless [run ~profile:true]. Merge with
+          {!Axmemo_obs.Profile.merge} for the cluster view. *)
 }
 
-val run : ?metrics:bool -> config -> outcome
+val run : ?metrics:bool -> ?profile:bool -> config -> outcome
 (** Simulates one co-run: streams the requests, dispatches them with
     {!Schedule.dispatch}, settles arbitration, and measures coherence
     divergence across all LUT levels. Baseline cycles come from a fresh
-    un-memoized [Runner.run Baseline] per workload. *)
+    un-memoized [Runner.run Baseline] per workload. With [~profile:true]
+    each core carries an {!Axmemo_obs.Profile} collector over the mix's
+    remapped region list; all scheduling and cycle results are
+    bit-identical either way. *)
 
-val run_matrix : ?jobs:int -> config list -> outcome list
+val run_matrix : ?jobs:int -> ?profile:bool -> config list -> outcome list
 (** Runs each configuration as one independent cell (with metrics) fanned
     over a domain pool; results are in input order and byte-identical to a
     serial run. *)
@@ -138,7 +148,9 @@ val report_runs :
     series decimated to [series_cap]; what {!report} embeds and what CSV
     export flattens. [~per_core:false] keeps only the cluster registries —
     per-core aggregates stay available in the outcome block, so a big
-    matrix can ship a small report. *)
+    matrix can ship a small report. When the outcome carries profiles,
+    each [core<i>] row embeds that core's ["profile"] section and the
+    [cluster] row the {!Axmemo_obs.Profile.merge} of all of them. *)
 
 val report :
   ?series_cap:int -> ?per_core:bool -> outcome list -> Axmemo_util.Json.t

@@ -42,7 +42,7 @@ type t = {
   shadow_lookups : int array;
   mutable accesses : int;  (* lookups since the last repartition *)
   mutable repartitions : int;
-  evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
+  mutable evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
   telem : telem option;
 }
 
@@ -109,6 +109,18 @@ let create ?metrics ?faults ?(payload_bytes = 8) ?(policy = Lut.Lru) ~ncores ~si
     evict_opt;
     telem;
   }
+
+(* The profiler's residency feed. The combined hook replaces [evict_opt]
+   wholesale, so the telemetry counter keeps firing and the hot path still
+   pays a single option match per eviction. [full] is computed while the
+   victim is still counted, mirroring the private levels' convention. *)
+let set_evict_observer t f =
+  let base = t.evict_opt in
+  t.evict_opt <-
+    Some
+      (fun ~lut_id ~key ~payload ->
+        (match base with Some g -> g ~lut_id ~key ~payload | None -> ());
+        f ~lut_id ~key ~full:(Lut.occupancy t.lut = Lut.capacity_entries t.lut))
 
 let way_range t ~core = t.ranges.(core)
 let ways t = Lut.ways t.lut

@@ -59,6 +59,14 @@ val invalidate_lut : t -> lut_id:int -> unit
 (** Drop one logical LUT everywhere — the shared half of the cross-core
     invalidate broadcast. *)
 
+val set_evict_observer :
+  t -> (lut_id:int -> key:int64 -> full:bool -> unit) -> unit
+(** Install an eviction observer (the attribution profiler's residency
+    feed) on top of the telemetry hook. [full] is whether the LUT was at
+    entry capacity when the victim was displaced — capacity vs. set
+    conflict, measured while the victim is still counted. Call at most
+    once, before the first insert. *)
+
 val invalidate_all : t -> unit
 
 val way_range : t -> core:int -> int * int

@@ -1,0 +1,471 @@
+module Memo_unit = Axmemo_memo.Memo_unit
+module Pipeline = Axmemo_cpu.Pipeline
+module Model = Axmemo_energy.Model
+module Synthesis = Axmemo_energy.Synthesis
+module Json = Axmemo_util.Json
+
+type reason =
+  | Cold
+  | Capacity
+  | Conflict
+  | Invalidated
+  | Monitor_forced
+  | Collision_aliased
+  | Other
+
+let all_reasons =
+  [ Cold; Capacity; Conflict; Invalidated; Monitor_forced; Collision_aliased; Other ]
+
+let nreasons = List.length all_reasons
+
+let reason_index = function
+  | Cold -> 0
+  | Capacity -> 1
+  | Conflict -> 2
+  | Invalidated -> 3
+  | Monitor_forced -> 4
+  | Collision_aliased -> 5
+  | Other -> 6
+
+let reason_name = function
+  | Cold -> "cold"
+  | Capacity -> "capacity"
+  | Conflict -> "conflict"
+  | Invalidated -> "invalidated"
+  | Monitor_forced -> "monitor_forced"
+  | Collision_aliased -> "collision_aliased"
+  | Other -> "other"
+
+(* Shadow residency of one (lut, key): which LUT levels hold it (bit 0 = L1,
+   bit 1 = L2/shared), the fingerprint it was inserted with, and — once no
+   level holds it — why it left. *)
+type key_state = {
+  mutable levels : int;
+  mutable fp : int64;
+  mutable has_fp : bool;
+  mutable gone : reason;
+}
+
+type rstat = {
+  mutable lookups : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable misses : int;
+  reasons : int array;
+  mutable collisions : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+  mutable err_count : int;
+  mutable err_sum : float;
+  mutable err_max : float;
+  mutable contention : int;
+}
+
+let fresh_rstat () =
+  {
+    lookups = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    misses = 0;
+    reasons = Array.make nreasons 0;
+    collisions = 0;
+    evictions = 0;
+    invalidations = 0;
+    err_count = 0;
+    err_sum = 0.0;
+    err_max = 0.0;
+    contention = 0;
+  }
+
+let max_luts = 8  (* logical LUT ids are 3 bits *)
+
+type t = {
+  kernels : string array;
+  lut_ids : int array;
+  nregions : int;
+  lut_to_rid : int array;  (* length [max_luts], -1 = unmapped *)
+  shadow : (int64, key_state) Hashtbl.t array;  (* per logical LUT *)
+  rstats : rstat array;  (* nregions + 1; last row = program/unknown *)
+  pp : Pipeline.profile;
+}
+
+let create ~regions =
+  let n = List.length regions in
+  let kernels = Array.make n "" and lut_ids = Array.make n (-1) in
+  let lut_to_rid = Array.make max_luts (-1) in
+  let func_to_rid = Hashtbl.create 8 in
+  List.iteri
+    (fun i (kernel, lut_id) ->
+      kernels.(i) <- kernel;
+      lut_ids.(i) <- lut_id;
+      if lut_id >= 0 && lut_id < max_luts then lut_to_rid.(lut_id) <- i;
+      Hashtbl.replace func_to_rid kernel i)
+    regions;
+  {
+    kernels;
+    lut_ids;
+    nregions = n;
+    lut_to_rid;
+    shadow = Array.init max_luts (fun _ -> Hashtbl.create 1024);
+    rstats = Array.init (n + 1) (fun _ -> fresh_rstat ());
+    pp =
+      Pipeline.profile ~nregions:n
+        ~region_of_func:(fun fname ->
+          match Hashtbl.find_opt func_to_rid fname with Some r -> r | None -> -1)
+        ~region_of_lut:(fun lut ->
+          if lut >= 0 && lut < max_luts then lut_to_rid.(lut) else -1);
+  }
+
+let pipeline_profile t = t.pp
+
+(* Unit events with a LUT id nobody declared land on the program row, so
+   counts are conserved no matter what. *)
+let rstat_of t lut =
+  let rid =
+    if lut >= 0 && lut < max_luts && t.lut_to_rid.(lut) >= 0 then t.lut_to_rid.(lut)
+    else t.nregions
+  in
+  t.rstats.(rid)
+
+let shadow_of t lut = t.shadow.(lut land (max_luts - 1))
+
+let lev_bit = function `L1 -> 1 | `L2 -> 2
+
+let on_insert t ~lev ~lut ~key ~fp =
+  let tbl = shadow_of t lut in
+  let st =
+    match Hashtbl.find_opt tbl key with
+    | Some st -> st
+    | None ->
+        let st = { levels = 0; fp = 0L; has_fp = false; gone = Cold } in
+        Hashtbl.add tbl key st;
+        st
+  in
+  st.levels <- st.levels lor lev_bit lev;
+  match fp with
+  | Some f ->
+      st.fp <- f;
+      st.has_fp <- true
+  | None -> ()
+
+let on_evict t ~lev ~lut ~key ~full =
+  (rstat_of t lut).evictions <- (rstat_of t lut).evictions + 1;
+  match Hashtbl.find_opt (shadow_of t lut) key with
+  | None -> ()
+  | Some st ->
+      st.levels <- st.levels land lnot (lev_bit lev);
+      if st.levels = 0 then st.gone <- (if full then Capacity else Conflict)
+
+let shared_evict t ~lut ~key ~full = on_evict t ~lev:`L2 ~lut ~key ~full
+
+let on_invalidate t ~lut =
+  (rstat_of t lut).invalidations <- (rstat_of t lut).invalidations + 1;
+  Hashtbl.iter
+    (fun _ st ->
+      st.levels <- 0;
+      st.gone <- Invalidated)
+    (shadow_of t lut)
+
+let classify_miss t ~lut ~key ~fp ~forced =
+  if forced then Monitor_forced
+  else
+    match Hashtbl.find_opt (shadow_of t lut) key with
+    | None -> Cold
+    | Some st ->
+        if st.levels <> 0 then Other (* resident yet missed: fault-perturbed *)
+        else if
+          st.has_fp && match fp with Some f -> f <> st.fp | None -> false
+        then Collision_aliased
+        else st.gone
+
+let on_lookup t ~lut ~key ~fp ~level ~forced =
+  let rs = rstat_of t lut in
+  rs.lookups <- rs.lookups + 1;
+  match (level : Memo_unit.level) with
+  | Hit_l1 -> rs.l1_hits <- rs.l1_hits + 1
+  | Hit_l2 -> rs.l2_hits <- rs.l2_hits + 1
+  | Miss ->
+      rs.misses <- rs.misses + 1;
+      let r = classify_miss t ~lut ~key ~fp ~forced in
+      rs.reasons.(reason_index r) <- rs.reasons.(reason_index r) + 1
+
+let on_error t ~lut ~err =
+  let rs = rstat_of t lut in
+  rs.err_count <- rs.err_count + 1;
+  rs.err_sum <- rs.err_sum +. err;
+  if err > rs.err_max then rs.err_max <- err
+
+let on_collision t ~lut =
+  let rs = rstat_of t lut in
+  rs.collisions <- rs.collisions + 1
+
+let note_contention t ~lut ~cycles =
+  let rs = rstat_of t lut in
+  rs.contention <- rs.contention + cycles
+
+let memo_hooks t : Memo_unit.profile_hooks =
+  {
+    pr_lookup = (fun ~lut ~key ~fp ~level ~forced -> on_lookup t ~lut ~key ~fp ~level ~forced);
+    pr_insert = (fun ~lev ~lut ~key ~fp -> on_insert t ~lev ~lut ~key ~fp);
+    pr_evict = (fun ~lev ~lut ~key ~full -> on_evict t ~lev ~lut ~key ~full);
+    pr_invalidate = (fun ~lut -> on_invalidate t ~lut);
+    pr_error = (fun ~lut ~err -> on_error t ~lut ~err);
+    pr_collision = (fun ~lut -> on_collision t ~lut);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type region_snap = {
+  rid : int;
+  kernel : string;
+  lut_id : int;
+  cycles : int;
+  class_counts : int array;
+  class_cycles : int array;
+  energy_pj : float;
+  lookups : int;
+  l1_hits : int;
+  l2_hits : int;
+  misses : int;
+  reasons : int array;
+  collisions : int;
+  evictions : int;
+  invalidations : int;
+  err_count : int;
+  err_sum : float;
+  err_max : float;
+  contention_cycles : int;
+}
+
+type snapshot = { regions : region_snap list; total_cycles : int }
+
+(* Attributed energy of one region: every counted instruction pays the base
+   issue energy plus its functional unit's (Table 5 rows for the memo unit,
+   Model constants otherwise), and the region absorbs the leakage of its
+   attributed cycles. Loads/stores are charged one L1 data access each — an
+   approximation (the exact hierarchy split lives in [Model.of_run]). *)
+let class_fu_pj (k : Model.constants) i =
+  let classes = Array.of_list Pipeline.all_classes in
+  if i >= Array.length classes then 0.0 (* drain column: no instructions *)
+  else
+    match classes.(i) with
+    | Pipeline.C_ialu -> k.ialu_pj
+    | C_imul -> k.imul_pj
+    | C_idiv -> k.idiv_pj
+    | C_fp -> k.fp_pj
+    | C_fdiv_sqrt -> k.fdiv_sqrt_pj
+    | C_ftrig -> k.ftrig_pj
+    | C_load | C_store -> k.l1_access_pj
+    | C_branch | C_call_ret | C_memo_branch -> k.ialu_pj
+    | C_memo_send -> Synthesis.hash_register.energy_pj
+    | C_memo_lookup | C_memo_update -> Synthesis.lut_8kb.energy_pj
+    | C_memo_invalidate -> k.ialu_pj
+
+let region_energy ~counts ~cycles =
+  let k = Model.default_constants in
+  let fu = ref 0.0 in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then fu := !fu +. (float_of_int n *. (k.base_instr_pj +. class_fu_pj k i)))
+    counts;
+  !fu +. (float_of_int cycles *. k.leakage_pj_per_cycle)
+
+let snapshot t =
+  let counts = Pipeline.profile_counts t.pp in
+  let cycles = Pipeline.profile_cycles t.pp in
+  let row rid =
+    let rs = t.rstats.(rid) in
+    let c = Array.fold_left ( + ) 0 cycles.(rid) in
+    let program = rid = t.nregions in
+    {
+      rid = (if program then -1 else rid);
+      kernel = (if program then "(program)" else t.kernels.(rid));
+      lut_id = (if program then -1 else t.lut_ids.(rid));
+      cycles = c;
+      class_counts = counts.(rid);
+      class_cycles = cycles.(rid);
+      energy_pj = region_energy ~counts:counts.(rid) ~cycles:c;
+      lookups = rs.lookups;
+      l1_hits = rs.l1_hits;
+      l2_hits = rs.l2_hits;
+      misses = rs.misses;
+      reasons = Array.copy rs.reasons;
+      collisions = rs.collisions;
+      evictions = rs.evictions;
+      invalidations = rs.invalidations;
+      err_count = rs.err_count;
+      err_sum = rs.err_sum;
+      err_max = rs.err_max;
+      contention_cycles = rs.contention;
+    }
+  in
+  let regions = List.init (t.nregions + 1) row in
+  { regions; total_cycles = List.fold_left (fun acc r -> acc + r.cycles) 0 regions }
+
+let merge snaps =
+  match snaps with
+  | [] -> invalid_arg "Profile.merge: empty snapshot list"
+  | first :: rest ->
+      let keys s = List.map (fun r -> (r.rid, r.kernel, r.lut_id)) s.regions in
+      List.iter
+        (fun s ->
+          if keys s <> keys first then
+            invalid_arg "Profile.merge: snapshots describe different region lists")
+        rest;
+      let add2 a b = Array.mapi (fun i x -> x + b.(i)) a in
+      let merge_row a b =
+        {
+          a with
+          cycles = a.cycles + b.cycles;
+          class_counts = add2 a.class_counts b.class_counts;
+          class_cycles = add2 a.class_cycles b.class_cycles;
+          energy_pj = a.energy_pj +. b.energy_pj;
+          lookups = a.lookups + b.lookups;
+          l1_hits = a.l1_hits + b.l1_hits;
+          l2_hits = a.l2_hits + b.l2_hits;
+          misses = a.misses + b.misses;
+          reasons = add2 a.reasons b.reasons;
+          collisions = a.collisions + b.collisions;
+          evictions = a.evictions + b.evictions;
+          invalidations = a.invalidations + b.invalidations;
+          err_count = a.err_count + b.err_count;
+          err_sum = a.err_sum +. b.err_sum;
+          err_max = Float.max a.err_max b.err_max;
+          contention_cycles = a.contention_cycles + b.contention_cycles;
+        }
+      in
+      let regions =
+        List.fold_left
+          (fun acc s -> List.map2 merge_row acc s.regions)
+          first.regions rest
+      in
+      { regions; total_cycles = List.fold_left (fun n s -> n + s.total_cycles) 0 snaps }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let hit_rate r =
+  if r.lookups = 0 then 0.0
+  else float_of_int (r.l1_hits + r.l2_hits) /. float_of_int r.lookups
+
+let err_mean r = if r.err_count = 0 then 0.0 else r.err_sum /. float_of_int r.err_count
+
+let render ?top ?baseline snap =
+  let buf = Buffer.create 4096 in
+  let total = max 1 snap.total_cycles in
+  let base_of =
+    match baseline with
+    | None -> fun _ -> None
+    | Some b ->
+        fun (r : region_snap) ->
+          List.find_opt (fun (x : region_snap) -> x.rid = r.rid && x.kernel = r.kernel) b.regions
+  in
+  Printf.bprintf buf "total %d cycles, %.0f pJ attributed%s\n" snap.total_cycles
+    (List.fold_left (fun acc r -> acc +. r.energy_pj) 0.0 snap.regions)
+    (match baseline with
+    | Some b -> Printf.sprintf " (baseline %d cycles)" b.total_cycles
+    | None -> "");
+  Printf.bprintf buf "%-18s %4s %12s %6s %12s %10s %6s %10s" "region" "lut" "cycles"
+    "cyc%" "energy_pj" "lookups" "hit%" "misses";
+  (match baseline with
+  | Some _ -> Printf.bprintf buf " %12s" "saved_cycles"
+  | None -> ());
+  Printf.bprintf buf "  %s\n" "miss reasons / quality";
+  let sorted =
+    List.stable_sort
+      (fun (a : region_snap) b -> compare b.cycles a.cycles)
+      snap.regions
+  in
+  let sorted = match top with None -> sorted | Some n -> List.filteri (fun i _ -> i < n) sorted in
+  List.iter
+    (fun (r : region_snap) ->
+      Printf.bprintf buf "%-18s %4s %12d %5.1f%% %12.0f %10d %5.1f%% %10d" r.kernel
+        (if r.lut_id < 0 then "-" else string_of_int r.lut_id)
+        r.cycles
+        (100.0 *. float_of_int r.cycles /. float_of_int total)
+        r.energy_pj r.lookups
+        (100.0 *. hit_rate r)
+        r.misses;
+      (match base_of r with
+      | Some b -> Printf.bprintf buf " %12d" (b.cycles - r.cycles)
+      | None -> if baseline <> None then Printf.bprintf buf " %12s" "-");
+      let reasons =
+        List.filter_map
+          (fun reason ->
+            let n = r.reasons.(reason_index reason) in
+            if n = 0 then None else Some (Printf.sprintf "%s=%d" (reason_name reason) n))
+          all_reasons
+      in
+      Printf.bprintf buf "  %s" (if reasons = [] then "-" else String.concat " " reasons);
+      if r.collisions > 0 then Printf.bprintf buf " collisions=%d" r.collisions;
+      if r.err_count > 0 then
+        Printf.bprintf buf " err(mean=%.2e max=%.2e n=%d)" (err_mean r) r.err_max
+          r.err_count;
+      if r.contention_cycles > 0 then
+        Printf.bprintf buf " contention=%d" r.contention_cycles;
+      Buffer.add_char buf '\n')
+    sorted;
+  Buffer.contents buf
+
+let class_label i =
+  let classes = Array.of_list Pipeline.all_classes in
+  if i < Array.length classes then Pipeline.class_name classes.(i) else "drain"
+
+let to_folded ?(app = "axmemo") snap =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (r : region_snap) ->
+      Array.iteri
+        (fun i c ->
+          if c > 0 then
+            Printf.bprintf buf "%s;%s;%s %d\n" app r.kernel (class_label i) c)
+        r.class_cycles)
+    snap.regions;
+  Buffer.contents buf
+
+let to_json snap =
+  let class_obj arr =
+    Json.Obj
+      (List.filter_map
+         (fun i -> if arr.(i) = 0 then None else Some (class_label i, Json.Int arr.(i)))
+         (List.init (Array.length arr) Fun.id))
+  in
+  let region_json (r : region_snap) =
+    Json.Obj
+      [
+        ("region", Json.Str r.kernel);
+        ("lut", Json.Int r.lut_id);
+        ("cycles", Json.Int r.cycles);
+        ("energy_pj", Json.Float r.energy_pj);
+        ("class_cycles", class_obj r.class_cycles);
+        ("class_counts", class_obj r.class_counts);
+        ("lookups", Json.Int r.lookups);
+        ("l1_hits", Json.Int r.l1_hits);
+        ("l2_hits", Json.Int r.l2_hits);
+        ("misses", Json.Int r.misses);
+        ( "miss_reasons",
+          Json.Obj
+            (List.filter_map
+               (fun reason ->
+                 let n = r.reasons.(reason_index reason) in
+                 if n = 0 then None else Some (reason_name reason, Json.Int n))
+               all_reasons) );
+        ("collisions", Json.Int r.collisions);
+        ("evictions", Json.Int r.evictions);
+        ("invalidations", Json.Int r.invalidations);
+        ( "error",
+          Json.Obj
+            [
+              ("count", Json.Int r.err_count);
+              ("mean", Json.Float (err_mean r));
+              ("max", Json.Float r.err_max);
+            ] );
+        ("contention_cycles", Json.Int r.contention_cycles);
+      ]
+  in
+  Json.Obj
+    [
+      ("total_cycles", Json.Int snap.total_cycles);
+      ("regions", Json.Arr (List.map region_json snap.regions));
+    ]

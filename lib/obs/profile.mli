@@ -1,0 +1,131 @@
+(** The attribution profiler.
+
+    Telemetry (PR 2) counts aggregate events; this collector explains them.
+    Attached through the optional [?profile] ports of
+    {!Axmemo_memo.Memo_unit}, {!Axmemo_cpu.Pipeline} and [Axmemo.Runner],
+    it answers three questions per static memoization region:
+
+    - {b where did the cycles (and picojoules) go?} Every wall-clock cycle
+      of the pipeline is charged to one [(region, instruction class)] cell
+      (see {!Axmemo_cpu.Pipeline.profile}); after {!close} the matrix sums
+      exactly to the run's total cycles.
+    - {b why did each lookup miss?} The collector replays LUT residency
+      from the unit's insert/evict/invalidate events and classifies every
+      miss: {!Cold} (first touch), {!Capacity} (the departed entry was
+      displaced while the level was full), {!Conflict} (displaced from a
+      non-full level — set conflict), {!Invalidated} (dropped by an
+      [invalidate], an adaptive-truncation change, or a cross-core
+      broadcast), {!Monitor_forced} (quality-monitor sampling, adaptive
+      profiling windows, or a tripped monitor), {!Collision_aliased} (the
+      departed entry carried a different input fingerprint — the slot
+      belonged to a colliding input, so this is an aliased first touch) and
+      {!Other} (the shadow says the key was resident — only reachable under
+      fault injection). The reason counts sum exactly to the unit's miss
+      count.
+    - {b who contributed the error?} Every shadow-exact comparison the
+      quality monitor or the adaptive profiler performs is credited to the
+      region, as are fingerprint collisions (hits that returned another
+      input's payload).
+
+    The collector is purely observational, and absent ([?profile] not
+    passed) every hot path stays allocation-free and bit-identical. *)
+
+type reason =
+  | Cold
+  | Capacity
+  | Conflict
+  | Invalidated
+  | Monitor_forced
+  | Collision_aliased
+  | Other
+
+val all_reasons : reason list
+(** In rendering order; index in this list = index into [reasons] arrays. *)
+
+val reason_name : reason -> string
+
+type t
+
+val create : regions:(string * int) list -> t
+(** [create ~regions] builds a collector for the given static regions, in
+    order: element [i] is [(kernel function name, logical LUT id)] and gets
+    region id [i]. Cycles retired outside any kernel belong to a synthetic
+    {e (program)} region reported last. *)
+
+val memo_hooks : t -> Axmemo_memo.Memo_unit.profile_hooks
+(** The event port to pass as [Memo_unit.create ?profile]. *)
+
+val pipeline_profile : t -> Axmemo_cpu.Pipeline.profile
+(** The cycle collector to pass as [Pipeline.create ?profile]. The same
+    value may be reattached to successive pipelines (a co-run core); call
+    {!Axmemo_cpu.Pipeline.profile_close} after each run. *)
+
+val shared_evict : t -> lut:int -> key:int64 -> full:bool -> unit
+(** Residency event from an {e external} shared L2 level (the co-run
+    cluster observes the shared LUT's evictions and broadcasts them to
+    every core's collector). *)
+
+val note_contention : t -> lut:int -> cycles:int -> unit
+(** Charge [cycles] of shared-LUT arbitration stall to the region owning
+    [lut] (from the arbiter's settlement). *)
+
+(** {1 Snapshots} *)
+
+type region_snap = {
+  rid : int;  (** [-1] for the program row *)
+  kernel : string;  (** ["(program)"] for the program row *)
+  lut_id : int;  (** [-1] for the program row *)
+  cycles : int;  (** wall cycles attributed to the region *)
+  class_counts : int array;  (** [Pipeline.nclasses + 1] columns *)
+  class_cycles : int array;
+  energy_pj : float;
+      (** attributed energy: per-instruction base + functional-unit energy
+          from the counted mix, plus the leakage share of the attributed
+          cycles. An estimate for ranking regions — the run's exact total
+          stays with {!Axmemo_energy.Model.of_run}. *)
+  lookups : int;
+  l1_hits : int;
+  l2_hits : int;
+  misses : int;
+  reasons : int array;  (** indexed like {!all_reasons}; sums to [misses] *)
+  collisions : int;
+  evictions : int;
+  invalidations : int;
+  err_count : int;
+  err_sum : float;
+  err_max : float;
+  contention_cycles : int;
+}
+
+type snapshot = {
+  regions : region_snap list;  (** declaration order, program row last *)
+  total_cycles : int;  (** sum of every region's [cycles] *)
+}
+
+val snapshot : t -> snapshot
+(** Deterministic: a pure function of the event history. *)
+
+val merge : snapshot list -> snapshot
+(** Pointwise sum over snapshots with identical region declarations
+    ([err_max] takes the max) — how per-core co-run profiles combine into
+    one cluster profile. Deterministic for any evaluation order of the
+    inputs since summation is per-cell.
+    @raise Invalid_argument on an empty list or mismatched region lists. *)
+
+(** {1 Rendering} *)
+
+val render : ?top:int -> ?baseline:snapshot -> snapshot -> string
+(** Sorted text profile (descending attributed cycles; [?top] limits the
+    region rows). With [?baseline] (the same workload un-memoized), each
+    region also shows the cycles it saved against the baseline's
+    attribution. *)
+
+val to_folded : ?app:string -> snapshot -> string
+(** Folded flame-graph stacks, one line per non-empty
+    [(region, class)] cell: [app;kernel;class <cycles>] — loadable by
+    speedscope or FlameGraph's [flamegraph.pl]. *)
+
+val to_json : snapshot -> Axmemo_util.Json.t
+(** The run report's ["profile"] section (see
+    {!Axmemo_telemetry.Report}): schema-stable object with [total_cycles]
+    and one entry per region. *)

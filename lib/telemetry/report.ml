@@ -7,18 +7,35 @@ type run = {
   config : string;
   summary : (string * Json.t) list;
   metrics : Registry.snapshot;
+  profile : Json.t option;
 }
 
 let run_json r =
   Json.Obj
-    [
-      ("benchmark", Json.Str r.benchmark);
-      ("config", Json.Str r.config);
-      ("summary", Json.Obj r.summary);
-      ("metrics", Registry.to_json r.metrics);
-    ]
+    ([
+       ("benchmark", Json.Str r.benchmark);
+       ("config", Json.Str r.config);
+       ("summary", Json.Obj r.summary);
+       ("metrics", Registry.to_json r.metrics);
+     ]
+    @ match r.profile with None -> [] | Some p -> [ ("profile", p) ])
+
+(* Duplicate (benchmark, config) keys would make the report ambiguous for
+   every aligning consumer (Obs.Diff, CSV pivots), so they are a caller
+   bug, not a representable state. *)
+let check_distinct runs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = (r.benchmark, r.config) in
+      if Hashtbl.mem seen key then
+        invalid_arg
+          (Printf.sprintf "Report.make: duplicate run (%s, %s)" r.benchmark r.config);
+      Hashtbl.replace seen key ())
+    runs
 
 let make ?(extra = []) runs =
+  check_distinct runs;
   let aggregate = Registry.merge (List.map (fun r -> r.metrics) runs) in
   Json.Obj
     ([

@@ -34,12 +34,20 @@ type run = {
   config : string;
   summary : (string * Axmemo_util.Json.t) list;  (** flat scalars only *)
   metrics : Registry.snapshot;
+  profile : Axmemo_util.Json.t option;
+      (** attribution-profiler section ([Obs.Profile.to_json]); omitted
+          from the JSON when [None], so profile-free reports are
+          byte-identical to schema v1 before the field existed (additive —
+          no version bump) *)
 }
 
 val make : ?extra:(string * Axmemo_util.Json.t) list -> run list -> Axmemo_util.Json.t
 (** [make runs] builds the report object; [extra] fields are appended at
     the top level after the standard ones (the bench perf-smoke uses this
-    for its wall-clock measurements). *)
+    for its wall-clock measurements).
+    @raise Invalid_argument when two runs share a [(benchmark, config)]
+    key — a duplicate would be unaddressable for any consumer that aligns
+    runs (e.g. [axmemo diff]). *)
 
 val write : ?extra:(string * Axmemo_util.Json.t) list -> string -> run list -> unit
 (** [write path runs] saves [make runs] to [path], pretty-printed. *)

@@ -10,6 +10,8 @@ type t = {
   mutable ts : int array;
   mutable n : int;
   mutable dropped : int;
+  opens : (string, int) Hashtbl.t;  (* per-name stored-but-unclosed Begins *)
+  mutable unmatched : int;
 }
 
 let create ?(max_events = 1_000_000) ~clock () =
@@ -23,6 +25,8 @@ let create ?(max_events = 1_000_000) ~clock () =
     ts = Array.make cap 0;
     n = 0;
     dropped = 0;
+    opens = Hashtbl.create 64;
+    unmatched = 0;
   }
 
 let grow t =
@@ -37,22 +41,44 @@ let grow t =
   t.phases <- resize t.phases Instant;
   t.ts <- resize t.ts 0
 
+(* Returns whether the event was stored — a Begin that fell to the buffer
+   cap must not count as an open span, or its (also dropped) End would be
+   treated as stray. *)
 let record t name phase =
-  if t.n >= t.max_events then t.dropped <- t.dropped + 1
+  if t.n >= t.max_events then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
   else begin
     if t.n = Array.length t.names then grow t;
     t.names.(t.n) <- name;
     t.phases.(t.n) <- phase;
     t.ts.(t.n) <- t.clock ();
-    t.n <- t.n + 1
+    t.n <- t.n + 1;
+    true
   end
 
-let begin_span t name = record t name Begin
-let end_span t name = record t name End
-let instant t name = record t name Instant
+let opens_of t name = Option.value ~default:0 (Hashtbl.find_opt t.opens name)
+
+let begin_span t name =
+  if record t name Begin then Hashtbl.replace t.opens name (opens_of t name + 1)
+
+(* Close-most-recent: an "E" event closes the innermost stored Begin of the
+   same name (Chrome's own pairing rule). An end with no stored open of that
+   name would instead steal the closing "E" of some enclosing span and
+   corrupt the whole stream, so it is counted and discarded. *)
+let end_span t name =
+  match opens_of t name with
+  | 0 -> t.unmatched <- t.unmatched + 1
+  | n ->
+      Hashtbl.replace t.opens name (n - 1);
+      ignore (record t name End)
+
+let instant t name = ignore (record t name Instant)
 
 let events t = t.n
 let dropped t = t.dropped
+let unmatched_ends t = t.unmatched
 
 let to_json t =
   let meta =
@@ -82,20 +108,23 @@ let to_json t =
        ]
       @ extra)
   in
-  let tail =
-    if t.dropped = 0 then []
-    else
+  let counter name key value =
+    Json.Obj
       [
-        Json.Obj
-          [
-            ("name", Json.Str "axmemo.dropped_events");
-            ("ph", Json.Str "C");
-            ("ts", Json.Int (if t.n = 0 then 0 else t.ts.(t.n - 1)));
-            ("pid", Json.Int 0);
-            ("tid", Json.Int 0);
-            ("args", Json.Obj [ ("dropped", Json.Int t.dropped) ]);
-          ];
+        ("name", Json.Str name);
+        ("ph", Json.Str "C");
+        ("ts", Json.Int (if t.n = 0 then 0 else t.ts.(t.n - 1)));
+        ("pid", Json.Int 0);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ (key, Json.Int value) ]);
       ]
+  in
+  let tail =
+    (if t.dropped = 0 then []
+     else [ counter "axmemo.dropped_events" "dropped" t.dropped ])
+    @
+    if t.unmatched = 0 then []
+    else [ counter "axmemo.unmatched_ends" "unmatched" t.unmatched ]
   in
   Json.Obj
     [

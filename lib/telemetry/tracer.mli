@@ -24,7 +24,14 @@ val begin_span : t -> string -> unit
 (** Open a duration slice named after the entered function/phase. *)
 
 val end_span : t -> string -> unit
-(** Close the most recent slice of that name (trace-event "E"). *)
+(** Close the {e most recent} open slice of that name (trace-event "E" —
+    Chrome pairs each "E" with the innermost unclosed "B" of the same
+    name, so interleaved same-name spans nest rather than cross). An end
+    with no stored open of that name is counted (see {!unmatched_ends})
+    and discarded: a stray "E" in the stream would otherwise close some
+    enclosing span and corrupt every slice above it. A Begin that fell to
+    the [max_events] cap does not open a span, so its End is likewise
+    suppressed and the emitted stream stays balanced. *)
 
 val instant : t -> string -> unit
 (** A zero-duration marker at the current clock. *)
@@ -34,6 +41,10 @@ val events : t -> int
 
 val dropped : t -> int
 (** Events discarded because the buffer was full. *)
+
+val unmatched_ends : t -> int
+(** {!end_span} calls discarded because no open span of that name existed
+    (also surfaced as an ["axmemo.unmatched_ends"] counter in the JSON). *)
 
 val to_json : t -> Axmemo_util.Json.t
 (** The Chrome trace-event JSON object. Includes process/thread metadata

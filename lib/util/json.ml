@@ -100,3 +100,190 @@ let to_channel ?indent oc v =
 let write_file ?(indent = 2) path v =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel ~indent oc v)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: strict recursive descent over the subset this module emits. *)
+
+exception Parse_error of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> error (Printf.sprintf "expected '%c', found '%c'" c c')
+    | None -> error (Printf.sprintf "expected '%c', found end of input" c)
+  in
+  let literal word v =
+    let w = String.length word in
+    if !pos + w <= n && String.sub s !pos w = word then begin
+      pos := !pos + w;
+      v
+    end
+    else error (Printf.sprintf "expected '%s'" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then error "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then error "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' -> Buffer.add_char buf e; loop ()
+            | 'n' -> Buffer.add_char buf '\n'; loop ()
+            | 'r' -> Buffer.add_char buf '\r'; loop ()
+            | 't' -> Buffer.add_char buf '\t'; loop ()
+            | 'b' -> Buffer.add_char buf '\b'; loop ()
+            | 'f' -> Buffer.add_char buf '\012'; loop ()
+            | 'u' ->
+                if !pos + 4 > n then error "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> error "bad \\u escape"
+                in
+                pos := !pos + 4;
+                (* Our emitter only writes \u00XX for control bytes; decode
+                   the general case as UTF-8 so foreign files survive. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end;
+                loop ()
+            | c -> error (Printf.sprintf "bad escape '\\%c'" c))
+        | c -> Buffer.add_char buf c; loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    let is_float =
+      String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok
+    in
+    if is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> error (Printf.sprintf "bad number '%s'" tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          (* Integer syntax too wide for an OCaml int: keep the value. *)
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> error (Printf.sprintf "bad number '%s'" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> error "expected ',' or ']'"
+          in
+          elems []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields (kv :: acc)
+            | Some '}' -> advance (); Obj (List.rev (kv :: acc))
+            | _ -> error "expected ',' or '}'"
+          in
+          fields []
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then error "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated read")
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Bool b -> Some (if b then 1.0 else 0.0)
+  | Null | Str _ | Arr _ | Obj _ -> None

@@ -13,7 +13,13 @@
       [float_of_string]; non-finite floats render as [null] (JSON has no
       NaN/infinity). Object fields are emitted in the order given.
 
-    There is deliberately no parser: the repo only produces JSON. *)
+    The parser ({!parse}) exists for one consumer — the report differ —
+    and accepts exactly the JSON this module emits (plus arbitrary
+    whitespace and [\uXXXX] escapes): it is a strict recursive-descent
+    reader, not a lenient one. A numeric token without [.], [e] or [E]
+    that fits in an OCaml [int] parses as [Int]; everything else numeric
+    parses as [Float], so [parse (to_string v) = Ok v] for any [v] free
+    of non-finite floats. *)
 
 type t =
   | Null
@@ -41,3 +47,20 @@ val to_channel : ?indent:int -> out_channel -> t -> unit
 val write_file : ?indent:int -> string -> t -> unit
 (** [write_file path v] creates/truncates [path] with the rendering of [v]
     and a trailing newline. *)
+
+val parse : string -> (t, string) result
+(** [parse s] reads one JSON value (surrounded by optional whitespace) from
+    [s]. Errors carry a byte offset and a short description; trailing
+    non-whitespace input is an error. Duplicate object keys are kept as
+    given (first occurrence wins for [member]). *)
+
+val read_file : string -> (t, string) result
+(** [read_file path] is [parse] over the file's contents; I/O failures are
+    reported as [Error] rather than raised. *)
+
+val member : string -> t -> t option
+(** [member k v] is the field [k] of object [v], if both exist. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int]/[Float] as the obvious float, [Bool] as 0/1
+    (so boolean summary fields can be diffed numerically), else [None]. *)

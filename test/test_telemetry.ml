@@ -137,6 +137,44 @@ let test_merge_semantics () =
   let names = List.map fst merged in
   Alcotest.(check (list string)) "sorted" (List.sort compare names) names
 
+let test_merge_histogram_bounds_mismatch () =
+  (* Same name, different bucketization: summing counts would silently mix
+     incomparable axes, so merge must refuse. *)
+  let snap bounds =
+    let reg = Registry.create () in
+    Registry.observe (Registry.histogram reg "lat" ~bounds) 1.0;
+    Registry.snapshot reg
+  in
+  Alcotest.check_raises "bounds differ"
+    (Invalid_argument "Registry.merge: histogram \"lat\" bounds differ") (fun () ->
+      ignore (Registry.merge [ snap [| 1.0; 2.0 |]; snap [| 1.0; 4.0 |] ]))
+
+let test_merge_series_different_strides () =
+  (* Series never aggregate across runs, whatever their strides: a dense
+     stride-1 series and a decimated stride-16 series under one name both
+     drop silently while every other instrument still merges. *)
+  let snap n =
+    let reg = Registry.create () in
+    let s = Registry.series reg "trail" ~cap:4 () in
+    for i = 1 to n do
+      Registry.sample s ~at:i (float_of_int i)
+    done;
+    Registry.incr (Registry.counter reg "runs");
+    Registry.snapshot reg
+  in
+  let stride snap =
+    match List.assoc "trail" snap with
+    | Registry.Series { stride; _ } -> stride
+    | _ -> Alcotest.fail "expected series"
+  in
+  let a = snap 3 and b = snap 64 in
+  Alcotest.(check bool) "strides really differ" true (stride a <> stride b);
+  let merged = Registry.merge [ a; b ] in
+  Alcotest.(check bool) "series dropped" true (not (List.mem_assoc "trail" merged));
+  match List.assoc "runs" merged with
+  | Registry.Counter c -> check Alcotest.int "counters still sum" 2 c
+  | _ -> Alcotest.fail "expected counter"
+
 let test_merge_incompatible () =
   let snap_counter () =
     let reg = Registry.create () in
@@ -183,6 +221,57 @@ let test_tracer_events_and_json () =
       in
       Alcotest.(check (list string)) "phases" [ "M"; "B"; "i"; "E" ] phases
   | _ -> Alcotest.fail "expected object"
+
+let tracer_phases tr =
+  match Tracer.to_json tr with
+  | Json.Obj fields ->
+      let evs = match List.assoc "traceEvents" fields with Json.Arr l -> l | _ -> [] in
+      List.filter_map
+        (function
+          | Json.Obj f -> (
+              match List.assoc_opt "ph" f with Some (Json.Str p) -> Some p | _ -> None)
+          | _ -> None)
+        evs
+  | _ -> Alcotest.fail "expected object"
+
+let test_tracer_interleaved_same_name () =
+  (* Two nested "f" spans: each E closes the innermost open Begin of that
+     name (Chrome's own pairing), so the recorded stream is B B E E. The
+     third end_span has no open "f" left — recording it would steal the
+     closing E of whatever encloses the spans, so it is counted and
+     discarded instead. *)
+  let clock = ref 0 in
+  let tr = Tracer.create ~clock:(fun () -> !clock) () in
+  Tracer.begin_span tr "f";
+  incr clock;
+  Tracer.begin_span tr "f";
+  incr clock;
+  Tracer.end_span tr "f";
+  incr clock;
+  Tracer.end_span tr "f";
+  incr clock;
+  Tracer.end_span tr "f";
+  check Alcotest.int "four events recorded" 4 (Tracer.events tr);
+  check Alcotest.int "stray end counted" 1 (Tracer.unmatched_ends tr);
+  (* Stream stays balanced; the stray surfaces as a counter event. *)
+  Alcotest.(check (list string))
+    "phases" [ "M"; "B"; "B"; "E"; "E"; "C" ] (tracer_phases tr)
+
+let test_tracer_end_of_capped_begin_suppressed () =
+  (* A Begin that fell to the buffer cap is not an open span: its End must
+     also be suppressed, or the E would close some earlier stored span and
+     corrupt the stream. *)
+  let tr = Tracer.create ~max_events:2 ~clock:(fun () -> 0) () in
+  Tracer.begin_span tr "outer";
+  Tracer.instant tr "tick";
+  Tracer.begin_span tr "inner" (* dropped: buffer full *);
+  Tracer.end_span tr "inner" (* its Begin was never stored -> stray *);
+  Tracer.end_span tr "outer" (* also over cap, but correctly dropped *);
+  check Alcotest.int "stored" 2 (Tracer.events tr);
+  check Alcotest.int "begin+end dropped" 2 (Tracer.dropped tr);
+  check Alcotest.int "capped begin's end is stray" 1 (Tracer.unmatched_ends tr);
+  Alcotest.(check (list string))
+    "phases" [ "M"; "B"; "i"; "C"; "C" ] (tracer_phases tr)
 
 let test_tracer_bounded () =
   let tr = Tracer.create ~max_events:4 ~clock:(fun () -> 0) () in
@@ -249,6 +338,7 @@ let tiny_report () =
         config = "cfg";
         summary = [ ("cycles", Json.Int 100) ];
         metrics = Registry.snapshot reg;
+        profile = None;
       };
     ]
 
@@ -274,6 +364,24 @@ let test_report_extra_fields () =
         (List.map fst fields)
   | _ -> Alcotest.fail "expected object"
 
+let test_report_duplicate_run_rejected () =
+  (* Two runs under one (benchmark, config) key would be unaddressable for
+     any consumer that aligns runs — axmemo diff foremost. *)
+  let run config =
+    {
+      Report.benchmark = "bench";
+      config;
+      summary = [];
+      metrics = [];
+      profile = None;
+    }
+  in
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Report.make: duplicate run (bench, cfg)") (fun () ->
+      ignore (Report.make [ run "cfg"; run "other"; run "cfg" ]));
+  (* Distinct configs under one benchmark stay fine. *)
+  ignore (Report.make [ run "cfg"; run "other" ])
+
 let test_report_csv () =
   let reg = Registry.create () in
   Registry.set_count (Registry.counter reg "hits") 3;
@@ -285,6 +393,7 @@ let test_report_csv () =
         config = "c\"d";
         summary = [ ("cycles", Json.Int 7) ];
         metrics = Registry.snapshot reg;
+        profile = None;
       };
     ]
   in
@@ -357,6 +466,7 @@ let report_of pairs =
           config = r.label;
           summary = [ ("cycles", Json.Int r.cycles) ];
           metrics = snapshot;
+          profile = None;
         })
       pairs
   in
@@ -411,16 +521,25 @@ let () =
       ( "merge",
         [
           Alcotest.test_case "semantics" `Quick test_merge_semantics;
+          Alcotest.test_case "histogram bounds mismatch" `Quick
+            test_merge_histogram_bounds_mismatch;
+          Alcotest.test_case "series strides" `Quick test_merge_series_different_strides;
           Alcotest.test_case "incompatible" `Quick test_merge_incompatible;
         ] );
       ( "tracer",
         [
           Alcotest.test_case "events and json" `Quick test_tracer_events_and_json;
+          Alcotest.test_case "interleaved same-name spans" `Quick
+            test_tracer_interleaved_same_name;
+          Alcotest.test_case "end of capped begin" `Quick
+            test_tracer_end_of_capped_begin_suppressed;
           Alcotest.test_case "bounded buffer" `Quick test_tracer_bounded;
         ] );
       ( "report",
         [
           Alcotest.test_case "golden rendering" `Quick test_report_golden;
+          Alcotest.test_case "duplicate run rejected" `Quick
+            test_report_duplicate_run_rejected;
           Alcotest.test_case "schema fields" `Quick test_report_schema_fields;
           Alcotest.test_case "extra fields" `Quick test_report_extra_fields;
           Alcotest.test_case "csv" `Quick test_report_csv;
