@@ -7,9 +7,15 @@
      bench/main.exe fig7a fig9 ...  run selected experiments
      bench/main.exe --jobs N ...    fan the simulation matrix over N domains
                                     (default: the host's core count)
+     bench/main.exe --backend B     execution backend for the experiments:
+                                    compiled (default) or interp (reference;
+                                    bit-identical, just slower)
      bench/main.exe --micro         Bechamel microbenchmarks (Table 5 units)
-     bench/main.exe --perf-smoke    small fixed matrix; prints wall-clock +
-                                    throughput and writes BENCH_PR1.json
+     bench/main.exe --perf-smoke    small fixed matrix; times BOTH backends
+                                    serial + parallel, prints wall-clock +
+                                    throughput and writes BENCH_PR1.json and
+                                    the per-backend comparison artifacts
+                                    BENCH_PR1.{compiled,interp}.json
 
    Experiment ids: table1 table2 table3 table4 table5 fig7a fig7b fig8 fig9
                    fig10a fig10b fig11 atm l2sens faults corun *)
@@ -56,6 +62,11 @@ let all_columns = hw_configs @ [ Runner.software_default; Runner.atm_default ]
 (* --jobs N; None = the host's recommended domain count. *)
 let pool_jobs : int option ref = ref None
 
+(* --backend interp|compiled; the execution strategy for every simulation.
+   The two backends are pinned bit-identical, so this only moves wall
+   time — compiled is the default, interp the reference. *)
+let backend : Interp.backend ref = ref `Compiled
+
 let jobs () = match !pool_jobs with Some j -> j | None -> Pool.default_jobs ()
 
 let instance_of name =
@@ -73,7 +84,7 @@ let result name config =
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-      let r = Runner.run config (instance_of name) in
+      let r = Runner.run ~backend:!backend config (instance_of name) in
       Hashtbl.replace cache key r;
       r
 
@@ -96,7 +107,7 @@ let prewarm pairs =
   in
   if missing <> [] then begin
     let cells = List.map (fun (n, c) -> (c, instance_of n)) missing in
-    let results = Runner.run_matrix ~jobs:(jobs ()) cells in
+    let results = Runner.run_matrix ~jobs:(jobs ()) ~backend:!backend cells in
     List.iter2
       (fun (n, c) r -> Hashtbl.replace cache (n, Runner.config_label c) r)
       missing results
@@ -714,9 +725,10 @@ let wall f =
   (r, Unix.gettimeofday () -. t0)
 
 (* One baseline simulation of [name], timed, with either the flat hook
-   calling convention or the legacy per-event allocation. Same program, same
-   pipeline model — the delta is the interpreter hot path alone. *)
-let timed_interp_run ~flat name =
+   calling convention or the legacy per-event allocation, on either
+   execution backend. Same program, same pipeline model — the delta is the
+   execution hot path alone. *)
+let timed_interp_run ?backend ~flat name =
   let _, make = Option.get (W.Registry.find name) in
   let instance = make Workload.Eval in
   let hierarchy = Hierarchy.(create hpi_default) in
@@ -725,11 +737,11 @@ let timed_interp_run ~flat name =
   in
   let interp =
     if flat then
-      Axmemo_ir.Interp.create
+      Axmemo_ir.Interp.create ?backend
         ~hooks:(Axmemo_cpu.Pipeline.hooks pipe)
         ~program:instance.program ~mem:instance.mem ()
     else
-      Axmemo_ir.Interp.create
+      Axmemo_ir.Interp.create ?backend
         ~hook:(Axmemo_cpu.Pipeline.hook pipe)
         ~program:instance.program ~mem:instance.mem ()
   in
@@ -738,84 +750,144 @@ let timed_interp_run ~flat name =
 
 let perf_smoke () =
   heading "Perf smoke (fixed small matrix)";
-  let cells = smoke_cells () in
-  let ncells = List.length cells in
-  (* Warm-up pass: CRC step tables, allocator, code paths. *)
-  ignore (Runner.run_matrix ~jobs:1 (smoke_cells ()));
-  let serial, t_serial = wall (fun () -> Runner.run_matrix ~jobs:1 (smoke_cells ())) in
+  let ncells = List.length (smoke_cells ()) in
   let njobs = match !pool_jobs with Some j -> j | None -> 4 in
-  let par, t_par = wall (fun () -> Runner.run_matrix ~jobs:njobs (smoke_cells ())) in
-  let identical =
-    List.for_all2
-      (fun (a : Runner.result) (b : Runner.result) ->
-        a.cycles = b.cycles && a.hits = b.hits && a.lookups = b.lookups
-        && a.energy.Axmemo_energy.Model.total_pj
-           = b.energy.Axmemo_energy.Model.total_pj
-        && a.outputs = b.outputs)
-      serial par
+  (* Warm-up pass per backend: CRC step/slice tables, closure compilation,
+     allocator, code paths. *)
+  ignore (Runner.run_matrix ~jobs:1 ~backend:`Compiled (smoke_cells ()));
+  ignore (Runner.run_matrix ~jobs:1 ~backend:`Interp (smoke_cells ()));
+  (* Bench hygiene: a larger minor heap and a lazier major GC keep collector
+     noise out of the timed regions. *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 8 * 1024 * 1024; space_overhead = 240 };
+  (* Instance creation (dataset synthesis) happens before the clock starts:
+     each timed region covers the simulation matrix alone, and a full major
+     collection fences it off from the previous region's garbage. *)
+  let time_matrix ~jobs ~backend =
+    let cells = smoke_cells () in
+    Gc.full_major ();
+    wall (fun () -> Runner.run_matrix ~jobs ~backend cells)
   in
+  let serial, t_serial = time_matrix ~jobs:1 ~backend:`Compiled in
+  let par, t_par = time_matrix ~jobs:njobs ~backend:`Compiled in
+  let iserial, t_iserial = time_matrix ~jobs:1 ~backend:`Interp in
+  let ipar, t_ipar = time_matrix ~jobs:njobs ~backend:`Interp in
+  (* Bit-identity across scheduling and across backends: [sim_wall_seconds]
+     is the one field outside the contract. *)
+  let norm (r : Runner.result) = { r with Runner.sim_wall_seconds = 0.0 } in
+  let all_equal a b = List.for_all2 (fun x y -> norm x = norm y) a b in
+  let identical = all_equal serial par in
+  let backend_identical = all_equal serial iserial && all_equal serial ipar in
   let dyn =
     List.fold_left (fun acc (r : Runner.result) -> acc + r.dyn_normal + r.dyn_memo) 0 serial
   in
   let best f = List.fold_left (fun acc () -> min acc (f ())) infinity [ (); (); () ] in
-  let t_event = best (fun () -> fst (timed_interp_run ~flat:false "blackscholes")) in
-  let t_flat = best (fun () -> fst (timed_interp_run ~flat:true "blackscholes")) in
+  let t_event =
+    best (fun () -> fst (timed_interp_run ~backend:`Interp ~flat:false "blackscholes"))
+  in
+  let t_flat =
+    best (fun () -> fst (timed_interp_run ~backend:`Interp ~flat:true "blackscholes"))
+  in
+  let t_closure =
+    best (fun () -> fst (timed_interp_run ~backend:`Compiled ~flat:true "blackscholes"))
+  in
   let throughput = float_of_int dyn /. t_serial /. 1e6 in
   let speedup = t_serial /. t_par in
+  let backend_speedup = t_iserial /. t_serial in
   Printf.printf "matrix           %d cells (%s x %s), sample datasets\n" ncells
     (String.concat "," smoke_names)
     (String.concat "," (List.map Runner.config_label smoke_configs));
-  Printf.printf "serial           %.3f s (%.1f Minstr/s over %d dynamic instructions)\n"
+  Printf.printf "compiled serial  %.3f s (%.1f Minstr/s over %d dynamic instructions)\n"
     t_serial throughput dyn;
-  Printf.printf "parallel         %.3f s with --jobs %d => %.2fx (host domains: %d)\n"
+  Printf.printf "compiled --jobs  %.3f s with --jobs %d => %.2fx (host domains: %d)\n"
     t_par njobs speedup
     (Pool.default_jobs ());
-  Printf.printf "bit-identical    %b\n" identical;
+  Printf.printf "interp serial    %.3f s (%.1f Minstr/s)\n" t_iserial
+    (float_of_int dyn /. t_iserial /. 1e6);
+  Printf.printf "interp --jobs    %.3f s with --jobs %d\n" t_ipar njobs;
+  Printf.printf "backend speedup  %.2fx serial, %.2fx with --jobs %d\n" backend_speedup
+    (t_ipar /. t_par) njobs;
+  Printf.printf "bit-identical    %b serial/parallel, %b interp/compiled\n" identical
+    backend_identical;
   Printf.printf
-    "interp fast path %.3f s flat-hook vs %.3f s event-hook => %.2fx single-thread\n"
-    t_flat t_event (t_event /. t_flat);
-  (* Untimed telemetry pass over the same matrix: supplies the per-cell
-     metric snapshots of the shared run-report schema, and doubles as a
-     check that attaching telemetry does not perturb results. *)
-  let telem = Runner.run_matrix_telemetry ~jobs:1 (smoke_cells ()) in
-  let telem_identical =
-    List.for_all2
-      (fun (a : Runner.result) ((b : Runner.result), _) ->
-        a.cycles = b.cycles && a.hits = b.hits && a.lookups = b.lookups
-        && a.outputs = b.outputs)
-      serial telem
-  in
-  Printf.printf "telemetry-inert  %b\n" telem_identical;
+    "1-thread bs     %.3f s event-hook, %.3f s flat-hook, %.3f s compiled => %.2fx\n"
+    t_event t_flat t_closure (t_flat /. t_closure);
   let cell_benchmarks =
     List.concat_map (fun n -> List.map (fun _ -> n) smoke_configs) smoke_names
   in
-  let report_runs =
+  (* Per-cell wall-time column: where the simulation seconds go, and what
+     the compiled backend buys on each cell. *)
+  let rows =
+    List.map2
+      (fun bench ((c : Runner.result), (i : Runner.result)) ->
+        [
+          bench;
+          c.label;
+          string_of_int c.cycles;
+          Printf.sprintf "%.4f" c.sim_wall_seconds;
+          Printf.sprintf "%.4f" i.sim_wall_seconds;
+          Table.fmt_x (i.sim_wall_seconds /. Float.max 1e-9 c.sim_wall_seconds);
+        ])
+      cell_benchmarks
+      (List.combine serial iserial)
+  in
+  Table.print
+    ~align:[ Left; Left; Right; Right; Right; Right ]
+    ~header:[ "benchmark"; "config"; "cycles"; "compiled s"; "interp s"; "x" ]
+    rows;
+  (* Untimed telemetry pass per backend: supplies the per-cell metric
+     snapshots of the shared run-report schema, checks that attaching
+     telemetry does not perturb results, and pins the rendered reports
+     byte-identical across backends. *)
+  let telem = Runner.run_matrix_telemetry ~jobs:1 ~backend:`Compiled (smoke_cells ()) in
+  let telem_interp =
+    Runner.run_matrix_telemetry ~jobs:1 ~backend:`Interp (smoke_cells ())
+  in
+  let telem_identical =
+    List.for_all2 (fun a ((b : Runner.result), _) -> norm a = norm b) serial telem
+  in
+  Printf.printf "telemetry-inert  %b\n" telem_identical;
+  (* [~wall] adds the per-run simulator wall time. The main report carries
+     it (gated with a loose tolerance); the per-backend comparison
+     artifacts leave it out so they can be compared byte for byte. *)
+  let report_runs ~wall pairs =
     List.map2
       (fun bench ((r : Runner.result), snapshot) ->
         {
           Report.benchmark = bench;
           config = r.label;
           summary =
-            [
-              ("cycles", Json.Int r.cycles);
-              ("seconds", Json.Float r.seconds);
-              ("dyn_normal", Json.Int r.dyn_normal);
-              ("dyn_memo", Json.Int r.dyn_memo);
-              ("energy_pj", Json.Float r.energy.Axmemo_energy.Model.total_pj);
-              ("lookups", Json.Int r.lookups);
-              ("hits", Json.Int r.hits);
-              ("hit_rate", Json.Float r.hit_rate);
-            ];
+            ([
+               ("cycles", Json.Int r.cycles);
+               ("seconds", Json.Float r.seconds);
+               ("dyn_normal", Json.Int r.dyn_normal);
+               ("dyn_memo", Json.Int r.dyn_memo);
+               ("energy_pj", Json.Float r.energy.Axmemo_energy.Model.total_pj);
+               ("lookups", Json.Int r.lookups);
+               ("hits", Json.Int r.hits);
+               ("hit_rate", Json.Float r.hit_rate);
+             ]
+            @
+            if wall then [ ("sim_wall_seconds", Json.Float r.sim_wall_seconds) ]
+            else []);
           metrics = snapshot;
           profile = None;
         })
-      cell_benchmarks telem
+      cell_benchmarks pairs
   in
+  let compiled_doc = Report.make (report_runs ~wall:false telem) in
+  let interp_doc = Report.make (report_runs ~wall:false telem_interp) in
+  let reports_match =
+    Json.to_string ~indent:2 compiled_doc = Json.to_string ~indent:2 interp_doc
+  in
+  Json.write_file "BENCH_PR1.compiled.json" compiled_doc;
+  Json.write_file "BENCH_PR1.interp.json" interp_doc;
+  Printf.printf "backend reports  %s (BENCH_PR1.compiled.json vs BENCH_PR1.interp.json)\n"
+    (if reports_match then "byte-identical" else "DIVERGENT");
   let extra =
     [
-      ("pr", Json.Int 1);
+      ("pr", Json.Int 6);
       ( "subject",
-        Json.Str "parallel experiment matrix + allocation-free interpreter hot path" );
+        Json.Str "compiled execution backend + slice-by-8 CRC + wall-time metric" );
       ("host_domains", Json.Int (Pool.default_jobs ()));
       ( "matrix",
         Json.Obj
@@ -827,26 +899,44 @@ let perf_smoke () =
             ("cells", Json.Int ncells);
           ] );
       ("jobs", Json.Int njobs);
+      ("backend", Json.Str "compiled");
       ("serial_seconds", Json.Float t_serial);
       ("parallel_seconds", Json.Float t_par);
       ("parallel_speedup", Json.Float speedup);
+      ("interp_serial_seconds", Json.Float t_iserial);
+      ("interp_parallel_seconds", Json.Float t_ipar);
+      ("backend_speedup", Json.Float backend_speedup);
+      ("backend_speedup_parallel", Json.Float (t_ipar /. t_par));
       ("bit_identical", Json.Bool identical);
+      ("backend_identical", Json.Bool backend_identical);
+      ("backend_reports_identical", Json.Bool reports_match);
       ("telemetry_identical", Json.Bool telem_identical);
       ("dynamic_instructions", Json.Int dyn);
       ("serial_minstr_per_sec", Json.Float throughput);
       ("hook_event_seconds", Json.Float t_event);
       ("hook_flat_seconds", Json.Float t_flat);
+      ("compiled_1t_seconds", Json.Float t_closure);
       ("interp_fastpath_speedup", Json.Float (t_event /. t_flat));
+      ("compiled_1t_speedup", Json.Float (t_flat /. t_closure));
     ]
   in
-  Report.write ~extra "BENCH_PR1.json" report_runs;
+  Report.write ~extra "BENCH_PR1.json" (report_runs ~wall:true telem);
   Printf.printf "wrote BENCH_PR1.json\n";
   if not identical then begin
     Printf.eprintf "FATAL: parallel results differ from serial results\n";
     exit 1
   end;
+  if not backend_identical then begin
+    Printf.eprintf
+      "FATAL: interp and compiled backends disagree (beyond sim_wall_seconds)\n";
+    exit 1
+  end;
   if not telem_identical then begin
     Printf.eprintf "FATAL: telemetry-attached results differ from plain results\n";
+    exit 1
+  end;
+  if not reports_match then begin
+    Printf.eprintf "FATAL: backend run reports are not byte-identical\n";
     exit 1
   end
 
@@ -1060,6 +1150,14 @@ let () =
         Printf.eprintf "--jobs expects an integer, got %S\n" s;
         exit 1
   in
+  let set_backend s =
+    match String.lowercase_ascii s with
+    | "interp" -> backend := `Interp
+    | "compiled" -> backend := `Compiled
+    | _ ->
+        Printf.eprintf "--backend expects interp or compiled, got %S\n" s;
+        exit 1
+  in
   let rec strip_jobs acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest ->
@@ -1070,6 +1168,15 @@ let () =
         exit 1
     | a :: rest when String.starts_with ~prefix:"--jobs=" a ->
         set_jobs (String.sub a 7 (String.length a - 7));
+        strip_jobs acc rest
+    | "--backend" :: b :: rest ->
+        set_backend b;
+        strip_jobs acc rest
+    | [ "--backend" ] ->
+        Printf.eprintf "--backend expects interp or compiled\n";
+        exit 1
+    | a :: rest when String.starts_with ~prefix:"--backend=" a ->
+        set_backend (String.sub a 10 (String.length a - 10));
         strip_jobs acc rest
     | a :: rest -> strip_jobs (a :: acc) rest
   in

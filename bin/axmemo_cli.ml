@@ -83,6 +83,26 @@ let config_arg =
     & info [ "c"; "config" ] ~docv:"CONFIG"
         ~doc:(Printf.sprintf "One of: %s." (String.concat ", " config_names)))
 
+let backend_conv =
+  Arg.conv
+    ( (function
+        | "interp" -> Ok `Interp
+        | "compiled" -> Ok `Compiled
+        | s -> Error (`Msg ("unknown backend: " ^ s ^ " (expected interp or compiled)"))),
+      fun ppf b ->
+        Format.pp_print_string ppf
+          (match b with `Interp -> "interp" | `Compiled -> "compiled") )
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv `Compiled
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution backend: $(b,compiled) (closure-chain, the default) or \
+           $(b,interp) (reference interpreter). Results are bit-identical; \
+           $(b,interp) exists for cross-checking and debugging.")
+
 let variant_arg =
   Arg.(
     value & flag
@@ -199,7 +219,7 @@ let list_cmd =
 
 let run_cmd =
   let doc = "Simulate one benchmark under one configuration." in
-  let run bench config sample seed metrics csv chrome_trace quiet =
+  let run bench config backend sample seed metrics csv chrome_trace quiet =
     apply_seed seed;
     print_seed quiet;
     let _, make = Option.get (W.Registry.find bench) in
@@ -207,12 +227,13 @@ let run_cmd =
     let base =
       match config with
       | Runner.Baseline -> None
-      | _ -> Some (Runner.run Baseline (make variant))
+      | _ -> Some (Runner.run ~backend Baseline (make variant))
     in
     let want_telemetry = metrics <> None || csv <> None || chrome_trace <> None in
     if want_telemetry then begin
       let r, snapshot, tracer =
-        Runner.run_telemetry ~trace:(chrome_trace <> None) config (make variant)
+        Runner.run_telemetry ~backend ~trace:(chrome_trace <> None) config
+          (make variant)
       in
       if not quiet then print_result ~base r;
       let report_run =
@@ -233,14 +254,14 @@ let run_cmd =
       | _ -> ()
     end
     else begin
-      let r = Runner.run config (make variant) in
+      let r = Runner.run ~backend config (make variant) in
       if not quiet then print_result ~base r
     end
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ bench_arg $ config_arg $ variant_arg $ seed_arg $ metrics_arg
-      $ csv_arg $ chrome_trace_arg $ quiet_arg)
+      const run $ bench_arg $ config_arg $ backend_arg $ variant_arg $ seed_arg
+      $ metrics_arg $ csv_arg $ chrome_trace_arg $ quiet_arg)
 
 let jobs_arg =
   Arg.(
@@ -253,7 +274,7 @@ let jobs_arg =
 
 let sweep_cmd =
   let doc = "Run every configuration over the suite (or one benchmark)." in
-  let run bench sample seed jobs metrics csv quiet =
+  let run bench backend sample seed jobs metrics csv quiet =
     apply_seed seed;
     print_seed quiet;
     let variant = variant_of sample in
@@ -279,9 +300,9 @@ let sweep_cmd =
        request the plain path avoids the registry work entirely. *)
     let results, snapshots =
       if want_report then
-        let pairs = Runner.run_matrix_telemetry ?jobs cells in
+        let pairs = Runner.run_matrix_telemetry ?jobs ~backend cells in
         (List.map fst pairs, List.map snd pairs)
-      else (Runner.run_matrix ?jobs cells, [])
+      else (Runner.run_matrix ?jobs ~backend cells, [])
     in
     let per_bench = 1 + List.length configs in
     let chunk_of i l =
@@ -340,8 +361,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ bench_opt_arg $ variant_arg $ seed_arg $ jobs_arg $ metrics_arg
-      $ csv_arg $ quiet_arg)
+      const run $ bench_opt_arg $ backend_arg $ variant_arg $ seed_arg $ jobs_arg
+      $ metrics_arg $ csv_arg $ quiet_arg)
 
 (* ---- faults: SEU resilience campaign -------------------------------- *)
 
@@ -675,7 +696,7 @@ let profile_cmd =
             "Write folded flame stacks ($(b,region;class cycles) lines, \
              loadable by speedscope or flamegraph.pl) to $(docv).")
   in
-  let run bench config sample seed top folded metrics quiet =
+  let run bench config backend sample seed top folded metrics quiet =
     apply_seed seed;
     print_seed quiet;
     let _, make = Option.get (W.Registry.find bench) in
@@ -688,12 +709,12 @@ let profile_cmd =
       | _ ->
           let inst = make variant in
           let p = Profile.create ~regions:(Runner.profile_regions inst) in
-          let r = Runner.run ~profile:p Runner.Baseline inst in
+          let r = Runner.run ~backend ~profile:p Runner.Baseline inst in
           Some (r, Profile.snapshot p)
     in
     let inst = make variant in
     let prof = Profile.create ~regions:(Runner.profile_regions inst) in
-    let r, snapshot, _ = Runner.run_telemetry ~profile:prof config inst in
+    let r, snapshot, _ = Runner.run_telemetry ~backend ~profile:prof config inst in
     let snap = Profile.snapshot prof in
     if not quiet then begin
       print_result ~base:(Option.map fst base) r;
@@ -723,8 +744,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      const run $ bench_arg $ config_arg $ variant_arg $ seed_arg $ top_arg
-      $ folded_arg $ metrics_arg $ quiet_arg)
+      const run $ bench_arg $ config_arg $ backend_arg $ variant_arg $ seed_arg
+      $ top_arg $ folded_arg $ metrics_arg $ quiet_arg)
 
 (* ---- diff: report comparison / regression gate ------------------------ *)
 

@@ -3,6 +3,7 @@ type stats = { accesses : int; hits : int; misses : int; evictions : int; writes
 type t = {
   cname : string;
   nsets : int;
+  set_mask : int;  (* nsets - 1 when nsets is a power of two, else 0 *)
   nways : int;
   line : int;
   line_shift : int;
@@ -30,6 +31,7 @@ let create ~name ~size_bytes ~ways ~line_bytes =
   {
     cname = name;
     nsets;
+    set_mask = (if nsets land (nsets - 1) = 0 then nsets - 1 else 0);
     nways = ways;
     line = line_bytes;
     line_shift = log2_exact line_bytes;
@@ -48,62 +50,67 @@ let sets t = t.nsets
 let ways t = t.nways
 let line_bytes t = t.line
 
-let set_and_tag t addr =
-  let line_addr = addr lsr t.line_shift in
-  (line_addr mod t.nsets, line_addr)
-
-let find_way t set tag =
-  let base = set * t.nways in
-  let rec go w =
-    if w >= t.nways then None
-    else if t.tags.(base + w) = tag then Some w
-    else go (w + 1)
-  in
-  go 0
+(* The power-of-two mask dodges an integer division on the hottest path of
+   the whole simulator (every modelled load and store lands here). *)
+let[@inline] set_of t line_addr =
+  if t.set_mask <> 0 then line_addr land t.set_mask else line_addr mod t.nsets
 
 let touch t set w =
   t.clock <- t.clock + 1;
   t.lru.((set * t.nways) + w) <- t.clock
 
+(* Lowest-indexed invalid way if any, else least recently used (ties to the
+   lowest index). Single pass: this runs on every miss, and the wide L2 makes
+   a multi-pass scan measurable on LUT-heavy workloads. *)
 let victim_way t set =
   let base = set * t.nways in
-  let best = ref 0 in
-  for w = 1 to t.nways - 1 do
-    (* An invalid way is always preferred; otherwise least recently used. *)
-    if t.tags.(base + w) = -1 && t.tags.(base + !best) <> -1 then best := w
-    else if
-      t.tags.(base + w) <> -1 && t.tags.(base + !best) <> -1
-      && t.lru.(base + w) < t.lru.(base + !best)
-    then best := w
-    else if t.tags.(base + w) = -1 && t.tags.(base + !best) = -1 then ()
+  let rec scan w best =
+    if w >= t.nways then best
+    else if Array.unsafe_get t.tags (base + w) = -1 then w
+    else
+      scan (w + 1)
+        (if Array.unsafe_get t.lru (base + w) < Array.unsafe_get t.lru (base + best)
+         then w
+         else best)
+  in
+  if Array.unsafe_get t.tags base = -1 then 0 else scan 1 0
+
+(* Allocation-free way lookup for the access hot path: the way index, or -1
+   when the tag is absent. *)
+let find_way_idx t base tag =
+  let w = ref 0 and found = ref (-1) in
+  while !found < 0 && !w < t.nways do
+    if Array.unsafe_get t.tags (base + !w) = tag then found := !w;
+    incr w
   done;
-  (* Prefer the first invalid way if any. *)
-  let invalid = ref None in
-  for w = t.nways - 1 downto 0 do
-    if t.tags.(base + w) = -1 then invalid := Some w
-  done;
-  match !invalid with Some w -> w | None -> !best
+  !found
 
 let access t ~addr ~write =
   t.accesses <- t.accesses + 1;
   if write then t.writes <- t.writes + 1;
-  let set, tag = set_and_tag t addr in
-  match find_way t set tag with
-  | Some w ->
-      t.hits <- t.hits + 1;
-      touch t set w;
-      `Hit
-  | None ->
-      t.misses <- t.misses + 1;
-      let w = victim_way t set in
-      if t.tags.((set * t.nways) + w) <> -1 then t.evictions <- t.evictions + 1;
-      t.tags.((set * t.nways) + w) <- tag;
-      touch t set w;
-      `Miss
+  let line_addr = addr lsr t.line_shift in
+  let set = set_of t line_addr in
+  let tag = line_addr in
+  let base = set * t.nways in
+  let w = find_way_idx t base tag in
+  if w >= 0 then begin
+    t.hits <- t.hits + 1;
+    touch t set w;
+    `Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let w = victim_way t set in
+    if t.tags.(base + w) <> -1 then t.evictions <- t.evictions + 1;
+    t.tags.(base + w) <- tag;
+    touch t set w;
+    `Miss
+  end
 
 let probe t ~addr =
-  let set, tag = set_and_tag t addr in
-  find_way t set tag <> None
+  let line_addr = addr lsr t.line_shift in
+  let set = set_of t line_addr in
+  find_way_idx t (set * t.nways) line_addr >= 0
 
 let invalidate_all t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -90,6 +90,7 @@ type result = {
   label : string;
   cycles : int;
   seconds : float;
+  sim_wall_seconds : float;
   dyn_normal : int;
   dyn_memo : int;
   pipeline : Pipeline.stats;
@@ -155,6 +156,8 @@ let finish ?(protection_pj = 0.0) ?trip_lookup ?faults ?crashed ~label ~pipeline
     seconds =
       float_of_int pipeline_stats.Pipeline.cycles
       /. (machine.Axmemo_cpu.Machine.freq_ghz *. 1e9);
+    (* host wall time is stamped by [run_impl] around the whole simulation *)
+    sim_wall_seconds = 0.0;
     dyn_normal = pipeline_stats.Pipeline.dyn_normal;
     dyn_memo = pipeline_stats.Pipeline.dyn_memo;
     pipeline = pipeline_stats;
@@ -181,14 +184,17 @@ let trace_hooks tr ~instant_of_exec : Interp.hooks =
     on_leave = (fun fname -> Tracer.end_span tr fname);
     on_exec = instant_of_exec;
     on_term = (fun _ _ _ -> ());
+    exec_site = None;
+    term_site = None;
   }
 
 let no_instants _fname _bidx _iidx _instr _addr = ()
 
 (* Shared hardware-memoization path: Hw_memo and Hw_custom differ only in how
    the unit configuration is assembled. *)
-let run_hw ?metrics ?profile ?(trace = false) ~label ~(unit_cfg : Memo_unit.config)
-    ~approximate ~total_l2 ~crc_bytes_per_cycle (instance : Workload.instance) =
+let run_hw ?metrics ?profile ?(trace = false) ?backend ~label
+    ~(unit_cfg : Memo_unit.config) ~approximate ~total_l2 ~crc_bytes_per_cycle
+    (instance : Workload.instance) =
   let regions =
     if approximate then instance.regions
     else List.map Transform.zero_truncs instance.regions
@@ -263,7 +269,8 @@ let run_hw ?metrics ?profile ?(trace = false) ~label ~(unit_cfg : Memo_unit.conf
           (trace_hooks tr ~instant_of_exec:lut_instant)
   in
   let interp =
-    Interp.create ~memo:(Memo_unit.hooks unit) ~hooks ~program ~mem:instance.mem ()
+    Interp.create ~memo:(Memo_unit.hooks unit) ~hooks ?backend ~program
+      ~mem:instance.mem ()
   in
   let crashed =
     match Memo_unit.injector unit with
@@ -303,7 +310,8 @@ let run_hw ?metrics ?profile ?(trace = false) ~label ~(unit_cfg : Memo_unit.conf
       ~outputs:(instance.read_outputs ()) ~machine (),
     tracer )
 
-let run_impl ?metrics ?profile ?(trace = false) config (instance : Workload.instance) =
+let run_impl_untimed ?metrics ?profile ?(trace = false) ?backend config
+    (instance : Workload.instance) =
   let label = config_label config in
   match config with
   | Baseline ->
@@ -324,7 +332,9 @@ let run_impl ?metrics ?profile ?(trace = false) config (instance : Workload.inst
             Interp.combine_hooks (Pipeline.hooks pipe)
               (trace_hooks tr ~instant_of_exec:no_instants)
       in
-      let interp = Interp.create ~hooks ~program:instance.program ~mem:instance.mem () in
+      let interp =
+        Interp.create ~hooks ?backend ~program:instance.program ~mem:instance.mem ()
+      in
       ignore (Interp.run interp instance.entry instance.args);
       Pipeline.profile_close pipe;
       Pipeline.flush_metrics pipe;
@@ -343,11 +353,11 @@ let run_impl ?metrics ?profile ?(trace = false) config (instance : Workload.inst
           adaptive = (if adaptive then Some Memo_unit.default_adaptive else None);
         }
       in
-      run_hw ?metrics ?profile ~trace ~label ~unit_cfg ~approximate ~total_l2
+      run_hw ?metrics ?profile ~trace ?backend ~label ~unit_cfg ~approximate ~total_l2
         ~crc_bytes_per_cycle:Axmemo_isa.Timing.crc_bytes_per_cycle instance
   | Hw_custom { label; unit_cfg; approximate; crc_bytes_per_cycle } ->
-      run_hw ?metrics ?profile ~trace ~label ~unit_cfg ~approximate ~total_l2:None
-        ~crc_bytes_per_cycle instance
+      run_hw ?metrics ?profile ~trace ?backend ~label ~unit_cfg ~approximate
+        ~total_l2:None ~crc_bytes_per_cycle instance
   | Software { table_log2 } | Atm { table_log2 } ->
       let sw_memoize =
         match config with
@@ -378,6 +388,19 @@ let run_impl ?metrics ?profile ?(trace = false) config (instance : Workload.inst
             (fun fname bidx iidx instr addr ->
               ph.Interp.on_exec fname bidx iidx instr addr;
               count_exec fname bidx iidx);
+          (* the record update keeps the pipeline's compiled sites, which
+             would bypass the hit counter under the compiled backend — wrap
+             the site compiler the same way as the flat callback *)
+          exec_site =
+            (match ph.Interp.exec_site with
+            | None -> None
+            | Some site ->
+                Some
+                  (fun fname bidx iidx instr ->
+                    let f = site fname bidx iidx instr in
+                    fun addr ->
+                      f addr;
+                      count_exec fname bidx iidx));
         }
       in
       let hooks =
@@ -385,7 +408,7 @@ let run_impl ?metrics ?profile ?(trace = false) config (instance : Workload.inst
         | None -> hooks
         | Some tr -> Interp.combine_hooks hooks (trace_hooks tr ~instant_of_exec:no_instants)
       in
-      let interp = Interp.create ~hooks ~program ~mem:instance.mem () in
+      let interp = Interp.create ~hooks ?backend ~program ~mem:instance.mem () in
       ignore (Interp.run interp instance.entry instance.args);
       Pipeline.profile_close pipe;
       Pipeline.flush_metrics pipe;
@@ -396,14 +419,24 @@ let run_impl ?metrics ?profile ?(trace = false) config (instance : Workload.inst
           ~outputs:(instance.read_outputs ()) ~machine (),
         tracer )
 
-let run ?profile config instance = fst (run_impl ?profile config instance)
+(* Wall time covers the full simulation of the cell (model assembly,
+   interpretation/compiled execution, metric flushes) — the throughput
+   number the perf gate watches. It is the one field excluded from the
+   bit-identity contract. *)
+let run_impl ?metrics ?profile ?trace ?backend config instance =
+  let t0 = Unix.gettimeofday () in
+  let result, tracer = run_impl_untimed ?metrics ?profile ?trace ?backend config instance in
+  ({ result with sim_wall_seconds = Unix.gettimeofday () -. t0 }, tracer)
+
+let run ?profile ?backend config instance =
+  fst (run_impl ?profile ?backend config instance)
 
 let profile_regions (instance : Workload.instance) =
   List.map (fun (r : Transform.region) -> (r.kernel, r.lut_id)) instance.regions
 
-let run_telemetry ?(trace = false) ?profile config instance =
+let run_telemetry ?(trace = false) ?profile ?backend config instance =
   let reg = Registry.create () in
-  let result, tracer = run_impl ~metrics:reg ?profile ~trace config instance in
+  let result, tracer = run_impl ~metrics:reg ?profile ~trace ?backend config instance in
   (result, Registry.snapshot reg, tracer)
 
 (* Parallel experiment matrix. Every (config, instance) cell is an
@@ -412,29 +445,29 @@ let run_telemetry ?(trace = false) ?profile config instance =
    Axmemo_util.Pool of domains with no shared mutable state. Results keep
    the input order and are bit-identical to a serial [List.map (run ...)]
    because the simulator is deterministic and cells never interact. *)
-let run_matrix ?jobs cells =
-  Axmemo_util.Pool.run ?jobs (fun (config, instance) -> run config instance) cells
+let run_matrix ?jobs ?backend cells =
+  Axmemo_util.Pool.run ?jobs (fun (config, instance) -> run ?backend config instance) cells
 
 (* Telemetry composes with the pool because each worker builds the cell's
    registry on its own domain — no instrument is ever shared. Snapshots
    come back in input (cell) order, so any downstream [Registry.merge] is
    deterministic and independent of [jobs]. *)
-let run_matrix_telemetry ?jobs cells =
+let run_matrix_telemetry ?jobs ?backend cells =
   Axmemo_util.Pool.run ?jobs
     (fun (config, instance) ->
       let reg = Registry.create () in
-      let result, _ = run_impl ~metrics:reg config instance in
+      let result, _ = run_impl ~metrics:reg ?backend config instance in
       (result, Registry.snapshot reg))
     cells
 
 (* Each worker builds the cell's collector on its own domain, and snapshots
    come back in cell order, so profile reports are byte-identical between
    serial and parallel execution — pinned by test_obs. *)
-let run_matrix_profiled ?jobs cells =
+let run_matrix_profiled ?jobs ?backend cells =
   Axmemo_util.Pool.run ?jobs
     (fun (config, instance) ->
       let reg = Registry.create () in
       let profile = Profile.create ~regions:(profile_regions instance) in
-      let result, _ = run_impl ~metrics:reg ~profile config instance in
+      let result, _ = run_impl ~metrics:reg ~profile ?backend config instance in
       (result, Registry.snapshot reg, Profile.snapshot profile))
     cells

@@ -55,6 +55,12 @@ type result = {
   label : string;
   cycles : int;
   seconds : float;
+  sim_wall_seconds : float;
+      (** host wall-clock seconds the simulation of this cell took (model
+          assembly + execution + metric flushes). The only field excluded
+          from the bit-identity contract: it varies run to run and machine
+          to machine, and exists so reports can gate on simulator
+          throughput. *)
   dyn_normal : int;
   dyn_memo : int;
   pipeline : Axmemo_cpu.Pipeline.stats;
@@ -79,12 +85,18 @@ type result = {
 }
 
 val run :
-  ?profile:Axmemo_obs.Profile.t -> config -> Axmemo_workloads.Workload.instance -> result
+  ?profile:Axmemo_obs.Profile.t ->
+  ?backend:Axmemo_ir.Interp.backend ->
+  config ->
+  Axmemo_workloads.Workload.instance ->
+  result
 (** [run config instance] transforms (if needed), simulates, and collects.
     The instance's memory is mutated by the run. With [?profile], the
     collector's hooks are attached to the pipeline (every config) and the
     memo unit (hardware configs), and the pipeline is profile-closed when
-    the run ends; the [result] is bit-identical either way. *)
+    the run ends; the [result] is bit-identical either way. [backend]
+    selects the execution strategy (default [`Compiled]); both backends are
+    pinned bit-identical on every field except [sim_wall_seconds]. *)
 
 val profile_regions : Axmemo_workloads.Workload.instance -> (string * int) list
 (** The instance's static regions as [(kernel, lut_id)] pairs, in the
@@ -93,6 +105,7 @@ val profile_regions : Axmemo_workloads.Workload.instance -> (string * int) list
 val run_telemetry :
   ?trace:bool ->
   ?profile:Axmemo_obs.Profile.t ->
+  ?backend:Axmemo_ir.Interp.backend ->
   config ->
   Axmemo_workloads.Workload.instance ->
   result * Axmemo_telemetry.Registry.snapshot * Axmemo_telemetry.Tracer.t option
@@ -105,6 +118,7 @@ val run_telemetry :
 
 val run_matrix :
   ?jobs:int ->
+  ?backend:Axmemo_ir.Interp.backend ->
   (config * Axmemo_workloads.Workload.instance) list ->
   result list
 (** [run_matrix ~jobs cells] simulates every (configuration, instance) cell,
@@ -121,6 +135,7 @@ val run_matrix :
 
 val run_matrix_telemetry :
   ?jobs:int ->
+  ?backend:Axmemo_ir.Interp.backend ->
   (config * Axmemo_workloads.Workload.instance) list ->
   (result * Axmemo_telemetry.Registry.snapshot) list
 (** {!run_matrix} with a per-cell metrics registry. Each worker domain owns
@@ -131,6 +146,7 @@ val run_matrix_telemetry :
 
 val run_matrix_profiled :
   ?jobs:int ->
+  ?backend:Axmemo_ir.Interp.backend ->
   (config * Axmemo_workloads.Workload.instance) list ->
   (result * Axmemo_telemetry.Registry.snapshot * Axmemo_obs.Profile.snapshot) list
 (** {!run_matrix_telemetry} with a per-cell attribution profiler (regions

@@ -234,7 +234,7 @@ let count t cls =
 
 (* Issue one instruction no earlier than [ready]; returns the issue cycle,
    respecting in-order dual-issue. *)
-let issue t ready =
+let[@inline] issue t ready =
   let c = max ready t.slot_cycle in
   if c > t.slot_cycle then begin
     t.slot_cycle <- c;
@@ -485,6 +485,286 @@ let on_leave t _fname =
 
 let cycles t = max t.slot_cycle t.horizon
 
+(* ------------------------------------------------------------------ *)
+(* Site compilers for the compiled execution backend: everything static
+   about an instruction — source/destination register sets, class index,
+   functional-unit pool, latency, occupancy — is resolved once per static
+   site, so the per-execution closure touches no lists and matches no
+   constructors. Each closure must stay observationally identical to the
+   corresponding [exec_instr]/[exec_term] arm. *)
+
+let is_memo_class = function
+  | C_memo_send | C_memo_lookup | C_memo_update | C_memo_invalidate | C_memo_branch ->
+      true
+  | C_ialu | C_imul | C_idiv | C_fp | C_fdiv_sqrt | C_ftrig | C_load | C_store
+  | C_branch | C_call_ret ->
+      false
+
+let[@inline] count_k t k memo =
+  t.counts.(k) <- t.counts.(k) + 1;
+  if memo then t.dyn_memo <- t.dyn_memo + 1 else t.dyn_normal <- t.dyn_normal + 1
+
+let[@inline] attr_k t k cyc =
+  match t.telem with
+  | Some tl -> tl.class_cycles.(k) <- tl.class_cycles.(k) + cyc
+  | None -> ()
+
+(* max-fold over a precomputed register array — the compiled twin of
+   [srcs_ready]'s list fold *)
+let[@inline] ready_of (frame : frame) (rs : int array) =
+  let r = ref 0 in
+  for i = 0 to Array.length rs - 1 do
+    let v = frame.ready.(Array.unsafe_get rs i) in
+    if v > !r then r := v
+  done;
+  !r
+
+let[@inline] complete_arr t (frame : frame) (dsts : int array) at =
+  for i = 0 to Array.length dsts - 1 do
+    frame.ready.(Array.unsafe_get dsts i) <- at
+  done;
+  if at > t.horizon then t.horizon <- at
+
+let srcs_arr instr = Array.of_list (Ir.instr_srcs instr)
+let dsts_arr instr = Array.of_list (Ir.instr_dst instr)
+
+let reg_operands ops =
+  Array.of_list
+    (List.filter_map
+       (function Ir.Reg r -> Some r | Ir.Imm _ -> None)
+       (Array.to_list ops))
+
+let site_fu t instr pool ~latency ~busy cls =
+  let srcs = srcs_arr instr in
+  let dsts = dsts_arr instr in
+  let k = class_index cls in
+  let memo = is_memo_class cls in
+  (* Telemetry attachment is fixed at pipeline creation, so sites compiled
+     without it drop the attribution branch from the per-execution path. *)
+  if t.telem = None then
+    fun (_addr : int) ->
+      let frame = current_frame t in
+      let ready = ready_of frame srcs in
+      let u = pool_min pool in
+      let c = issue t (max ready pool.(u)) in
+      pool.(u) <- c + busy;
+      complete_arr t frame dsts (c + latency);
+      count_k t k memo
+  else
+    fun (_addr : int) ->
+      let frame = current_frame t in
+      let ready = ready_of frame srcs in
+      let u = pool_min pool in
+      let c = issue t (max ready pool.(u)) in
+      pool.(u) <- c + busy;
+      complete_arr t frame dsts (c + latency);
+      count_k t k memo;
+      attr_k t k latency
+
+let exec_site t (_fname : string) (_bidx : int) (_iidx : int) (instr : Ir.instr) :
+    int -> unit =
+  match instr with
+  | Const _ | Mov _ | Select _ ->
+      site_fu t instr t.alu ~latency:(m t).lat_alu ~busy:1 C_ialu
+  | Binop { op; _ } -> (
+      match op with
+      | Mul -> site_fu t instr t.mul ~latency:(m t).lat_mul ~busy:1 C_imul
+      | Div | Rem ->
+          site_fu t instr t.div ~latency:(m t).lat_div ~busy:(m t).lat_div C_idiv
+      | Add | Sub | And | Or | Xor | Shl | Lshr | Ashr ->
+          site_fu t instr t.alu ~latency:(m t).lat_alu ~busy:1 C_ialu)
+  | Fbinop { op; _ } -> (
+      match op with
+      | Fdiv ->
+          site_fu t instr t.fpu ~latency:(m t).lat_fdiv ~busy:(m t).lat_fdiv
+            C_fdiv_sqrt
+      | Fadd | Fsub | Fmul -> site_fu t instr t.fpu ~latency:(m t).lat_fp ~busy:1 C_fp)
+  | Funop { op; _ } -> (
+      match op with
+      | Fsqrt ->
+          site_fu t instr t.fpu ~latency:(m t).lat_fsqrt ~busy:(m t).lat_fsqrt
+            C_fdiv_sqrt
+      | Fsin | Fcos | Fexp | Flog ->
+          site_fu t instr t.fpu ~latency:(m t).lat_ftrig ~busy:(m t).lat_ftrig C_ftrig
+      | Fneg | Fabs | Ffloor | Fround ->
+          site_fu t instr t.fpu ~latency:(m t).lat_fp ~busy:1 C_fp)
+  | Icmp _ -> site_fu t instr t.alu ~latency:(m t).lat_alu ~busy:1 C_ialu
+  | Fcmp _ -> site_fu t instr t.fpu ~latency:(m t).lat_fp ~busy:1 C_fp
+  | Cast { op; _ } -> (
+      match op with
+      | I_to_f | F_to_i | F32_of_f64 | F64_of_f32 ->
+          site_fu t instr t.fpu ~latency:(m t).lat_fp ~busy:1 C_fp
+      | Bits_of_f32 | F32_of_bits | Bits_of_f64 | F64_of_bits | Sext_32_64 | Trunc_64_32
+        ->
+          site_fu t instr t.alu ~latency:(m t).lat_alu ~busy:1 C_ialu)
+  | Load _ ->
+      let srcs = srcs_arr instr in
+      let dsts = dsts_arr instr in
+      let k = class_index C_load in
+      fun addr ->
+        let frame = current_frame t in
+        let ready = ready_of frame srcs in
+        let u = pool_min t.lsu in
+        let c = issue t (max ready t.lsu.(u)) in
+        t.lsu.(u) <- c + 1;
+        let latency = Hierarchy.read t.hier ~addr in
+        complete_arr t frame dsts (c + latency);
+        count_k t k false;
+        attr_k t k latency
+  | Store _ ->
+      let srcs = srcs_arr instr in
+      let k = class_index C_store in
+      fun addr ->
+        let frame = current_frame t in
+        let ready = ready_of frame srcs in
+        let u = pool_min t.lsu in
+        let c = issue t (max ready t.lsu.(u)) in
+        let latency = Hierarchy.write t.hier ~addr in
+        t.lsu.(u) <- c + latency;
+        if c + latency > t.horizon then t.horizon <- c + latency;
+        count_k t k false;
+        attr_k t k latency
+  | Call { args; dsts; _ } ->
+      let arg_regs = reg_operands args in
+      let k = class_index C_call_ret in
+      fun _addr ->
+        let frame = current_frame t in
+        let ready = ready_of frame arg_regs in
+        let c = issue t ready in
+        t.pending_args_ready <- max ready c;
+        t.pending_call <- Some (Array.copy dsts, frame.ready);
+        count_k t k false;
+        attr_k t k 1
+  | Memo mi -> (
+      match mi with
+      | Ld_crc { ty; _ } ->
+          let srcs = srcs_arr instr in
+          let dsts = dsts_arr instr in
+          let bytes = Ir.ty_size ty in
+          let k = class_index C_load in
+          fun addr ->
+            let frame = current_frame t in
+            let ready = ready_of frame srcs in
+            let u = pool_min t.lsu in
+            let queue_ok = crc_queue_constraint t ~bytes in
+            let unconstrained = max ready t.lsu.(u) in
+            let c = issue t (max unconstrained queue_ok) in
+            if queue_ok > unconstrained then begin
+              let stall = queue_ok - unconstrained in
+              t.crc_stalls <- t.crc_stalls + stall;
+              match t.telem with
+              | Some tl -> Registry.sample tl.crc_stall_s ~at:c (float_of_int stall)
+              | None -> ()
+            end;
+            t.lsu.(u) <- c + 1;
+            let latency = Hierarchy.read t.hier ~addr in
+            complete_arr t frame dsts (c + latency);
+            crc_send t ~issue_cycle:c ~bytes ~avail_delay:latency;
+            count_k t k false;
+            attr_k t k latency
+      | Reg_crc { ty; _ } ->
+          let srcs = srcs_arr instr in
+          let bytes = Ir.ty_size ty in
+          let k = class_index C_memo_send in
+          fun _addr ->
+            let frame = current_frame t in
+            let ready = ready_of frame srcs in
+            let queue_ok = crc_queue_constraint t ~bytes in
+            let c = issue t (max ready queue_ok) in
+            if queue_ok > ready then begin
+              let stall = max 0 (queue_ok - ready) in
+              t.crc_stalls <- t.crc_stalls + stall;
+              match t.telem with
+              | Some tl -> Registry.sample tl.crc_stall_s ~at:c (float_of_int stall)
+              | None -> ()
+            end;
+            crc_send t ~issue_cycle:c ~bytes ~avail_delay:1;
+            count_k t k true;
+            attr_k t k 1
+      | Lookup _ ->
+          let srcs = srcs_arr instr in
+          let dsts = dsts_arr instr in
+          let k = class_index C_memo_lookup in
+          fun _addr ->
+            let frame = current_frame t in
+            let ready = max (ready_of frame srcs) (max t.crc_done t.memo_port_free) in
+            let c = issue t ready in
+            let latency =
+              match t.lookup_level () with
+              | `L1 -> Timing.lookup_l1_cycles
+              | `L2 -> Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+              | `Miss ->
+                  if t.l2_lut_present then
+                    Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+                  else Timing.lookup_l1_cycles
+            in
+            t.memo_port_free <- c + latency;
+            complete_arr t frame dsts (c + latency);
+            count_k t k true;
+            attr_k t k latency
+      | Update _ ->
+          let srcs = srcs_arr instr in
+          let k = class_index C_memo_update in
+          fun _addr ->
+            let frame = current_frame t in
+            let ready = max (ready_of frame srcs) t.memo_port_free in
+            let c = issue t ready in
+            t.memo_port_free <- c + Timing.update_cycles;
+            if c + Timing.update_cycles > t.horizon then
+              t.horizon <- c + Timing.update_cycles;
+            count_k t k true;
+            attr_k t k Timing.update_cycles
+      | Invalidate _ ->
+          let k = class_index C_memo_invalidate in
+          let penalty = t.l1_lut_ways * Timing.invalidate_cycles_per_way in
+          fun _addr ->
+            let c = issue t t.memo_port_free in
+            t.memo_port_free <- c + penalty;
+            t.slot_cycle <- c + penalty;
+            t.slot_used <- 0;
+            count_k t k true;
+            attr_k t k penalty)
+
+let term_site t (_fname : string) (_bidx : int) (term : Ir.terminator) : unit -> unit
+    =
+  match term with
+  | Jmp _ ->
+      let k = class_index C_branch in
+      fun () ->
+        let _c = issue t t.slot_cycle in
+        count_k t k false;
+        attr_k t k 1
+  | Br { cond; _ } -> (
+      let k = class_index C_branch in
+      match cond with
+      | Ir.Reg r ->
+          fun () ->
+            let frame = current_frame t in
+            ignore (issue t frame.ready.(r));
+            count_k t k false;
+            attr_k t k 1
+      | Ir.Imm _ ->
+          fun () ->
+            ignore (issue t 0);
+            count_k t k false;
+            attr_k t k 1)
+  | Br_memo _ ->
+      let k = class_index C_memo_branch in
+      fun () ->
+        ignore (issue t t.memo_port_free);
+        count_k t k true;
+        attr_k t k 1
+  | Ret ops ->
+      let regs = reg_operands ops in
+      let k = class_index C_call_ret in
+      fun () ->
+        let frame = current_frame t in
+        let ready = ready_of frame regs in
+        let c = issue t ready in
+        t.last_ret_ready <- max ready c;
+        count_k t k false;
+        attr_k t k 1
+
 (* Static classification, mirroring the class each [exec_instr] /
    [exec_term] arm charges — used by the profiler to label work without
    touching the timing paths. *)
@@ -572,6 +852,11 @@ let profiled_hooks t p : Interp.hooks =
         let k = class_index (classify_term term) in
         p.p_counts.(r).(k) <- p.p_counts.(r).(k) + 1;
         p_charge t p r k);
+    (* no site compilers: profiled runs keep the generic flat callbacks, so
+       the compiled backend falls back to [on_exec]/[on_term] and profile
+       attribution stays on one code path for both backends *)
+    exec_site = None;
+    term_site = None;
   }
 
 (* Allocation-free attachment: flat callbacks, no event record per
@@ -587,6 +872,8 @@ let hooks t : Interp.hooks =
         on_leave = on_leave t;
         on_exec = (fun _fname _bidx _iidx instr addr -> exec_instr t instr addr);
         on_term = (fun _fname _bidx term -> exec_term t term);
+        exec_site = Some (exec_site t);
+        term_site = Some (term_site t);
       }
 
 let profile_close t =

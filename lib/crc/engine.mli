@@ -32,11 +32,14 @@ val feed_byte : t -> int -> unit
     (table-driven) step. *)
 
 val feed_string : t -> string -> unit
-(** [feed_string t s] accumulates every byte of [s] in order. *)
+(** [feed_string t s] accumulates every byte of [s] in order. Fault-free
+    engines consume 8 bytes per step off the slice-by-8 tables; the result
+    is identical to folding {!feed_byte} over [s]. *)
 
 val feed_int64 : t -> width:int -> int64 -> unit
 (** [feed_int64 t ~width v] accumulates the low [width] bytes of [v] in
-    little-endian order — how the memoization unit consumes register inputs. *)
+    little-endian order — how the memoization unit consumes register inputs.
+    Fault-free engines fold all [width] bytes in a single sliced step. *)
 
 val value : t -> int64
 (** [value t] finalizes (reflection + xorout) without disturbing the in-flight
@@ -57,4 +60,7 @@ val table : Poly.t -> int64 array
     constants RAM in the hardware implementation). *)
 
 val self_test : Poly.t -> bool
-(** [self_test p] verifies both engines produce [p.check] on "123456789". *)
+(** [self_test p] verifies both engines produce [p.check] on "123456789",
+    that the slice-by-8 string path agrees with {!digest_serial} on a longer
+    message, and that sliced {!feed_int64} steps match byte-at-a-time
+    feeding. *)

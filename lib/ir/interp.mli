@@ -44,24 +44,53 @@ type hooks = {
           hook fires before the callee runs (issue order), with [addr = -1]. *)
   on_term : string -> int -> Ir.terminator -> unit;
       (** [on_term fname bidx term]: a terminator executed. *)
+  exec_site : (string -> int -> int -> Ir.instr -> int -> unit) option;
+      (** Optional site compiler. When present, the [`Compiled] backend
+          calls [site fname bidx iidx instr] at most once per {e static}
+          instruction (at {!create}) and invokes the returned closure with
+          the effective address once per execution, {e instead of}
+          [on_exec]. The closure must be observationally identical to the
+          corresponding [on_exec] call; observers that cannot precompute
+          anything leave this [None] and keep the flat callback. The
+          [`Interp] backend ignores it. *)
+  term_site : (string -> int -> Ir.terminator -> unit -> unit) option;
+      (** Site compiler for terminators, replacing [on_term] per execution
+          under the [`Compiled] backend. *)
 }
 (** Allocation-free observer calling convention: each callback receives flat
     arguments instead of a freshly allocated {!event}. *)
+
+val no_hooks : hooks
+(** The canonical no-op observer. {!combine_hooks} recognises it physically
+    and short-circuits, so [combine_hooks no_hooks h] is [h] itself — no
+    fan-out closures. *)
 
 val hooks_of_event_fn : (event -> unit) -> hooks
 (** Adapt an event-consuming closure to the flat interface (allocates one
     event per callback — the legacy cost). *)
 
 val combine_hooks : hooks -> hooks -> hooks
-(** Fan one execution out to two observers, first-before-second. *)
+(** Fan one execution out to two observers, first-before-second. When either
+    side is {!no_hooks} the other is returned unchanged. Site compilers
+    compose: if at least one side provides one, the combined record does
+    too, wrapping the siteless side's flat callback. *)
 
 type t
+
+type backend = [ `Interp | `Compiled ]
+(** Execution strategy. [`Interp] walks the IR per instruction; [`Compiled]
+    pre-compiles every basic block into a chain of closures at {!create}
+    (operands resolved to array slots, branch targets to compiled-block
+    references, hook sites specialized per static instruction) and
+    dispatches once per block. Both are pinned bit-identical: same results,
+    same {!steps}, same hook/event sequence. *)
 
 val create :
   ?memo:memo_hooks ->
   ?hook:(event -> unit) ->
   ?hooks:hooks ->
   ?max_steps:int ->
+  ?backend:backend ->
   program:Ir.program ->
   mem:Memory.t ->
   unit ->
@@ -71,7 +100,7 @@ val create :
     [2_000_000_000]) bounds total executed instructions as a runaway guard.
     [hooks] is the allocation-free observer; [hook] is the event-based
     convenience form (adapted internally). If both are given, [hook] fires
-    first.
+    first. [backend] (default [`Compiled]) selects the execution strategy.
     @raise Failure if a terminator references an unknown label. *)
 
 val run : t -> string -> Ir.value array -> Ir.value array

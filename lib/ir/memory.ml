@@ -9,12 +9,16 @@ let ensure t upto =
       invalid_arg
         (Printf.sprintf "Memory: out of memory (%d bytes requested, limit %d)" upto
            t.limit);
-    let n = ref (Bytes.length t.data) in
-    while !n < upto do
-      n := !n * 2
-    done;
-    let fresh = Bytes.make (min !n t.limit) '\000' in
-    Bytes.blit t.data 0 fresh 0 (Bytes.length t.data);
+    (* Double for amortized growth, but never overshoot a large request:
+       a single huge allocation (e.g. a software-LUT table) should cost one
+       right-sized buffer, not the next power of two beyond it. *)
+    let old = Bytes.length t.data in
+    let n = min (max (old * 2) ((upto + 0xFFFF) land lnot 0xFFFF)) t.limit in
+    (* [Bytes.create] skips the memset; the old prefix is blitted over and
+       only the fresh tail needs explicit zeroing. *)
+    let fresh = Bytes.create n in
+    Bytes.blit t.data 0 fresh 0 old;
+    Bytes.fill fresh old (n - old) '\000';
     t.data <- fresh
   end
 

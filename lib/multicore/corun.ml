@@ -292,6 +292,7 @@ let stats_delta (a : Memo_unit.stats) (b : Memo_unit.stats) : Memo_unit.stats =
   }
 
 let run_request cluster ~core ~start (entry : mix_entry) =
+  let wall_start = Unix.gettimeofday () in
   let cfg = cluster.cfg in
   let c = cluster.cores.(core) in
   let instance = entry.make cfg.variant in
@@ -358,6 +359,7 @@ let run_request cluster ~core ~start (entry : mix_entry) =
     Runner.label = label cfg;
     cycles;
     seconds = float_of_int cycles /. (machine.Machine.freq_ghz *. 1e9);
+    sim_wall_seconds = Unix.gettimeofday () -. wall_start;
     dyn_normal = pipeline_stats.Pipeline.dyn_normal;
     dyn_memo = pipeline_stats.Pipeline.dyn_memo;
     pipeline = pipeline_stats;

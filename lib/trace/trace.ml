@@ -227,6 +227,9 @@ let hooks t : Interp.hooks =
     on_leave = on_leave t;
     on_exec = on_exec t;
     on_term = on_term t;
+    (* the tracer resolves producers dynamically; nothing to precompute *)
+    exec_site = None;
+    term_site = None;
   }
 
 let hook t (ev : Interp.event) =

@@ -114,6 +114,25 @@ let prop_incremental_any_split =
       Engine.feed_string t (String.sub s k (String.length s - k));
       Engine.value t = Engine.digest_string Poly.crc32 s)
 
+let prop_feed_string_equals_feed_byte =
+  (* Pins the slice-by-8 feed_string path to the per-byte fold, for every
+     polynomial, across an arbitrary split (so chunk boundaries land at
+     every alignment). *)
+  QCheck.Test.make ~name:"feed_string = per-byte feed_byte at any split" ~count:200
+    QCheck.(pair gen_string (int_bound 1000))
+    (fun (s, k) ->
+      let k = if String.length s = 0 then 0 else k mod (String.length s + 1) in
+      List.for_all
+        (fun p ->
+          let sliced = Engine.start p in
+          Engine.feed_string sliced (String.sub s 0 k);
+          Engine.feed_string sliced (String.sub s k (String.length s - k));
+          let byte_wise = Engine.start p in
+          String.iter (fun c -> Engine.feed_byte byte_wise (Char.code c)) s;
+          Engine.value sliced = Engine.value byte_wise
+          && Engine.bytes_fed sliced = Engine.bytes_fed byte_wise)
+        Poly.all)
+
 let prop_width_mask =
   QCheck.Test.make ~name:"digest fits the declared width" ~count:200 gen_string
     (fun s ->
@@ -133,7 +152,8 @@ let prop_distinct_inputs_rarely_collide =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_serial_equals_parallel; prop_incremental_any_split; prop_width_mask;
+    [ prop_serial_equals_parallel; prop_incremental_any_split;
+      prop_feed_string_equals_feed_byte; prop_width_mask;
       prop_distinct_inputs_rarely_collide ]
 
 let () =
