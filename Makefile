@@ -1,13 +1,13 @@
 # Developer entry points. `make check` is the one-stop gate: full build,
-# test suite, the perf smoke, bounded fault-injection and multi-core
-# co-run smokes (all under timeouts so a hung pool cannot wedge CI), and
-# the diff gate comparing each smoke report against its committed
-# baseline snapshot.
+# test suite, the perf smoke, bounded fault-injection, multi-core co-run
+# and open-loop serve smokes (all under timeouts so a hung pool cannot
+# wedge CI), and the diff gate comparing each smoke report against its
+# committed baseline snapshot.
 
 SMOKE_TIMEOUT ?= 900
 JOBS ?= 4
 
-.PHONY: all build test smoke faults-smoke corun-smoke diff-gate check clean
+.PHONY: all build test smoke faults-smoke corun-smoke serve-smoke bench-serve diff-gate check clean
 
 all: build
 
@@ -37,18 +37,40 @@ corun-smoke: build
 	  -b blackscholes,sobel --sample --seed 1234 --cores 1,2 --requests 8 \
 	  --jobs $(JOBS) --quiet --metrics CORUN_SMOKE.json
 
+# Small fixed-seed open-loop service matrix: Poisson arrivals at two loads
+# over 1 and 2 cores into a bounded drop-tail queue. Exercises arrival
+# generation, the open dispatcher, shedding, the latency histograms, the
+# SLO accounting and the "service" report section end to end; --wall adds
+# the per-run simulator wall time so the gate also watches serve-path
+# throughput (with a loose tolerance).
+serve-smoke: build
+	timeout $(SMOKE_TIMEOUT) dune exec bin/axmemo_cli.exe -- serve \
+	  -b blackscholes,sobel --sample --seed 1234 --cores 1,2 --requests 24 \
+	  --partition ffa --arrival poisson --load 0.8,2 --queue 4 \
+	  --jobs $(JOBS) --wall --quiet --metrics SERVE_SMOKE.json
+
+# The offered-load ramp (bench experiment): saturation sweep over cores and
+# partition policies; writes BENCH_SERVE.json with no wall-clock fields, so
+# its gate is exact.
+bench-serve: build
+	timeout $(SMOKE_TIMEOUT) dune exec bench/main.exe -- serve --jobs $(JOBS)
+
 # Regression gate: every metric in the fresh smoke reports must match the
 # committed baseline exactly (the simulator is deterministic), with one
 # exception: summary.sim_wall_seconds is host wall clock, so it carries a
 # loose tolerance — wide enough not to flap on machine noise, tight enough
 # to catch an order-of-magnitude simulator-throughput regression. A
 # legitimate perf or model change updates the snapshot in the same PR:
-#   cp BENCH_PR1.json FAULTS_SMOKE.json CORUN_SMOKE.json bench/baselines/
-diff-gate: smoke faults-smoke corun-smoke
+#   cp BENCH_PR1.json FAULTS_SMOKE.json CORUN_SMOKE.json SERVE_SMOKE.json \
+#      BENCH_SERVE.json bench/baselines/
+diff-gate: smoke faults-smoke corun-smoke serve-smoke bench-serve
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/BENCH_PR1.json BENCH_PR1.json \
 	  --tol "summary.sim_wall_seconds=3:0.5" --gate --quiet
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/FAULTS_SMOKE.json FAULTS_SMOKE.json --gate --quiet
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/CORUN_SMOKE.json CORUN_SMOKE.json --gate --quiet
+	dune exec bin/axmemo_cli.exe -- diff bench/baselines/SERVE_SMOKE.json SERVE_SMOKE.json \
+	  --tol "summary.sim_wall_seconds=3:0.5" --gate --quiet
+	dune exec bin/axmemo_cli.exe -- diff bench/baselines/BENCH_SERVE.json BENCH_SERVE.json --gate --quiet
 
 check: build test diff-gate
 

@@ -18,7 +18,7 @@
                                     BENCH_PR1.{compiled,interp}.json
 
    Experiment ids: table1 table2 table3 table4 table5 fig7a fig7b fig8 fig9
-                   fig10a fig10b fig11 atm l2sens faults corun *)
+                   fig10a fig10b fig11 atm l2sens faults corun serve *)
 
 module W = Axmemo_workloads
 module Workload = W.Workload
@@ -38,6 +38,8 @@ module Campaign = Axmemo_resilience.Campaign
 module Protection = Axmemo_faults.Protection
 module Shared_lut = Axmemo_multicore.Shared_lut
 module Corun = Axmemo_multicore.Corun
+module Serve = Axmemo_serve.Serve
+module Arrival = Axmemo_serve.Arrival
 
 let benchmarks = W.Registry.all
 let names = W.Registry.names
@@ -871,6 +873,7 @@ let perf_smoke () =
             else []);
           metrics = snapshot;
           profile = None;
+          service = None;
         })
       cell_benchmarks pairs
   in
@@ -1088,6 +1091,100 @@ let corun_exp () =
   Printf.printf "wrote BENCH_CORUN.json\n"
 
 (* ------------------------------------------------------------------ *)
+
+(* Open-loop service study: the offered-load ramp over core count and two
+   partition policies, Poisson arrivals into a bounded drop-tail queue.
+   Checks the service model's headline claims — saturation throughput grows
+   with cores, shed rate is monotone in offered load for a fixed seed, and
+   warm requests hit far better than cold ones — and pins the report
+   byte-identical between a serial and a parallel matrix before writing
+   BENCH_SERVE.json (no wall-clock fields, so the diff gate is exact). *)
+let serve_mix = [ "blackscholes"; "sobel" ]
+let serve_loads = [ 0.5; 1.0; 2.0 ]
+
+let serve_cfgs () =
+  List.concat_map
+    (fun ncores ->
+      List.concat_map
+        (fun partition ->
+          List.map
+            (fun load ->
+              {
+                Serve.cluster =
+                  {
+                    Corun.default with
+                    ncores;
+                    partition;
+                    workloads = serve_mix;
+                    requests = 24;
+                    variant = Workload.Sample;
+                  };
+                arrival = Arrival.Poisson;
+                load;
+                queue_capacity = 8;
+                shed = Axmemo_multicore.Schedule.Drop_tail;
+                slo_cycles = 0;
+              }
+            )
+            serve_loads)
+        [ Shared_lut.Free_for_all; Shared_lut.Static ])
+    [ 1; 2; 4 ]
+
+let serve_exp () =
+  heading "Serve: open-loop traffic over the co-run cluster";
+  let cfgs = serve_cfgs () in
+  let outcomes = Serve.run_matrix ~jobs:(jobs ()) cfgs in
+  let header =
+    [ "cores"; "partition"; "load"; "served"; "shed"; "p50"; "p99"; "p999";
+      "slo-viol"; "cold-hit"; "warm-hit"; "thrpt/s" ]
+  in
+  let rows =
+    List.map
+      (fun (o : Serve.outcome) ->
+        [
+          string_of_int o.cfg.Serve.cluster.Corun.ncores;
+          Shared_lut.partition_name o.cfg.Serve.cluster.Corun.partition;
+          Printf.sprintf "%.2f" o.cfg.Serve.load;
+          Printf.sprintf "%d/%d" o.served o.arrived;
+          Table.fmt_pct o.shed_rate;
+          Printf.sprintf "%.0f" o.total.Serve.p50;
+          Printf.sprintf "%.0f" o.total.Serve.p99;
+          Printf.sprintf "%.0f" o.total.Serve.p999;
+          Table.fmt_pct o.slo_violation_rate;
+          Table.fmt_pct o.cold_hit_rate;
+          Table.fmt_pct o.warm_hit_rate;
+          Printf.sprintf "%.0f" o.throughput_rps;
+        ])
+      outcomes
+  in
+  Table.print
+    ~align:
+      [ Right; Left; Right; Right; Right; Right; Right; Right; Right; Right;
+        Right; Right ]
+    ~header rows;
+  print_newline ();
+  List.iter
+    (fun (s : Serve.saturation_point) ->
+      Printf.printf
+        "%d-core %-12s saturates at load %.2f (%.0f req/s; peak %.0f)\n"
+        s.Serve.sat_ncores s.Serve.sat_partition s.Serve.sat_load
+        s.Serve.sat_throughput_rps s.Serve.peak_throughput_rps)
+    (Serve.saturation outcomes);
+  (* The determinism contract, checked where it is cheapest to rerun: the
+     rendered report must not depend on the domain fan-out. *)
+  let serial = Serve.run_matrix ~jobs:1 cfgs in
+  let identical =
+    Json.to_string (Serve.report outcomes) = Json.to_string (Serve.report serial)
+  in
+  Printf.printf "serial/parallel reports byte-identical: %b\n" identical;
+  Serve.write_report "BENCH_SERVE.json" outcomes;
+  Printf.printf "wrote BENCH_SERVE.json\n";
+  if not identical then begin
+    Printf.eprintf "FATAL: serve reports differ between serial and parallel runs\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Each experiment declares the (benchmark, config) cells it reads so the
    driver can prewarm them as one parallel matrix. [result] still covers
    anything undeclared, serially. *)
@@ -1139,6 +1236,7 @@ let experiments =
       ablation_adaptive );
     ("faults", no_cells, faults_exp);
     ("corun", no_cells, corun_exp);
+    ("serve", no_cells, serve_exp);
   ]
 
 let () =

@@ -6,6 +6,7 @@
      sweep [-b <bench>]       run every configuration (optionally one bench)
      faults [-b <bench>]      SEU resilience campaign (site x rate x protection)
      corun [-b <m1,m2>]       multi-core co-run over a shared L2 LUT
+     serve [-b <m1,m2>]       open-loop service study (arrivals, queueing, SLOs)
      profile -b <bench>       attribution profile (cycles/energy/misses/error)
      diff A.json B.json       compare two run reports; --gate for CI
      analyze -b <bench>       DDDG candidate analysis (Table 1 row)
@@ -243,6 +244,7 @@ let run_cmd =
           summary = summary_of ?base r;
           metrics = snapshot;
           profile = None;
+          service = None;
         }
       in
       Option.iter
@@ -349,6 +351,7 @@ let sweep_cmd =
                      summary = summary_of ?base r;
                      metrics = snapshot;
                      profile = None;
+                     service = None;
                    })
                  rs snaps)
              selected)
@@ -674,6 +677,197 @@ let corun_cmd =
       $ requests_arg $ partitions_arg $ banks_arg $ ports_arg $ fault_rate_arg
       $ jobs_arg $ corun_profile_arg $ metrics_arg $ csv_arg $ quiet_arg)
 
+(* ---- serve: open-loop service study ----------------------------------- *)
+
+module Serve = Axmemo_serve.Serve
+module Arrival = Axmemo_serve.Arrival
+module Mc_schedule = Axmemo_multicore.Schedule
+
+let arrival_conv =
+  Arg.conv
+    ( (fun s ->
+        match Arrival.parse_kind s with
+        | Some k -> Ok k
+        | None ->
+            Error
+              (`Msg
+                 (s ^ ": expected one of " ^ String.concat ", " Arrival.kind_names))),
+      fun ppf k -> Format.pp_print_string ppf (Arrival.kind_name k) )
+
+let arrival_arg =
+  Arg.(
+    value
+    & opt arrival_conv Arrival.Poisson
+    & info [ "arrival" ] ~docv:"KIND"
+        ~doc:
+          "Arrival process: $(b,poisson) (memoryless), $(b,bursty) \
+           (Markov-modulated on-off), $(b,diurnal) (sinusoidal rate), or \
+           $(b,closed) (everything at cycle 0 — the co-run degenerate).")
+
+let loads_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.8 ]
+    & info [ "load"; "loads" ] ~docv:"L,.."
+        ~doc:
+          "Offered loads to sweep, as fractions of cluster capacity (1.0 = \
+           one calibrated mean service time of work per core per unit time).")
+
+let queue_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission-queue capacity: waiting requests beyond the cores.")
+
+let shed_conv =
+  Arg.conv
+    ( (fun s ->
+        match Mc_schedule.parse_shed_policy s with
+        | Some p -> Ok p
+        | None -> Error (`Msg (s ^ ": expected drop-tail or drop-head"))),
+      fun ppf p -> Format.pp_print_string ppf (Mc_schedule.shed_policy_name p) )
+
+let shed_arg =
+  Arg.(
+    value
+    & opt shed_conv Mc_schedule.Drop_tail
+    & info [ "shed" ] ~docv:"POLICY"
+        ~doc:
+          "Load-shedding policy on a full queue: $(b,drop-tail) sheds the \
+           arriving request, $(b,drop-head) sheds the oldest waiting one.")
+
+let slo_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "slo" ] ~docv:"CYCLES"
+        ~doc:
+          "Total-latency (queue wait + service) SLO in cycles; 0 (the \
+           default) picks 4x the calibrated mean service time.")
+
+let sweep_load_arg =
+  Arg.(
+    value & flag
+    & info [ "sweep-load" ]
+        ~doc:
+          "Sweep the offered-load ramp (0.25 to 2.0) instead of $(b,--load) \
+           and print each (cores, partition) group's saturation point: the \
+           highest load served with at most 1% shed.")
+
+let wall_arg =
+  Arg.(
+    value & flag
+    & info [ "wall" ]
+        ~doc:
+          "Include host $(b,sim_wall_seconds) in each run's report summary \
+           (off by default: wall clock is outside the bit-identity contract).")
+
+let serve_cmd =
+  let doc =
+    "Open-loop service study: seeded arrivals, bounded admission queue, \
+     per-request latency, SLO accounting, saturation sweeps."
+  in
+  let run benches sample seed cores requests partitions banks ports arrival
+      loads queue shed slo sweep_load wall jobs metrics csv chrome_trace quiet =
+    apply_seed seed;
+    print_seed quiet;
+    let loads = if sweep_load then Serve.sweep_loads else loads in
+    let cfgs =
+      List.concat_map
+        (fun ncores ->
+          List.concat_map
+            (fun partition ->
+              List.map
+                (fun load ->
+                  {
+                    Serve.cluster =
+                      {
+                        Corun.default with
+                        ncores;
+                        partition;
+                        banks;
+                        ports;
+                        workloads = benches;
+                        requests;
+                        variant = variant_of sample;
+                      };
+                    arrival;
+                    load;
+                    queue_capacity = queue;
+                    shed;
+                    slo_cycles = slo;
+                  })
+                loads)
+            partitions)
+        cores
+    in
+    let outcomes = Serve.run_matrix ?jobs cfgs in
+    if not quiet then begin
+      let header =
+        [ "cores"; "partition"; "load"; "arrived"; "served"; "shed"; "p50";
+          "p99"; "p999"; "slo-viol"; "warm-hit"; "thrpt/s" ]
+      in
+      let rows =
+        List.map
+          (fun (o : Serve.outcome) ->
+            [
+              string_of_int o.cfg.Serve.cluster.Corun.ncores;
+              Shared_lut.partition_name o.cfg.Serve.cluster.Corun.partition;
+              Printf.sprintf "%.2f" o.cfg.Serve.load;
+              string_of_int o.arrived;
+              string_of_int o.served;
+              Table.fmt_pct o.shed_rate;
+              Printf.sprintf "%.0f" o.total.Serve.p50;
+              Printf.sprintf "%.0f" o.total.Serve.p99;
+              Printf.sprintf "%.0f" o.total.Serve.p999;
+              Table.fmt_pct o.slo_violation_rate;
+              Table.fmt_pct o.warm_hit_rate;
+              Printf.sprintf "%.0f" o.throughput_rps;
+            ])
+          outcomes
+      in
+      Table.print
+        ~align:
+          [ Right; Left; Right; Right; Right; Right; Right; Right; Right;
+            Right; Right; Right ]
+        ~header rows
+    end;
+    if sweep_load && not quiet then begin
+      print_newline ();
+      let header =
+        [ "cores"; "partition"; "arrival"; "sat-load"; "sat-thrpt/s";
+          "peak-thrpt/s" ]
+      in
+      let rows =
+        List.map
+          (fun (s : Serve.saturation_point) ->
+            [
+              string_of_int s.Serve.sat_ncores;
+              s.Serve.sat_partition;
+              s.Serve.sat_arrival;
+              Printf.sprintf "%.2f" s.Serve.sat_load;
+              Printf.sprintf "%.0f" s.Serve.sat_throughput_rps;
+              Printf.sprintf "%.0f" s.Serve.peak_throughput_rps;
+            ])
+          (Serve.saturation outcomes)
+      in
+      Table.print ~align:[ Right; Left; Left; Right; Right; Right ] ~header rows
+    end;
+    Option.iter (fun path -> Serve.write_report ~wall path outcomes) metrics;
+    Option.iter
+      (fun path -> Report.write_csv path (Serve.report_runs ~wall outcomes))
+      csv;
+    Option.iter
+      (fun path ->
+        match outcomes with [] -> () | o :: _ -> Serve.write_trace o path)
+      chrome_trace
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ corun_bench_arg $ variant_arg $ seed_arg $ cores_arg
+      $ requests_arg $ partitions_arg $ banks_arg $ ports_arg $ arrival_arg
+      $ loads_arg $ queue_arg $ shed_arg $ slo_arg $ sweep_load_arg $ wall_arg
+      $ jobs_arg $ metrics_arg $ csv_arg $ chrome_trace_arg $ quiet_arg)
+
 (* ---- profile: attribution profiler ----------------------------------- *)
 
 let profile_cmd =
@@ -738,6 +932,7 @@ let profile_cmd =
               summary = summary_of ?base:(Option.map fst base) r;
               metrics = snapshot;
               profile = Some (Profile.to_json snap);
+              service = None;
             };
           ])
       metrics
@@ -860,5 +1055,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; corun_cmd; profile_cmd;
-            diff_cmd; analyze_cmd; ir_cmd; check_cmd ]))
+          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; corun_cmd; serve_cmd;
+            profile_cmd; diff_cmd; analyze_cmd; ir_cmd; check_cmd ]))

@@ -174,6 +174,7 @@ let run ?jobs cfg benchmarks ~variant =
               summary = summary ~extra r;
               metrics = snap;
               profile = None;
+              service = None;
             }
           in
           runs := mk_run base_snap base [] :: !runs;

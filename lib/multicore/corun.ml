@@ -377,6 +377,42 @@ let run_request cluster ~core ~start (entry : mix_entry) =
     outputs = instance.Workload.read_outputs ();
   }
 
+(* ---- serve-layer access ------------------------------------------------
+
+   The open-loop service model (lib/serve) drives a cluster request by
+   request through its own dispatcher instead of [run]'s closed stream, so
+   the per-request execution, the post-hoc arbitration settlement and the
+   metric flush/snapshot step are exposed individually. *)
+
+let exec_request cluster ~workload ~core ~start =
+  match List.find_opt (fun e -> e.wname = workload) cluster.mix with
+  | Some entry -> run_request cluster ~core ~start entry
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Corun.exec_request: %S is not in the cluster's mix" workload)
+
+let settle_arbiter cluster = Arbiter.settle cluster.arbiter ~ncores:cluster.cfg.ncores
+
+(* Flush before snapshotting: per-core registries mirror the unit's
+   cumulative stats, the cluster registry the shared structure's. *)
+let flush_metrics cluster =
+  Array.iter (fun c -> Memo_unit.flush_metrics c.unit_) cluster.cores;
+  Shared_lut.flush_metrics cluster.shared
+
+let cluster_snapshots cluster =
+  List.concat
+    (Array.to_list
+       (Array.map
+          (fun c ->
+            match c.metrics with
+            | Some reg -> [ (Printf.sprintf "core%d" c.id, Registry.snapshot reg) ]
+            | None -> [])
+          cluster.cores))
+  @
+  match cluster.cluster_metrics with
+  | Some reg -> [ ("cluster", Registry.snapshot reg) ]
+  | None -> []
+
 (* ---- the co-run ------------------------------------------------------- *)
 
 type request_run = {
@@ -534,24 +570,8 @@ let run ?(metrics = false) ?(profile = false) cfg =
   let total_baseline = Array.fold_left (fun a c -> a + c.baseline_cycles) 0 cores in
   let contention_cycles = Array.fold_left ( + ) 0 settlement.Arbiter.stall_cycles in
   let keys, divergent = coherence_check cluster in
-  (* Flush before snapshotting: per-core registries mirror the unit's
-     cumulative stats, the cluster registry the shared structure's. *)
-  Array.iter (fun c -> Memo_unit.flush_metrics c.unit_) cluster.cores;
-  Shared_lut.flush_metrics cluster.shared;
-  let snapshots =
-    List.concat
-      (Array.to_list
-         (Array.map
-            (fun c ->
-              match c.metrics with
-              | Some reg -> [ (Printf.sprintf "core%d" c.id, Registry.snapshot reg) ]
-              | None -> [])
-            cluster.cores))
-    @
-    match cluster.cluster_metrics with
-    | Some reg -> [ ("cluster", Registry.snapshot reg) ]
-    | None -> []
-  in
+  flush_metrics cluster;
+  let snapshots = cluster_snapshots cluster in
   {
     cfg;
     requests;
@@ -704,6 +724,7 @@ let report_runs ?(series_cap = default_series_cap) ?(per_core = true) outcomes =
                 ];
               metrics = Registry.decimate ~cap:series_cap snap;
               profile = profile_json_for o who;
+              service = None;
             })
           snaps)
     outcomes

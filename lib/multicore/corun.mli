@@ -65,6 +65,34 @@ val memo_hooks : cluster -> core:int -> Axmemo_ir.Interp.memo_hooks
 val core_unit : cluster -> core:int -> Axmemo_memo.Memo_unit.t
 val shared_lut : cluster -> Shared_lut.t
 
+(** {2 Serve-layer access}
+
+    The open-loop service model ({!Axmemo_serve.Serve}) drives a cluster
+    request by request through its own dispatcher, so per-request
+    execution, arbitration settlement and the metric flush/snapshot step
+    are exposed individually. [run] below composes exactly these. *)
+
+val exec_request :
+  cluster -> workload:string -> core:int -> start:int -> Axmemo.Runner.result
+(** Execute one invocation of [workload] on [core] with the core's cycle
+    base set to [start] — the per-request step of [run], exposed for
+    open-loop dispatchers. LUT/cache warm state carries over between calls
+    exactly as inside [run]; callers must issue requests in their
+    dispatcher's canonical order for results to stay deterministic.
+    @raise Invalid_argument when [workload] is not in the cluster's mix. *)
+
+val settle_arbiter : cluster -> Arbiter.settlement
+(** Post-hoc settlement of every shared-LUT access recorded so far (see
+    {!Arbiter.settle}); call once, after the last request. *)
+
+val flush_metrics : cluster -> unit
+(** Mirror each core unit's and the shared LUT's cumulative stats into
+    their registries — required before {!cluster_snapshots}. *)
+
+val cluster_snapshots : cluster -> (string * Axmemo_telemetry.Registry.snapshot) list
+(** The ["core<i>"] and ["cluster"] registry snapshots (empty list unless
+    the cluster was created with [~metrics:true]). *)
+
 (** {1 Running} *)
 
 type request_run = {

@@ -38,6 +38,120 @@ let dispatch ~ncores ~run requests =
   let placements = List.map place requests in
   (placements, busy)
 
+(* ---- open-loop dispatch ------------------------------------------------
+
+   The closed [dispatch] above consumes a pre-materialized stream: every
+   request is conceptually present at cycle 0 and runs in stream order
+   (FIFO). The open-loop variant generalizes that to timed arrivals with a
+   bounded admission queue: requests arrive over simulated time, wait in
+   FIFO order when every core is busy, and are shed when the queue is full.
+   The same two deterministic rules place the work — earliest-free core
+   first (ties to the lowest index), and at equal cycles completions are
+   processed before arrivals (lowest finish, then lowest core) — so the
+   whole schedule is still a pure function of the arrival list and the
+   per-request cycle counts. With every arrival at cycle 0 and a queue
+   large enough to hold the stream, [dispatch_open] reproduces [dispatch]'s
+   placements exactly; that degenerate case is pinned by test_serve. *)
+
+type shed_policy = Drop_tail | Drop_head
+
+let shed_policy_name = function
+  | Drop_tail -> "drop-tail"
+  | Drop_head -> "drop-head"
+
+let parse_shed_policy = function
+  | "drop-tail" | "tail" -> Some Drop_tail
+  | "drop-head" | "head" -> Some Drop_head
+  | _ -> None
+
+type arrival = { request : request; at : int }
+
+type 'a open_placement = {
+  request : request;
+  arrival : int;
+  core : int;
+  start : int;  (* dispatch cycle; [start - arrival] is the queue wait *)
+  finish : int;
+  payload : 'a;
+}
+
+let dispatch_open ~ncores ~queue_capacity ~shed ~run arrivals =
+  if ncores < 1 then invalid_arg "Schedule.dispatch_open: need at least one core";
+  if queue_capacity < 0 then
+    invalid_arg "Schedule.dispatch_open: negative queue capacity";
+  (match arrivals with
+  | [] -> ()
+  | first :: rest ->
+      if first.at < 0 then invalid_arg "Schedule.dispatch_open: negative arrival";
+      ignore
+        (List.fold_left
+           (fun prev a ->
+             if a.at < prev then
+               invalid_arg "Schedule.dispatch_open: arrivals must be nondecreasing";
+             a.at)
+           first.at rest));
+  let busy = Array.make ncores 0 in
+  (* Which cores hold an in-flight request: an idle core's [busy] entry is
+     the cycle it went idle, not a pending completion. *)
+  let running = Array.make ncores false in
+  let queue : arrival Queue.t = Queue.create () in
+  let placements = ref [] in
+  let shed_list = ref [] in
+  let exec (a : arrival) ~core ~start =
+    let cycles, payload = run a.request ~core ~start in
+    if cycles < 0 then invalid_arg "Schedule.dispatch_open: negative request cycles";
+    busy.(core) <- start + cycles;
+    running.(core) <- true;
+    placements :=
+      { request = a.request; arrival = a.at; core; start; finish = start + cycles;
+        payload }
+      :: !placements
+  in
+  (* The earliest-free rule of the closed dispatcher, restricted to idle
+     cores: longest-idle first, ties to the lowest index. *)
+  let idle_core ~now =
+    let best = ref (-1) in
+    for c = ncores - 1 downto 0 do
+      if (not running.(c)) && busy.(c) <= now then
+        if !best = -1 || busy.(c) <= busy.(!best) then best := c
+    done;
+    if !best = -1 then None else Some !best
+  in
+  (* Completions strictly before — or tying — cycle [t] retire first
+     (lowest finish, then lowest core), each handing its core straight to
+     the queue head. *)
+  let rec drain_until t =
+    let next = ref (-1) in
+    for c = ncores - 1 downto 0 do
+      if running.(c) && busy.(c) <= t then
+        if !next = -1 || busy.(c) <= busy.(!next) then next := c
+    done;
+    if !next >= 0 then begin
+      let c = !next in
+      running.(c) <- false;
+      if not (Queue.is_empty queue) then exec (Queue.pop queue) ~core:c ~start:busy.(c);
+      drain_until t
+    end
+  in
+  List.iter
+    (fun (a : arrival) ->
+      drain_until a.at;
+      match idle_core ~now:a.at with
+      | Some core -> exec a ~core ~start:a.at
+      | None ->
+          if Queue.length queue < queue_capacity then Queue.push a queue
+          else if queue_capacity = 0 then shed_list := a :: !shed_list
+          else begin
+            match shed with
+            | Drop_tail -> shed_list := a :: !shed_list
+            | Drop_head ->
+                shed_list := Queue.pop queue :: !shed_list;
+                Queue.push a queue
+          end)
+    arrivals;
+  drain_until max_int;
+  (List.rev !placements, List.rev !shed_list, busy)
+
 (* Jain's fairness index over per-core service: (sum x)^2 / (n * sum x^2),
    1.0 when perfectly balanced, 1/n when one core does everything. Defined
    as 1.0 for degenerate inputs (no cores, or no work at all). *)

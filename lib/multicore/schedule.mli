@@ -31,7 +31,67 @@ val dispatch :
     payload) and returns the placements in stream order together with the
     final per-core busy times. [run] is called sequentially, in stream
     order — concurrency exists only in the cycle accounting.
+
+    {b FIFO constraint.} Requests are placed strictly in stream order:
+    request [i+1] is not considered until request [i] has been placed,
+    even when a shorter later request could have started earlier on a core
+    that is about to go idle. This is deliberate — admission order is the
+    determinism anchor (LUT state evolves in the order [run] is called),
+    and reordering would make placements depend on cycle counts that are
+    themselves functions of placement. {!dispatch_open} keeps the same
+    admission-order invariant for timed arrivals via its FIFO queue.
     @raise Invalid_argument on [ncores < 1] or a negative cycle cost. *)
+
+(** {1 Open-loop dispatch}
+
+    Timed arrivals over a bounded FIFO admission queue — the service model.
+    All rules are deterministic: earliest-free core (ties to the lowest
+    index), completions retire before arrivals at equal cycles (lowest
+    finish, then lowest core), the queue is strictly FIFO, so served
+    requests start in admission order. With every arrival at cycle 0 and
+    [queue_capacity >= List.length arrivals - ncores], the placements
+    reproduce {!dispatch} exactly. *)
+
+type shed_policy =
+  | Drop_tail  (** a full queue sheds the {e arriving} request *)
+  | Drop_head
+      (** a full queue sheds its {e oldest waiting} request and admits the
+          arrival — bounds queue wait instead of favouring old work *)
+
+val shed_policy_name : shed_policy -> string
+val parse_shed_policy : string -> shed_policy option
+
+type arrival = { request : request; at : int }
+
+type 'a open_placement = {
+  request : request;
+  arrival : int;
+  core : int;
+  start : int;  (** dispatch cycle; [start - arrival] is the queue wait *)
+  finish : int;
+  payload : 'a;
+}
+
+val dispatch_open :
+  ncores:int ->
+  queue_capacity:int ->
+  shed:shed_policy ->
+  run:(request -> core:int -> start:int -> int * 'a) ->
+  arrival list ->
+  'a open_placement list * arrival list * int array
+(** [dispatch_open ~ncores ~queue_capacity ~shed ~run arrivals] simulates
+    the open-loop schedule over [arrivals] (which must be nondecreasing in
+    [at]): an arrival finding an idle core starts immediately on the
+    longest-idle one; otherwise it waits in the FIFO queue (at most
+    [queue_capacity] waiting — with capacity 0 every such arrival is shed
+    regardless of policy); a completing core immediately picks up the queue
+    head at its finish cycle. [run] is called once per {e served} request,
+    in dispatch order (chronological, which for the FIFO queue is also
+    admission order), so warm-LUT state evolves deterministically. Returns
+    the served placements in dispatch order, the shed arrivals in shed
+    order, and the final per-core busy times.
+    @raise Invalid_argument on [ncores < 1], a negative [queue_capacity],
+    unsorted or negative arrivals, or a negative cycle cost. *)
 
 val jain_fairness : float array -> float
 (** Jain's index: 1.0 = perfectly balanced, 1/n = maximally skewed; 1.0 on

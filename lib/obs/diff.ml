@@ -114,6 +114,18 @@ let flatten_run run =
   (match Json.member "summary" run with
   | Some (Json.Obj kvs) -> List.iter (emit_json "summary.") kvs
   | _ -> ());
+  (* The optional "service" section nests (latency percentiles per class),
+     so it flattens recursively: every scalar leaf becomes a
+     service.<path>.<leaf> metric and is gate-visible like the summary.
+     Arrays are skipped, same as everywhere else in the differ. *)
+  let rec emit_tree prefix (name, v) =
+    match (v : Json.t) with
+    | Obj kvs -> List.iter (emit_tree (prefix ^ name ^ ".")) kvs
+    | _ -> emit_json prefix (name, v)
+  in
+  (match Json.member "service" run with
+  | Some (Json.Obj kvs) -> List.iter (emit_tree "service.") kvs
+  | _ -> ());
   (match Json.member "metrics" run with
   | Some metrics ->
       (match Json.member "counters" metrics with

@@ -2,10 +2,13 @@
 
     Loads two schema-v1 run reports (see {!Axmemo_telemetry.Report}),
     aligns their runs by [(benchmark, config)], and compares every scalar
-    metric: [summary.<key>], [counters.<name>], [gauges.<name>] and
-    [histograms.<name>.total]/[.sum]. Series carry a time axis and are
-    skipped; non-numeric summary fields (strings) are compared for
-    equality and reported as a violation when they differ.
+    metric: [summary.<key>], [counters.<name>], [gauges.<name>],
+    [histograms.<name>.total]/[.sum], and — when a run carries the
+    optional service-level section — every scalar leaf of it as
+    [service.<path>] (nested objects dot-flattened, so a latency
+    percentile gates as e.g. [service.total_latency.p999]). Series carry
+    a time axis and are skipped; non-numeric fields (strings) are
+    compared for equality and reported as a violation when they differ.
 
     The simulator is deterministic, so the default tolerance is {e
     exact}: any numeric drift is a violation unless the tolerance spec

@@ -1,0 +1,132 @@
+(* Seeded open-loop arrival processes. Every process is a pure function of
+   (kind, seed, rate, workloads, requests): the generator draws from one
+   splitmix64 stream created from [seed], so the same configuration always
+   produces the same request stream — which is what keeps service reports
+   byte-identical across --jobs settings.
+
+   The Poisson stream is built by accumulating UNIT-rate exponential gaps
+   and dividing the running sum by [rate] once per arrival: for a fixed
+   seed the whole timeline scales exactly as 1/rate, so raising the offered
+   load compresses the very same arrival pattern rather than re-rolling it.
+   That exact scaling is what makes shed rates monotone in offered load for
+   a fixed seed (pinned by test_serve). *)
+
+module Rng = Axmemo_util.Rng
+module Schedule = Axmemo_multicore.Schedule
+
+type kind =
+  | Closed
+  | Poisson
+  | Bursty of { duty : float }
+  | Diurnal of { amplitude : float; periods : float }
+
+let default_bursty = Bursty { duty = 0.25 }
+let default_diurnal = Diurnal { amplitude = 0.8; periods = 4.0 }
+
+let kind_name = function
+  | Closed -> "closed"
+  | Poisson -> "poisson"
+  | Bursty { duty } -> Printf.sprintf "bursty(duty=%g)" duty
+  | Diurnal { amplitude; periods } ->
+      Printf.sprintf "diurnal(amp=%g,periods=%g)" amplitude periods
+
+let parse_kind = function
+  | "closed" -> Some Closed
+  | "poisson" -> Some Poisson
+  | "bursty" -> Some default_bursty
+  | "diurnal" -> Some default_diurnal
+  | _ -> None
+
+let kind_names = [ "closed"; "poisson"; "bursty"; "diurnal" ]
+
+(* Unit-mean exponential draw; 1 -. u is in (0, 1] so log never sees 0. *)
+let exp_draw rng = -.log (1.0 -. Rng.float rng 1.0)
+
+(* Expected arrivals per ON+OFF burst cycle of the on-off modulated
+   process — fixes the burst timescale relative to the arrival rate. *)
+let burst_cycle_arrivals = 16.0
+
+let validate ~kind ~rate ~requests =
+  if requests < 0 then invalid_arg "Arrival.generate: negative request count";
+  (match kind with
+  | Closed -> ()
+  | _ ->
+      if not (rate > 0.0 && Float.is_finite rate) then
+        invalid_arg "Arrival.generate: open-loop kinds need a positive rate");
+  match kind with
+  | Bursty { duty } ->
+      if not (duty > 0.0 && duty <= 1.0) then
+        invalid_arg "Arrival.generate: bursty duty must be in (0, 1]"
+  | Diurnal { amplitude; periods } ->
+      if not (amplitude >= 0.0 && amplitude < 1.0) then
+        invalid_arg "Arrival.generate: diurnal amplitude must be in [0, 1)";
+      if not (periods > 0.0) then
+        invalid_arg "Arrival.generate: diurnal periods must be positive"
+  | Closed | Poisson -> ()
+
+(* Arrival instants in cycles, nondecreasing, [requests] entries long. *)
+let times kind ~seed ~rate ~requests =
+  let rng = Rng.create seed in
+  match kind with
+  | Closed -> List.init requests (fun _ -> 0)
+  | Poisson ->
+      (* Cumulative unit-rate exponentials, scaled by 1/rate at the end. *)
+      let cum = ref 0.0 in
+      List.init requests (fun _ ->
+          cum := !cum +. exp_draw rng;
+          int_of_float (!cum /. rate))
+  | Bursty { duty } ->
+      (* Markov-modulated on-off: arrivals are Poisson at peak rate
+         [rate/duty] during exponentially-long ON windows and silent during
+         OFF windows, so the long-run mean rate is [rate]. The gap to the
+         next arrival is drawn in ON-time and walked across however many
+         OFF windows it straddles. *)
+      let peak = rate /. duty in
+      let mean_cycle = burst_cycle_arrivals /. rate in
+      let mean_on = duty *. mean_cycle in
+      let mean_off = (1.0 -. duty) *. mean_cycle in
+      let t = ref 0.0 in
+      let on_end = ref (mean_on *. exp_draw rng) in
+      List.init requests (fun _ ->
+          let gap = ref (exp_draw rng /. peak) in
+          while !t +. !gap > !on_end do
+            gap := !gap -. (!on_end -. !t);
+            t := !on_end +. (mean_off *. exp_draw rng);
+            on_end := !t +. (mean_on *. exp_draw rng)
+          done;
+          t := !t +. !gap;
+          int_of_float !t)
+  | Diurnal { amplitude; periods } ->
+      (* Lewis-Shedler thinning at the peak rate: candidates arrive at
+         rate*(1+amplitude) and are kept with probability rate(t)/peak,
+         where rate(t) sweeps [periods] full sine periods over the stream's
+         expected span. *)
+      let peak = rate *. (1.0 +. amplitude) in
+      let span = float_of_int requests /. rate in
+      let period = span /. periods in
+      let rate_at t =
+        rate *. (1.0 +. (amplitude *. sin (2.0 *. Float.pi *. t /. period)))
+      in
+      let t = ref 0.0 in
+      List.init requests (fun _ ->
+          let accepted = ref false in
+          while not !accepted do
+            t := !t +. (exp_draw rng /. peak);
+            if Rng.float rng 1.0 <= rate_at !t /. peak then accepted := true
+          done;
+          int_of_float !t)
+
+let generate kind ~seed ~rate ~workloads ~requests =
+  validate ~kind ~rate ~requests;
+  (match workloads with
+  | [] -> invalid_arg "Arrival.generate: no workloads"
+  | _ -> ());
+  let arr = Array.of_list workloads in
+  let ts = times kind ~seed ~rate ~requests in
+  List.mapi
+    (fun rid at ->
+      {
+        Schedule.request = { Schedule.rid; workload = arr.(rid mod Array.length arr) };
+        at;
+      })
+    ts

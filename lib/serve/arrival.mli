@@ -1,0 +1,53 @@
+(** Seeded open-loop arrival processes for the service model.
+
+    Every process is a pure function of [(kind, seed, rate, workloads,
+    requests)] drawing from one splitmix64 stream, so the same
+    configuration always yields the same request stream — the first half of
+    the service model's byte-identical-across-[--jobs] contract.
+
+    The Poisson stream accumulates unit-rate exponential gaps and scales by
+    [1/rate] at the end, so for a fixed seed the whole timeline compresses
+    {e exactly} as the offered load rises: shed rates are monotone in load
+    because a higher load replays the very same arrival pattern, faster. *)
+
+type kind =
+  | Closed  (** every request available at cycle 0 — the co-run degenerate *)
+  | Poisson  (** memoryless at the mean rate *)
+  | Bursty of { duty : float }
+      (** Markov-modulated on-off: Poisson at peak rate [rate/duty] inside
+          exponentially-long ON windows, silent in OFF windows; long-run
+          mean rate is [rate] *)
+  | Diurnal of { amplitude : float; periods : float }
+      (** sinusoidal rate modulation via Lewis-Shedler thinning:
+          [rate(t) = rate * (1 + amplitude*sin)], sweeping [periods] full
+          periods over the stream's expected span *)
+
+val default_bursty : kind
+(** [Bursty { duty = 0.25 }]. *)
+
+val default_diurnal : kind
+(** [Diurnal { amplitude = 0.8; periods = 4.0 }]. *)
+
+val kind_name : kind -> string
+
+val parse_kind : string -> kind option
+(** ["closed"], ["poisson"], ["bursty"], ["diurnal"] (defaults above). *)
+
+val kind_names : string list
+(** The accepted [parse_kind] spellings, for CLI help. *)
+
+val generate :
+  kind ->
+  seed:int64 ->
+  rate:float ->
+  workloads:string list ->
+  requests:int ->
+  Axmemo_multicore.Schedule.arrival list
+(** [generate kind ~seed ~rate ~workloads ~requests] builds the arrival
+    stream: [requests] entries, nondecreasing in [at], workloads
+    round-robined by [rid] (matching {!Axmemo_multicore.Schedule.stream}).
+    [rate] is in arrivals per cycle and is ignored for [Closed].
+    @raise Invalid_argument on a negative count, an empty workload list, a
+    non-positive rate for an open-loop kind, or out-of-range shape
+    parameters (bursty duty outside (0, 1], diurnal amplitude outside
+    [0, 1) or non-positive periods). *)

@@ -1,0 +1,525 @@
+(* Open-loop service model over the co-run cluster.
+
+   One run: calibrate the mean per-request service time on a throwaway
+   1-core cluster, convert the offered load into an arrival rate, generate
+   the seeded arrival stream, and drive a fresh cluster through
+   Schedule.dispatch_open request by request — Corun.exec_request keeps the
+   LUTs warm across requests exactly as the closed co-run does. Everything
+   downstream (latency histograms, SLO accounting, the Chrome trace, the
+   "service" report section) is observational: per-request cycle results
+   are bit-identical to what the same dispatch order produces without any
+   of it. *)
+
+module Schedule = Axmemo_multicore.Schedule
+module Corun = Axmemo_multicore.Corun
+module Shared_lut = Axmemo_multicore.Shared_lut
+module Registry = Axmemo_telemetry.Registry
+module Report = Axmemo_telemetry.Report
+module Tracer = Axmemo_telemetry.Tracer
+module Machine = Axmemo_cpu.Machine
+module Runner = Axmemo.Runner
+module Stats = Axmemo_util.Stats
+module Json = Axmemo_util.Json
+module Pool = Axmemo_util.Pool
+module Rng = Axmemo_util.Rng
+
+type config = {
+  cluster : Corun.config;
+  arrival : Arrival.kind;
+  load : float;
+      (* offered load as a fraction of cluster capacity: the arrival rate is
+         load * ncores / mean_service_cycles *)
+  queue_capacity : int;
+  shed : Schedule.shed_policy;
+  slo_cycles : int;  (* 0 = auto: slo_auto_factor x calibrated mean *)
+}
+
+let slo_auto_factor = 4.0
+
+let default =
+  {
+    cluster = Corun.default;
+    arrival = Arrival.Poisson;
+    load = 0.8;
+    queue_capacity = 16;
+    shed = Schedule.Drop_tail;
+    slo_cycles = 0;
+  }
+
+let label cfg =
+  Printf.sprintf "serve(%s,load=%g,%dcore,%s,q=%d,%s)"
+    (Arrival.kind_name cfg.arrival)
+    cfg.load cfg.cluster.Corun.ncores
+    (Shared_lut.partition_name cfg.cluster.Corun.partition)
+    cfg.queue_capacity
+    (Schedule.shed_policy_name cfg.shed)
+
+let machine = Machine.hpi
+let cycles_per_second = machine.Machine.freq_ghz *. 1e9
+
+(* ---- calibration ------------------------------------------------------ *)
+
+(* Mean cold service cycles over the distinct workloads of the mix, from a
+   throwaway fault-free 1-core cluster. This anchors the load -> rate
+   conversion, so "load 1.0" means one core-mean-service-time of work
+   arriving per core per unit time. *)
+let calibrate cfg =
+  let c1 = { cfg.cluster with Corun.ncores = 1; faults = None } in
+  let cluster = Corun.create_cluster c1 in
+  let distinct = List.sort_uniq compare cfg.cluster.Corun.workloads in
+  let cycles =
+    List.map
+      (fun w ->
+        float_of_int
+          (Corun.exec_request cluster ~workload:w ~core:0 ~start:0).Runner.cycles)
+      distinct
+  in
+  Float.max 1.0 (Stats.mean (Array.of_list cycles))
+
+(* The arrival stream's seed: position-independent (a cell draws the same
+   stream whether it runs alone or inside a matrix) and re-keyed by the
+   root seed via derive_stream. *)
+let arrival_seed cfg =
+  Rng.derive_stream
+    (Int64.of_int (Hashtbl.hash ("serve-arrivals", label cfg, cfg.cluster.Corun.requests)))
+
+(* ---- per-request records ---------------------------------------------- *)
+
+type request_record = {
+  rid : int;
+  workload : string;
+  core : int;
+  arrival : int;
+  start : int;
+  finish : int;
+  queue_wait : int;  (* start - arrival *)
+  service : int;  (* finish - start *)
+  total : int;  (* finish - arrival *)
+  cold : bool;  (* first execution of its workload in this run *)
+  slo_ok : bool;
+  result : Runner.result;
+}
+
+type latency = { p50 : float; p99 : float; p999 : float; mean : float; max : float }
+
+type outcome = {
+  cfg : config;
+  rate : float;  (* arrivals per cycle; 0 for closed *)
+  mean_service_cycles : float;  (* the calibration anchor *)
+  slo_cycles : int;  (* resolved (auto or explicit) *)
+  requests : request_record list;  (* served, dispatch order *)
+  shed : Schedule.arrival list;  (* shed order *)
+  arrived : int;
+  served : int;
+  shed_count : int;
+  shed_rate : float;
+  slo_violations : int;
+  slo_violation_rate : float;
+  goodput_rate : float;
+  queue_wait : latency;
+  service : latency;
+  total : latency;
+  makespan_cycles : int;
+  throughput_rps : float;
+  offered_rps : float;
+  cold_hit_rate : float;
+  warm_hit_rate : float;
+  aggregate_hit_rate : float;
+  contention_cycles : int;
+  shared_accesses : int;
+  contended_accesses : int;
+  trace_unmatched_ends : int;
+  snapshots : (string * Registry.snapshot) list;
+  tracer : Tracer.t;
+  sim_wall_seconds : float;
+}
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+(* Histogram-interpolated percentiles (exact to one bucket width, and they
+   survive series decimation since histograms are never decimated); mean
+   from the histogram's exact running sum; max from the raw records. *)
+let latency_of (h : Registry.hist_data) raw_max =
+  let pct p = Stats.percentile_of_histogram ~bounds:h.bounds ~counts:h.counts p in
+  {
+    p50 = pct 50.0;
+    p99 = pct 99.0;
+    p999 = pct 99.9;
+    mean = (if h.total = 0 then 0.0 else h.sum /. float_of_int h.total);
+    max = raw_max;
+  }
+
+let hist_of snap name =
+  match List.assoc name snap with
+  | Registry.Histogram h -> h
+  | _ | (exception Not_found) ->
+      invalid_arg (Printf.sprintf "Serve: no histogram %S in snapshot" name)
+
+(* ---- the run ----------------------------------------------------------- *)
+
+let run (cfg : config) =
+  let wall0 = Unix.gettimeofday () in
+  (match cfg.arrival with
+  | Arrival.Closed -> ()
+  | _ ->
+      if not (cfg.load > 0.0 && Float.is_finite cfg.load) then
+        invalid_arg "Serve.run: open-loop arrivals need a positive load");
+  if cfg.slo_cycles < 0 then invalid_arg "Serve.run: negative slo_cycles";
+  let ncores = cfg.cluster.Corun.ncores in
+  let mean_service = calibrate cfg in
+  let rate =
+    match cfg.arrival with
+    | Arrival.Closed -> 0.0
+    | _ -> cfg.load *. float_of_int ncores /. mean_service
+  in
+  let arrivals =
+    Arrival.generate cfg.arrival ~seed:(arrival_seed cfg) ~rate
+      ~workloads:cfg.cluster.Corun.workloads ~requests:cfg.cluster.Corun.requests
+  in
+  let slo =
+    if cfg.slo_cycles > 0 then cfg.slo_cycles
+    else int_of_float (slo_auto_factor *. mean_service)
+  in
+  let cluster = Corun.create_cluster ~metrics:true cfg.cluster in
+  let placements, shed, busy =
+    Schedule.dispatch_open ~ncores ~queue_capacity:cfg.queue_capacity
+      ~shed:cfg.shed
+      ~run:(fun r ~core ~start ->
+        let res = Corun.exec_request cluster ~workload:r.Schedule.workload ~core ~start in
+        (res.Runner.cycles, res))
+      arrivals
+  in
+  let settlement = Corun.settle_arbiter cluster in
+  Corun.flush_metrics cluster;
+  (* Classify warm vs cold in dispatch order: the first execution of each
+     workload is the cold one; everything after it probes warm LUTs. *)
+  let seen = Hashtbl.create 8 in
+  let records =
+    List.map
+      (fun (p : Runner.result Schedule.open_placement) ->
+        let cold = not (Hashtbl.mem seen p.Schedule.request.Schedule.workload) in
+        if cold then Hashtbl.add seen p.Schedule.request.Schedule.workload ();
+        let total = p.Schedule.finish - p.Schedule.arrival in
+        {
+          rid = p.Schedule.request.Schedule.rid;
+          workload = p.Schedule.request.Schedule.workload;
+          core = p.Schedule.core;
+          arrival = p.Schedule.arrival;
+          start = p.Schedule.start;
+          finish = p.Schedule.finish;
+          queue_wait = p.Schedule.start - p.Schedule.arrival;
+          service = p.Schedule.finish - p.Schedule.start;
+          total;
+          cold;
+          slo_ok = total <= slo;
+          result = p.Schedule.payload;
+        })
+      placements
+  in
+  (* The serve registry: request-lifecycle counters, log-spaced latency
+     histograms, and the queue-depth series. All fed post-hoc in dispatch
+     order, so the snapshot is a pure function of the schedule. *)
+  let reg = Registry.create () in
+  let bounds = Registry.log_bounds ~lo:1.0 ~hi:1e8 ~per_decade:8 in
+  let c_arrived = Registry.counter reg "serve.arrived" in
+  let c_admitted = Registry.counter reg "serve.admitted" in
+  let c_served = Registry.counter reg "serve.served" in
+  let c_shed = Registry.counter reg "serve.shed" in
+  let c_slo = Registry.counter reg "serve.slo_violations" in
+  let c_unmatched = Registry.counter reg "serve.trace.unmatched_ends" in
+  let h_wait = Registry.histogram reg "serve.queue_wait_cycles" ~bounds in
+  let h_service = Registry.histogram reg "serve.service_cycles" ~bounds in
+  let h_total = Registry.histogram reg "serve.total_latency_cycles" ~bounds in
+  let s_depth = Registry.series reg "serve.queue_depth" () in
+  let arrived = List.length arrivals in
+  let served = List.length records in
+  let shed_count = List.length shed in
+  Registry.set_count c_arrived arrived;
+  Registry.set_count c_admitted (arrived - shed_count);
+  Registry.set_count c_served served;
+  Registry.set_count c_shed shed_count;
+  List.iter
+    (fun (r : request_record) ->
+      Registry.observe h_wait (float_of_int r.queue_wait);
+      Registry.observe h_service (float_of_int r.service);
+      Registry.observe h_total (float_of_int r.total);
+      (* admitted-but-not-yet-started at this dispatch instant *)
+      let depth =
+        List.fold_left
+          (fun n q -> if q.arrival <= r.start && q.start > r.start then n + 1 else n)
+          0 records
+      in
+      Registry.sample s_depth ~at:r.start (float_of_int depth))
+    records;
+  let slo_violations = List.length (List.filter (fun r -> not r.slo_ok) records) in
+  Registry.set_count c_slo slo_violations;
+  (* The request timeline: arrivals and sheds as instants on the admission
+     row (tid 0), each served request as a span on its core's row. Events
+     are emitted in (time, kind, rid) order with ends before begins at equal
+     cycles, so back-to-back spans on one core close cleanly; a zero-cycle
+     span orders its end after its own begin. *)
+  let clock = ref 0 in
+  let tr =
+    Tracer.create ~max_events:((4 * arrived) + 64) ~clock:(fun () -> !clock) ()
+  in
+  Tracer.name_thread tr ~tid:0 "admission";
+  for c = 0 to ncores - 1 do
+    Tracer.name_thread tr ~tid:(c + 1) (Printf.sprintf "core %d" c)
+  done;
+  let span_name rid workload = Printf.sprintf "r%d:%s" rid workload in
+  let events =
+    List.concat
+      [
+        List.map
+          (fun (a : Schedule.arrival) ->
+            ( (a.Schedule.at, 1, a.Schedule.request.Schedule.rid),
+              fun () ->
+                Tracer.instant ~tid:0 tr
+                  (Printf.sprintf "arrive r%d:%s" a.Schedule.request.Schedule.rid
+                     a.Schedule.request.Schedule.workload) ))
+          arrivals;
+        List.map
+          (fun (a : Schedule.arrival) ->
+            ( (a.Schedule.at, 2, a.Schedule.request.Schedule.rid),
+              fun () ->
+                Tracer.instant ~tid:0 tr
+                  (Printf.sprintf "shed r%d:%s" a.Schedule.request.Schedule.rid
+                     a.Schedule.request.Schedule.workload) ))
+          shed;
+        List.concat_map
+          (fun r ->
+            let name = span_name r.rid r.workload in
+            [
+              ( (r.start, 3, r.rid),
+                fun () -> Tracer.begin_span ~tid:(r.core + 1) tr name );
+              ( (r.finish, (if r.finish = r.start then 4 else 0), r.rid),
+                fun () -> Tracer.end_span ~tid:(r.core + 1) tr name );
+            ])
+          records;
+      ]
+  in
+  let events = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) events in
+  List.iter
+    (fun (((t, _, _) : int * int * int), emit) ->
+      clock := t;
+      emit ())
+    events;
+  let trace_unmatched_ends = Tracer.unmatched_ends tr in
+  Registry.set_count c_unmatched trace_unmatched_ends;
+  let snapshots = ("serve", Registry.snapshot reg) :: Corun.cluster_snapshots cluster in
+  let serve_snap = List.assoc "serve" snapshots in
+  let max_of f =
+    List.fold_left (fun m r -> Float.max m (float_of_int (f r))) 0.0 records
+  in
+  let lookups_of p = List.fold_left (fun n r -> if p r then n + r.result.Runner.lookups else n) 0 records in
+  let hits_of p = List.fold_left (fun n r -> if p r then n + r.result.Runner.hits else n) 0 records in
+  (* Arbitration stalls are charged at settlement, after the dispatch loop:
+     fold each core's settled stall cycles into its busy time so the
+     makespan matches Corun.run's accounting (the Closed degenerate case is
+     bit-identical end to end, makespan included). *)
+  let makespan =
+    Array.fold_left max 0
+      (Array.mapi
+         (fun i b -> b + settlement.Axmemo_multicore.Arbiter.stall_cycles.(i))
+         busy)
+  in
+  let sim_seconds = float_of_int makespan /. cycles_per_second in
+  {
+    cfg;
+    rate;
+    mean_service_cycles = mean_service;
+    slo_cycles = slo;
+    requests = records;
+    shed;
+    arrived;
+    served;
+    shed_count;
+    shed_rate = ratio shed_count arrived;
+    slo_violations;
+    slo_violation_rate = ratio slo_violations served;
+    goodput_rate = ratio (served - slo_violations) arrived;
+    queue_wait = latency_of (hist_of serve_snap "serve.queue_wait_cycles") (max_of (fun r -> r.queue_wait));
+    service = latency_of (hist_of serve_snap "serve.service_cycles") (max_of (fun r -> r.service));
+    total = latency_of (hist_of serve_snap "serve.total_latency_cycles") (max_of (fun r -> r.total));
+    makespan_cycles = makespan;
+    throughput_rps = (if makespan = 0 then 0.0 else float_of_int served /. sim_seconds);
+    offered_rps = rate *. cycles_per_second;
+    cold_hit_rate = ratio (hits_of (fun r -> r.cold)) (lookups_of (fun r -> r.cold));
+    warm_hit_rate = ratio (hits_of (fun r -> not r.cold)) (lookups_of (fun r -> not r.cold));
+    aggregate_hit_rate = ratio (hits_of (fun _ -> true)) (lookups_of (fun _ -> true));
+    contention_cycles = Array.fold_left ( + ) 0 settlement.Axmemo_multicore.Arbiter.stall_cycles;
+    shared_accesses = settlement.Axmemo_multicore.Arbiter.accesses;
+    contended_accesses = settlement.Axmemo_multicore.Arbiter.contended;
+    trace_unmatched_ends;
+    snapshots;
+    tracer = tr;
+    sim_wall_seconds = Unix.gettimeofday () -. wall0;
+  }
+
+let run_matrix ?jobs cfgs = Pool.run ?jobs run cfgs
+
+(* ---- saturation sweep -------------------------------------------------- *)
+
+type saturation_point = {
+  sat_ncores : int;
+  sat_partition : string;
+  sat_arrival : string;
+  sat_load : float;  (* 0 when every swept load sheds more than the threshold *)
+  sat_throughput_rps : float;
+  peak_throughput_rps : float;
+}
+
+let sweep_loads = [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0 ]
+
+let saturation ?(shed_threshold = 0.01) outcomes =
+  let keys =
+    List.fold_left
+      (fun acc o ->
+        let k =
+          ( o.cfg.cluster.Corun.ncores,
+            Shared_lut.partition_name o.cfg.cluster.Corun.partition,
+            Arrival.kind_name o.cfg.arrival )
+        in
+        if List.mem k acc then acc else acc @ [ k ])
+      [] outcomes
+  in
+  List.map
+    (fun ((nc, part, arr) as k) ->
+      let group =
+        List.filter
+          (fun o ->
+            ( o.cfg.cluster.Corun.ncores,
+              Shared_lut.partition_name o.cfg.cluster.Corun.partition,
+              Arrival.kind_name o.cfg.arrival )
+            = k)
+          outcomes
+      in
+      let ok = List.filter (fun o -> o.shed_rate <= shed_threshold) group in
+      let best =
+        List.fold_left
+          (fun acc o ->
+            match acc with
+            | Some b when b.cfg.load >= o.cfg.load -> acc
+            | _ -> Some o)
+          None ok
+      in
+      let peak = List.fold_left (fun m o -> Float.max m o.throughput_rps) 0.0 group in
+      {
+        sat_ncores = nc;
+        sat_partition = part;
+        sat_arrival = arr;
+        sat_load = (match best with Some o -> o.cfg.load | None -> 0.0);
+        sat_throughput_rps = (match best with Some o -> o.throughput_rps | None -> 0.0);
+        peak_throughput_rps = peak;
+      })
+    keys
+
+let saturation_json pts =
+  Json.Arr
+    (List.map
+       (fun p ->
+         Json.Obj
+           [
+             ("ncores", Json.Int p.sat_ncores);
+             ("partition", Json.Str p.sat_partition);
+             ("arrival", Json.Str p.sat_arrival);
+             ("saturation_load", Json.Float p.sat_load);
+             ("saturation_throughput_rps", Json.Float p.sat_throughput_rps);
+             ("peak_throughput_rps", Json.Float p.peak_throughput_rps);
+           ])
+       pts)
+
+(* ---- reports ----------------------------------------------------------- *)
+
+let latency_json l =
+  Json.Obj
+    [
+      ("p50", Json.Float l.p50);
+      ("p99", Json.Float l.p99);
+      ("p999", Json.Float l.p999);
+      ("mean", Json.Float l.mean);
+      ("max", Json.Float l.max);
+    ]
+
+let service_json o =
+  Json.Obj
+    [
+      ("arrival", Json.Str (Arrival.kind_name o.cfg.arrival));
+      ("offered_load", Json.Float o.cfg.load);
+      ("rate_per_mcycle", Json.Float (o.rate *. 1e6));
+      ("queue_capacity", Json.Int o.cfg.queue_capacity);
+      ("shed_policy", Json.Str (Schedule.shed_policy_name o.cfg.shed));
+      ("arrived", Json.Int o.arrived);
+      ("served", Json.Int o.served);
+      ("shed", Json.Int o.shed_count);
+      ("shed_rate", Json.Float o.shed_rate);
+      ("slo_cycles", Json.Int o.slo_cycles);
+      ("slo_violations", Json.Int o.slo_violations);
+      ("slo_violation_rate", Json.Float o.slo_violation_rate);
+      ("goodput_rate", Json.Float o.goodput_rate);
+      ("mean_service_cycles", Json.Float o.mean_service_cycles);
+      ("queue_wait_cycles", latency_json o.queue_wait);
+      ("service_cycles", latency_json o.service);
+      ("total_latency_cycles", latency_json o.total);
+      ("cold_hit_rate", Json.Float o.cold_hit_rate);
+      ("warm_hit_rate", Json.Float o.warm_hit_rate);
+      ("aggregate_hit_rate", Json.Float o.aggregate_hit_rate);
+      ("makespan_cycles", Json.Int o.makespan_cycles);
+      ("throughput_rps", Json.Float o.throughput_rps);
+      ("offered_rps", Json.Float o.offered_rps);
+      ("contention_cycles", Json.Int o.contention_cycles);
+      ("shared_accesses", Json.Int o.shared_accesses);
+      ("contended_accesses", Json.Int o.contended_accesses);
+      ("trace_unmatched_ends", Json.Int o.trace_unmatched_ends);
+    ]
+
+let default_series_cap = Corun.default_series_cap
+
+(* One report row per outcome: the serve registry concatenated with the
+   cluster registry (names are disjoint and the union re-sorted, keeping
+   series — Registry.merge would drop them). sim_wall_seconds enters the
+   summary only on request, so default reports stay byte-identical across
+   machines and --jobs settings while the smoke artifact can still gate
+   simulator throughput with a loose tolerance. *)
+let report_runs ?(series_cap = default_series_cap) ?(wall = false) outcomes =
+  List.map
+    (fun o ->
+      let serve_snap = List.assoc "serve" o.snapshots in
+      let cluster_snap =
+        match List.assoc_opt "cluster" o.snapshots with Some s -> s | None -> []
+      in
+      let metrics =
+        List.sort (fun (a, _) (b, _) -> compare a b) (serve_snap @ cluster_snap)
+      in
+      {
+        Report.benchmark = String.concat "+" o.cfg.cluster.Corun.workloads;
+        config = label o.cfg;
+        summary =
+          [
+            ("makespan_cycles", Json.Int o.makespan_cycles);
+            ("throughput_rps", Json.Float o.throughput_rps);
+            ("shed_rate", Json.Float o.shed_rate);
+            ("slo_violation_rate", Json.Float o.slo_violation_rate);
+            ("aggregate_hit_rate", Json.Float o.aggregate_hit_rate);
+          ]
+          @ (if wall then [ ("sim_wall_seconds", Json.Float o.sim_wall_seconds) ] else []);
+        metrics = Registry.decimate ~cap:series_cap metrics;
+        profile = None;
+        service = Some (service_json o);
+      })
+    outcomes
+
+let report ?series_cap ?wall outcomes =
+  let runs = report_runs ?series_cap ?wall outcomes in
+  let extra =
+    [
+      ("root_seed", Json.Str (Int64.to_string (Rng.root_seed ())));
+      ("saturation", saturation_json (saturation outcomes));
+    ]
+  in
+  Report.make ~extra runs
+
+let write_report ?series_cap ?wall path outcomes =
+  Json.write_file ~indent:2 path (report ?series_cap ?wall outcomes)
+
+let write_trace o path = Tracer.write o.tracer path

@@ -55,6 +55,21 @@ let histogram t name ~bounds =
   register t name (I_histogram h);
   h
 
+(* Geometric bucket ladder for latency-style distributions: [per_decade]
+   bounds per power of ten from [lo] up to (and including) [hi]. The ratio
+   between adjacent bounds is 10^(1/per_decade), so a percentile read back
+   from the histogram is exact to within that factor at ANY rank — which is
+   what makes p99.9 trustworthy where a decimated series would have lost
+   the tail samples. *)
+let log_bounds ~lo ~hi ~per_decade =
+  if lo <= 0.0 || hi <= lo then invalid_arg "Registry.log_bounds: need 0 < lo < hi";
+  if per_decade < 1 then invalid_arg "Registry.log_bounds: non-positive per_decade";
+  let ratio = 10.0 ** (1.0 /. float_of_int per_decade) in
+  let rec go acc v =
+    if v >= hi then List.rev (hi :: acc) else go (v :: acc) (v *. ratio)
+  in
+  Array.of_list (go [] lo)
+
 let series t name ?(every = 1) ?(cap = 512) () =
   if every <= 0 || cap <= 0 then invalid_arg "Registry.series: non-positive every/cap";
   let s =

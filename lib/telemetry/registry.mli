@@ -48,6 +48,16 @@ val histogram : t -> string -> bounds:float array -> histogram
     strictly increasing.
     @raise Invalid_argument on a duplicate name or bad bounds. *)
 
+val log_bounds : lo:float -> hi:float -> per_decade:int -> float array
+(** [log_bounds ~lo ~hi ~per_decade] builds geometric histogram bounds
+    from [lo] to [hi] (inclusive), [per_decade] per power of ten — the
+    bucket ladder for latency distributions, where relative (not absolute)
+    resolution matters and the p99.9 tail must stay readable. Adjacent
+    bounds differ by a factor of 10^(1/per_decade), so percentiles
+    interpolated from the histogram ({!Axmemo_util.Stats.percentile_of_histogram})
+    are exact to within one bucket width at every rank.
+    @raise Invalid_argument unless [0 < lo < hi] and [per_decade >= 1]. *)
+
 val series : t -> string -> ?every:int -> ?cap:int -> unit -> series
 (** [series t name ()] registers a sampler keeping every [every]-th (default
     1) observation, decimating 2x whenever [cap] (default 512) samples are

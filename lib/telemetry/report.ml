@@ -8,8 +8,12 @@ type run = {
   summary : (string * Json.t) list;
   metrics : Registry.snapshot;
   profile : Json.t option;
+  service : Json.t option;
 }
 
+(* Optional sections render only when present, so reports without them are
+   byte-identical to pre-section schema-v1 output — additive fields never
+   bump the schema version. *)
 let run_json r =
   Json.Obj
     ([
@@ -18,7 +22,8 @@ let run_json r =
        ("summary", Json.Obj r.summary);
        ("metrics", Registry.to_json r.metrics);
      ]
-    @ match r.profile with None -> [] | Some p -> [ ("profile", p) ])
+    @ (match r.profile with None -> [] | Some p -> [ ("profile", p) ])
+    @ match r.service with None -> [] | Some s -> [ ("service", s) ])
 
 (* Duplicate (benchmark, config) keys would make the report ambiguous for
    every aligning consumer (Obs.Diff, CSV pivots), so they are a caller

@@ -39,6 +39,12 @@ type run = {
           from the JSON when [None], so profile-free reports are
           byte-identical to schema v1 before the field existed (additive —
           no version bump) *)
+  service : Axmemo_util.Json.t option;
+      (** service-level section ([Serve] run rows: arrival process, offered
+          load, queue/shed accounting, latency percentiles, SLO rates);
+          same additive omit-when-[None] contract as [profile]. Numeric
+          leaves are flattened by [Obs.Diff] as [service.<path>] metrics,
+          so the section is regression-gated like the summary. *)
 }
 
 val make : ?extra:(string * Axmemo_util.Json.t) list -> run list -> Axmemo_util.Json.t

@@ -8,10 +8,12 @@ type t = {
   mutable names : string array;  (* parallel growable buffers *)
   mutable phases : phase array;
   mutable ts : int array;
+  mutable tids : int array;
   mutable n : int;
   mutable dropped : int;
-  opens : (string, int) Hashtbl.t;  (* per-name stored-but-unclosed Begins *)
+  opens : (int * string, int) Hashtbl.t;  (* per (tid, name) unclosed Begins *)
   mutable unmatched : int;
+  thread_names : (int, string) Hashtbl.t;
 }
 
 let create ?(max_events = 1_000_000) ~clock () =
@@ -23,10 +25,12 @@ let create ?(max_events = 1_000_000) ~clock () =
     names = Array.make cap "";
     phases = Array.make cap Instant;
     ts = Array.make cap 0;
+    tids = Array.make cap 0;
     n = 0;
     dropped = 0;
     opens = Hashtbl.create 64;
     unmatched = 0;
+    thread_names = Hashtbl.create 8;
   }
 
 let grow t =
@@ -39,12 +43,13 @@ let grow t =
   in
   t.names <- resize t.names "";
   t.phases <- resize t.phases Instant;
-  t.ts <- resize t.ts 0
+  t.ts <- resize t.ts 0;
+  t.tids <- resize t.tids 0
 
 (* Returns whether the event was stored — a Begin that fell to the buffer
    cap must not count as an open span, or its (also dropped) End would be
    treated as stray. *)
-let record t name phase =
+let record t ~tid name phase =
   if t.n >= t.max_events then begin
     t.dropped <- t.dropped + 1;
     false
@@ -54,27 +59,32 @@ let record t name phase =
     t.names.(t.n) <- name;
     t.phases.(t.n) <- phase;
     t.ts.(t.n) <- t.clock ();
+    t.tids.(t.n) <- tid;
     t.n <- t.n + 1;
     true
   end
 
-let opens_of t name = Option.value ~default:0 (Hashtbl.find_opt t.opens name)
+let opens_of t key = Option.value ~default:0 (Hashtbl.find_opt t.opens key)
 
-let begin_span t name =
-  if record t name Begin then Hashtbl.replace t.opens name (opens_of t name + 1)
+let begin_span ?(tid = 0) t name =
+  if record t ~tid name Begin then
+    Hashtbl.replace t.opens (tid, name) (opens_of t (tid, name) + 1)
 
 (* Close-most-recent: an "E" event closes the innermost stored Begin of the
-   same name (Chrome's own pairing rule). An end with no stored open of that
-   name would instead steal the closing "E" of some enclosing span and
-   corrupt the whole stream, so it is counted and discarded. *)
-let end_span t name =
-  match opens_of t name with
+   same (tid, name) (Chrome's own pairing rule — spans on different tids
+   are independent timelines and never pair). An end with no stored open
+   would instead steal the closing "E" of some enclosing span and corrupt
+   the whole stream, so it is counted and discarded. *)
+let end_span ?(tid = 0) t name =
+  match opens_of t (tid, name) with
   | 0 -> t.unmatched <- t.unmatched + 1
   | n ->
-      Hashtbl.replace t.opens name (n - 1);
-      ignore (record t name End)
+      Hashtbl.replace t.opens (tid, name) (n - 1);
+      ignore (record t ~tid name End)
 
-let instant t name = ignore (record t name Instant)
+let instant ?(tid = 0) t name = ignore (record t ~tid name Instant)
+
+let name_thread t ~tid name = Hashtbl.replace t.thread_names tid name
 
 let events t = t.n
 let dropped t = t.dropped
@@ -91,6 +101,19 @@ let to_json t =
         ("args", Json.Obj [ ("name", Json.Str "axmemo simulation (1 cycle = 1 us)") ]);
       ]
   in
+  let thread_meta =
+    Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) t.thread_names []
+    |> List.sort compare
+    |> List.map (fun (tid, name) ->
+           Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int 0);
+               ("tid", Json.Int tid);
+               ("args", Json.Obj [ ("name", Json.Str name) ]);
+             ])
+  in
   let event i =
     let ph, extra =
       match t.phases.(i) with
@@ -104,7 +127,7 @@ let to_json t =
          ("ph", Json.Str ph);
          ("ts", Json.Int t.ts.(i));
          ("pid", Json.Int 0);
-         ("tid", Json.Int 0);
+         ("tid", Json.Int t.tids.(i));
        ]
       @ extra)
   in
@@ -128,7 +151,7 @@ let to_json t =
   in
   Json.Obj
     [
-      ("traceEvents", Json.Arr ((meta :: List.init t.n event) @ tail));
+      ("traceEvents", Json.Arr ((meta :: thread_meta) @ List.init t.n event @ tail));
       ("displayTimeUnit", Json.Str "ms");
     ]
 

@@ -20,21 +20,29 @@ val create : ?max_events:int -> clock:(unit -> int) -> unit -> t
     (typically [fun () -> Pipeline.cycles pipe]). [max_events] defaults to
     1_000_000. *)
 
-val begin_span : t -> string -> unit
-(** Open a duration slice named after the entered function/phase. *)
+val begin_span : ?tid:int -> t -> string -> unit
+(** Open a duration slice named after the entered function/phase. [tid]
+    (default 0) selects the timeline row the slice renders on — the serve
+    model uses one tid per simulated core so concurrent request spans do
+    not visually nest. *)
 
-val end_span : t -> string -> unit
-(** Close the {e most recent} open slice of that name (trace-event "E" —
-    Chrome pairs each "E" with the innermost unclosed "B" of the same
-    name, so interleaved same-name spans nest rather than cross). An end
-    with no stored open of that name is counted (see {!unmatched_ends})
+val end_span : ?tid:int -> t -> string -> unit
+(** Close the {e most recent} open slice of that name {e on that tid}
+    (trace-event "E" — Chrome pairs each "E" with the innermost unclosed
+    "B" of the same name and thread, so interleaved same-name spans nest
+    rather than cross and spans on different tids never pair). An end with
+    no stored open of that (tid, name) is counted (see {!unmatched_ends})
     and discarded: a stray "E" in the stream would otherwise close some
     enclosing span and corrupt every slice above it. A Begin that fell to
     the [max_events] cap does not open a span, so its End is likewise
     suppressed and the emitted stream stays balanced. *)
 
-val instant : t -> string -> unit
+val instant : ?tid:int -> t -> string -> unit
 (** A zero-duration marker at the current clock. *)
+
+val name_thread : t -> tid:int -> string -> unit
+(** Label a tid's timeline row ("core 0", "admission") via a
+    [thread_name] metadata event; re-labelling a tid replaces the name. *)
 
 val events : t -> int
 (** Events recorded (excluding dropped ones). *)

@@ -30,6 +30,35 @@ let percentile a p =
     (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
   end
 
+(* Percentile over a histogram snapshot: walk the cumulative counts to the
+   bucket holding the target rank, then interpolate linearly inside it
+   (bucket i spans (bounds[i-1], bounds[i]]; bucket 0 starts at 0). The
+   overflow bucket has no upper bound, so ranks landing there clamp to the
+   last bound — the histogram's resolution limit, by construction. *)
+let percentile_of_histogram ~bounds ~counts p =
+  let nb = Array.length bounds in
+  if Array.length counts <> nb + 1 then
+    invalid_arg "Stats.percentile_of_histogram: counts must be bounds+1 long";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let target = Float.max 1.0 (p /. 100.0 *. float_of_int total) in
+    let rec walk i cum =
+      let cum' = cum +. float_of_int counts.(i) in
+      if cum' >= target then
+        if i = nb then bounds.(nb - 1) (* overflow: clamp to the last bound *)
+        else begin
+          let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+          let hi = bounds.(i) in
+          let frac = (target -. cum) /. float_of_int counts.(i) in
+          lo +. (Float.max 0.0 (Float.min 1.0 frac) *. (hi -. lo))
+        end
+      else if i = nb then bounds.(nb - 1)
+      else walk (i + 1) cum'
+    in
+    walk 0 0.0
+  end
+
 let cdf a ~points =
   let n = Array.length a in
   if n = 0 || points <= 0 then []

@@ -19,6 +19,20 @@ val percentile : float array -> float -> float
     function ({!mean}, {!geomean}, {!stddev}, [percentile]) returns [0.0]
     on an empty array, and {!cdf} returns [[]] — none of them raise. *)
 
+val percentile_of_histogram :
+  bounds:float array -> counts:int array -> float -> float
+(** [percentile_of_histogram ~bounds ~counts p] estimates the [p]-th
+    percentile (0-100) from a bucketed histogram ([counts] has one entry per
+    upper bound plus a final overflow bucket, the layout of
+    [Axmemo_telemetry.Registry] snapshots): the target rank's bucket is
+    found on the cumulative counts and the value interpolated linearly
+    between the bucket's lower and upper bound (bucket 0 starts at 0).
+    The estimate is therefore exact to within one bucket width — which is
+    what lets tail percentiles (p99.9) survive series decimation, since
+    histograms are never decimated. Ranks landing in the overflow bucket
+    clamp to the last bound. Returns 0.0 on an empty histogram.
+    @raise Invalid_argument unless [Array.length counts = Array.length bounds + 1]. *)
+
 val cdf : float array -> points:int -> (float * float) list
 (** [cdf a ~points] returns [points] evenly spaced (value, cumulative fraction)
     pairs describing the empirical CDF of [a], for Figure 10b-style plots.

@@ -269,6 +269,7 @@ let report_with ?(bench = "bench") ?(config = "cfg") ?(label = "ok") cycles hits
         summary = [ ("cycles", Json.Int cycles); ("label", Json.Str label) ];
         metrics = Registry.snapshot reg;
         profile = None;
+        service = None;
       };
     ]
 

@@ -339,6 +339,7 @@ let tiny_report () =
         summary = [ ("cycles", Json.Int 100) ];
         metrics = Registry.snapshot reg;
         profile = None;
+        service = None;
       };
     ]
 
@@ -374,6 +375,7 @@ let test_report_duplicate_run_rejected () =
       summary = [];
       metrics = [];
       profile = None;
+      service = None;
     }
   in
   Alcotest.check_raises "duplicate key"
@@ -394,6 +396,7 @@ let test_report_csv () =
         summary = [ ("cycles", Json.Int 7) ];
         metrics = Registry.snapshot reg;
         profile = None;
+        service = None;
       };
     ]
   in
@@ -467,6 +470,7 @@ let report_of pairs =
           summary = [ ("cycles", Json.Int r.cycles) ];
           metrics = snapshot;
           profile = None;
+          service = None;
         })
       pairs
   in
