@@ -1,13 +1,14 @@
 # Developer entry points. `make check` is the one-stop gate: full build,
-# test suite, the perf smoke, bounded fault-injection, multi-core co-run
-# and open-loop serve smokes (all under timeouts so a hung pool cannot
-# wedge CI), and the diff gate comparing each smoke report against its
+# test suite, the perf smoke, bounded fault-injection, multi-core co-run,
+# open-loop serve and tiered-storage warm-restart smokes (all under
+# timeouts so a hung pool cannot wedge CI), and the diff gate comparing
+# each smoke report against its
 # committed baseline snapshot.
 
 SMOKE_TIMEOUT ?= 900
 JOBS ?= 4
 
-.PHONY: all build test smoke faults-smoke corun-smoke serve-smoke bench-serve diff-gate check clean
+.PHONY: all build test smoke faults-smoke corun-smoke serve-smoke bench-serve tier-smoke diff-gate check clean
 
 all: build
 
@@ -55,6 +56,15 @@ serve-smoke: build
 bench-serve: build
 	timeout $(SMOKE_TIMEOUT) dune exec bench/main.exe -- serve --jobs $(JOBS)
 
+# Warm-restart smoke (bench experiment): a closed co-run with small SRAM
+# LUTs spills into the DRAM L3 tier, its LUT state is captured into
+# TIER_SNAPSHOT.axs, and a cold vs warm open-loop serve pair is compared on
+# the first-window hit rate (the experiment exits nonzero if warm does not
+# beat cold). Writes TIER_SMOKE.json with no wall-clock fields, so its gate
+# is exact.
+tier-smoke: build
+	timeout $(SMOKE_TIMEOUT) dune exec bench/main.exe -- tier --jobs $(JOBS)
+
 # Regression gate: every metric in the fresh smoke reports must match the
 # committed baseline exactly (the simulator is deterministic), with one
 # exception: summary.sim_wall_seconds is host wall clock, so it carries a
@@ -62,8 +72,8 @@ bench-serve: build
 # to catch an order-of-magnitude simulator-throughput regression. A
 # legitimate perf or model change updates the snapshot in the same PR:
 #   cp BENCH_PR1.json FAULTS_SMOKE.json CORUN_SMOKE.json SERVE_SMOKE.json \
-#      BENCH_SERVE.json bench/baselines/
-diff-gate: smoke faults-smoke corun-smoke serve-smoke bench-serve
+#      BENCH_SERVE.json TIER_SMOKE.json bench/baselines/
+diff-gate: smoke faults-smoke corun-smoke serve-smoke bench-serve tier-smoke
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/BENCH_PR1.json BENCH_PR1.json \
 	  --tol "summary.sim_wall_seconds=3:0.5" --gate --quiet
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/FAULTS_SMOKE.json FAULTS_SMOKE.json --gate --quiet
@@ -71,6 +81,7 @@ diff-gate: smoke faults-smoke corun-smoke serve-smoke bench-serve
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/SERVE_SMOKE.json SERVE_SMOKE.json \
 	  --tol "summary.sim_wall_seconds=3:0.5" --gate --quiet
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/BENCH_SERVE.json BENCH_SERVE.json --gate --quiet
+	dune exec bin/axmemo_cli.exe -- diff bench/baselines/TIER_SMOKE.json TIER_SMOKE.json --gate --quiet
 
 check: build test diff-gate
 

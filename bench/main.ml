@@ -1124,6 +1124,7 @@ let serve_cfgs () =
                 queue_capacity = 8;
                 shed = Axmemo_multicore.Schedule.Drop_tail;
                 slo_cycles = 0;
+                warm_start = None;
               }
             )
             serve_loads)
@@ -1185,6 +1186,105 @@ let serve_exp () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Tier smoke: the warm-restart loop end to end. A closed co-run with
+   deliberately small SRAM LUTs (so the shared level spills into a DRAM L3
+   tier) warms a cluster; its LUT state is captured into TIER_SNAPSHOT.axs;
+   then a cold and a warm open-loop serve run — identical arrivals, the
+   only difference being the replayed snapshot — are compared on the
+   first-window hit rate the warm restart is meant to rescue. The rendered
+   report is checked byte-identical between serial and parallel matrices
+   before writing TIER_SMOKE.json (no wall-clock fields, so the diff gate
+   is exact). *)
+
+let tier_cluster =
+  {
+    Corun.default with
+    ncores = 2;
+    l1_bytes = 1024;
+    shared_l2_bytes = 4096;
+    workloads = serve_mix;
+    requests = 12;
+    variant = Workload.Sample;
+    l3 =
+      Some
+        {
+          Axmemo_tier.Dram_lut.default with
+          size_bytes = 256 * 1024;
+          row_bytes = 1024;
+        };
+  }
+
+let tier_serve warm_start =
+  {
+    Serve.cluster = tier_cluster;
+    arrival = Arrival.Poisson;
+    load = 0.8;
+    queue_capacity = 8;
+    shed = Axmemo_multicore.Schedule.Drop_tail;
+    slo_cycles = 0;
+    warm_start;
+  }
+
+let tier_exp () =
+  heading "Tier: DRAM L3 spill path and warm-restart snapshots";
+  let snapshot_file = "TIER_SNAPSHOT.axs" in
+  let warm_outcome, warmed = Corun.run_keep tier_cluster in
+  (match warm_outcome.Corun.l3 with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "closed warm-up: %d spills into L3, %d/%d probes hit, occupancy %d/%d\n"
+        s.Corun.l3_spills s.Corun.l3_tier_hits s.Corun.l3_probes
+        s.Corun.l3_occupancy s.Corun.l3_capacity);
+  let snap = Corun.capture_snapshot warmed in
+  Axmemo_tier.Snapshot.save snap snapshot_file;
+  Printf.printf "wrote %s (%d sections, %d entries)\n" snapshot_file
+    (List.length snap.Axmemo_tier.Snapshot.sections)
+    (Axmemo_tier.Snapshot.total_entries snap);
+  let cfgs = [ tier_serve None; tier_serve (Some snapshot_file) ] in
+  let outcomes = Serve.run_matrix ~jobs:(jobs ()) cfgs in
+  let header =
+    [ "run"; "restored"; "cold-hit"; "warm-hit"; "p99"; "slo-viol" ]
+  in
+  let rows =
+    List.map
+      (fun (o : Serve.outcome) ->
+        [
+          (if o.cfg.Serve.warm_start = None then "cold" else "warm");
+          string_of_int o.restored_entries;
+          Table.fmt_pct o.cold_hit_rate;
+          Table.fmt_pct o.warm_hit_rate;
+          Printf.sprintf "%.0f" o.total.Serve.p99;
+          Table.fmt_pct o.slo_violation_rate;
+        ])
+      outcomes
+  in
+  Table.print ~align:[ Left; Right; Right; Right; Right; Right ] ~header rows;
+  let serial = Serve.run_matrix ~jobs:1 cfgs in
+  let identical =
+    Json.to_string (Serve.report outcomes) = Json.to_string (Serve.report serial)
+  in
+  Printf.printf "serial/parallel reports byte-identical: %b\n" identical;
+  Serve.write_report "TIER_SMOKE.json" outcomes;
+  Printf.printf "wrote TIER_SMOKE.json\n";
+  if not identical then begin
+    Printf.eprintf "FATAL: tier reports differ between serial and parallel runs\n";
+    exit 1
+  end;
+  match outcomes with
+  | [ cold; warm ] ->
+      Printf.printf "first-window hit rate: cold %.3f -> warm %.3f\n"
+        cold.Serve.cold_hit_rate warm.Serve.cold_hit_rate;
+      if warm.Serve.cold_hit_rate <= cold.Serve.cold_hit_rate then begin
+        Printf.eprintf
+          "FATAL: warm restart did not improve the first-window hit rate\n";
+        exit 1
+      end
+  | _ ->
+      Printf.eprintf "FATAL: expected exactly one cold and one warm outcome\n";
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Each experiment declares the (benchmark, config) cells it reads so the
    driver can prewarm them as one parallel matrix. [result] still covers
    anything undeclared, serially. *)
@@ -1237,6 +1337,7 @@ let experiments =
     ("faults", no_cells, faults_exp);
     ("corun", no_cells, corun_exp);
     ("serve", no_cells, serve_exp);
+    ("tier", no_cells, tier_exp);
   ]
 
 let () =

@@ -7,6 +7,7 @@
      faults [-b <bench>]      SEU resilience campaign (site x rate x protection)
      corun [-b <m1,m2>]       multi-core co-run over a shared L2 LUT
      serve [-b <m1,m2>]       open-loop service study (arrivals, queueing, SLOs)
+     snapshot save/load FILE  persist warm LUT contents for --warm-start
      profile -b <bench>       attribution profile (cycles/energy/misses/error)
      diff A.json B.json       compare two run reports; --gate for CI
      analyze -b <bench>       DDDG candidate analysis (Table 1 row)
@@ -111,6 +112,21 @@ let variant_arg =
         ~doc:"Use the (smaller) sample dataset instead of the evaluation one.")
 
 let variant_of flag = if flag then W.Workload.Sample else W.Workload.Eval
+
+(* One-line fatal error, exit 1 — bad flag values and unreadable snapshot
+   files should never surface as an OCaml backtrace. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("axmemo: " ^ msg);
+      exit 1)
+    fmt
+
+(* Sys_error messages already lead with the path; don't print it twice. *)
+let with_path file msg =
+  if String.length msg >= String.length file && String.sub msg 0 (String.length file) = file
+  then msg
+  else file ^ ": " ^ msg
 
 let metrics_arg =
   Arg.(
@@ -585,6 +601,28 @@ let fault_rate_arg =
           "Also strike the shared LUT's storage with transient upsets at \
            per-access rate $(docv).")
 
+let l3_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "l3" ] ~docv:"MB"
+        ~doc:
+          "Attach a DRAM-resident L3 LUT tier of $(docv) MiB behind the \
+           shared level (0, the default, attaches no tier). Shared-LUT \
+           victims spill into it; SRAM misses probe it at row-buffer cost.")
+
+let l3_config_of mb =
+  if mb < 0 then die "--l3 must be non-negative (got %d)" mb
+  else if mb = 0 then None
+  else Some { Axmemo_tier.Dram_lut.default with size_bytes = mb * 1024 * 1024 }
+
+(* Shared flag hygiene for the cluster-driving subcommands: reject
+   non-positive values with a one-line error instead of a backtrace. *)
+let validate_cluster_flags ~cores ~requests ~banks ~ports =
+  List.iter (fun n -> if n < 1 then die "--cores must be positive (got %d)" n) cores;
+  if requests < 1 then die "--requests must be positive (got %d)" requests;
+  if banks < 1 then die "--banks must be positive (got %d)" banks;
+  if ports < 1 then die "--ports must be positive (got %d)" ports
+
 let corun_profile_arg =
   Arg.(
     value & flag
@@ -597,9 +635,11 @@ let corun_profile_arg =
 let corun_cmd =
   let doc = "Multi-core co-run: shared L2 LUT, partitioning, arbitration." in
   let run benches sample seed cores requests partitions banks ports fault_rate
-      jobs profile metrics csv quiet =
+      l3_mb jobs profile metrics csv quiet =
     apply_seed seed;
     print_seed quiet;
+    validate_cluster_flags ~cores ~requests ~banks ~ports;
+    let l3 = l3_config_of l3_mb in
     let faults =
       Option.map
         (fun rate ->
@@ -626,11 +666,15 @@ let corun_cmd =
                 requests;
                 variant = variant_of sample;
                 faults;
+                l3;
               })
             partitions)
         cores
     in
-    let outcomes = Corun.run_matrix ?jobs ~profile cfgs in
+    let outcomes =
+      try Corun.run_matrix ?jobs ~profile cfgs
+      with Invalid_argument msg -> die "%s" msg
+    in
     if not quiet then begin
       let header =
         [ "cores"; "partition"; "makespan"; "thrpt/s"; "speedup"; "hit"; "fair";
@@ -675,7 +719,8 @@ let corun_cmd =
     Term.(
       const run $ corun_bench_arg $ variant_arg $ seed_arg $ cores_arg
       $ requests_arg $ partitions_arg $ banks_arg $ ports_arg $ fault_rate_arg
-      $ jobs_arg $ corun_profile_arg $ metrics_arg $ csv_arg $ quiet_arg)
+      $ l3_arg $ jobs_arg $ corun_profile_arg $ metrics_arg $ csv_arg
+      $ quiet_arg)
 
 (* ---- serve: open-loop service study ----------------------------------- *)
 
@@ -761,16 +806,45 @@ let wall_arg =
           "Include host $(b,sim_wall_seconds) in each run's report summary \
            (off by default: wall clock is outside the bit-identity contract).")
 
+let warm_start_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "warm-start" ] ~docv:"FILE"
+        ~doc:
+          "Restore LUT contents from a snapshot ($(b,axmemo snapshot save)) \
+           into the fresh cluster before the first request — warm restart. \
+           The arrival stream is unchanged, so the run is directly \
+           comparable to its cold twin.")
+
 let serve_cmd =
   let doc =
     "Open-loop service study: seeded arrivals, bounded admission queue, \
      per-request latency, SLO accounting, saturation sweeps."
   in
   let run benches sample seed cores requests partitions banks ports arrival
-      loads queue shed slo sweep_load wall jobs metrics csv chrome_trace quiet =
+      loads queue shed slo l3_mb warm_start sweep_load wall jobs metrics csv
+      chrome_trace quiet =
     apply_seed seed;
     print_seed quiet;
+    validate_cluster_flags ~cores ~requests ~banks ~ports;
+    if queue < 1 then die "--queue must be positive (got %d)" queue;
+    if slo < 0 then die "--slo must be non-negative (got %d)" slo;
     let loads = if sweep_load then Serve.sweep_loads else loads in
+    List.iter
+      (fun l ->
+        if not (l > 0.0 && Float.is_finite l) then
+          die "--load must be positive (got %g)" l)
+      loads;
+    let l3 = l3_config_of l3_mb in
+    (* Validate the snapshot up front so a missing/corrupt file is one line
+       and exit 1, not a mid-matrix exception. *)
+    (match warm_start with
+    | None -> ()
+    | Some path -> (
+        match Axmemo_tier.Snapshot.load path with
+        | Ok _ -> ()
+        | Error msg -> die "--warm-start: %s" (with_path path msg)));
     let cfgs =
       List.concat_map
         (fun ncores ->
@@ -789,18 +863,23 @@ let serve_cmd =
                         workloads = benches;
                         requests;
                         variant = variant_of sample;
+                        l3;
                       };
                     arrival;
                     load;
                     queue_capacity = queue;
                     shed;
                     slo_cycles = slo;
+                    warm_start;
                   })
                 loads)
             partitions)
         cores
     in
-    let outcomes = Serve.run_matrix ?jobs cfgs in
+    let outcomes =
+      try Serve.run_matrix ?jobs cfgs
+      with Invalid_argument msg -> die "%s" msg
+    in
     if not quiet then begin
       let header =
         [ "cores"; "partition"; "load"; "arrived"; "served"; "shed"; "p50";
@@ -865,8 +944,106 @@ let serve_cmd =
     Term.(
       const run $ corun_bench_arg $ variant_arg $ seed_arg $ cores_arg
       $ requests_arg $ partitions_arg $ banks_arg $ ports_arg $ arrival_arg
-      $ loads_arg $ queue_arg $ shed_arg $ slo_arg $ sweep_load_arg $ wall_arg
-      $ jobs_arg $ metrics_arg $ csv_arg $ chrome_trace_arg $ quiet_arg)
+      $ loads_arg $ queue_arg $ shed_arg $ slo_arg $ l3_arg $ warm_start_arg
+      $ sweep_load_arg $ wall_arg $ jobs_arg $ metrics_arg $ csv_arg
+      $ chrome_trace_arg $ quiet_arg)
+
+(* ---- snapshot: warm-LUT persistence ----------------------------------- *)
+
+module Tier_snapshot = Axmemo_tier.Snapshot
+
+let snapshot_cmd =
+  let doc = "Save or validate warm-LUT snapshots for warm-restart serving." in
+  let file_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot file.")
+  in
+  let section_table (snap : Tier_snapshot.t) =
+    List.iter
+      (fun (s : Tier_snapshot.section) ->
+        Printf.printf "  %-6s %6d entries\n" s.Tier_snapshot.name
+          (Array.length s.Tier_snapshot.entries))
+      snap.Tier_snapshot.sections
+  in
+  let save_cmd =
+    let doc =
+      "Warm a cluster with a closed request stream, then save every LUT \
+       level's contents (versioned, checksummed) to $(b,FILE)."
+    in
+    let ncores_arg =
+      Arg.(
+        value & opt int 2
+        & info [ "cores" ] ~docv:"N" ~doc:"Cores of the warming cluster.")
+    in
+    let partition_arg =
+      Arg.(
+        value
+        & opt partition_conv Shared_lut.Free_for_all
+        & info [ "partition" ] ~docv:"P"
+            ~doc:"Shared-LUT partitioning policy of the warming cluster.")
+    in
+    let run file benches sample seed ncores requests partition banks ports
+        l3_mb quiet =
+      apply_seed seed;
+      print_seed quiet;
+      validate_cluster_flags ~cores:[ ncores ] ~requests ~banks ~ports;
+      let cfg =
+        {
+          Corun.default with
+          ncores;
+          partition;
+          banks;
+          ports;
+          workloads = benches;
+          requests;
+          variant = variant_of sample;
+          l3 = l3_config_of l3_mb;
+        }
+      in
+      let snap =
+        try
+          let _outcome, cluster = Corun.run_keep cfg in
+          Corun.capture_snapshot cluster
+        with Invalid_argument msg -> die "%s" msg
+      in
+      (try Tier_snapshot.save snap file
+       with Sys_error msg -> die "%s" msg);
+      if not quiet then begin
+        Printf.printf "wrote %s: version %d, %d sections, %d entries\n" file
+          Tier_snapshot.version
+          (List.length snap.Tier_snapshot.sections)
+          (Tier_snapshot.total_entries snap);
+        section_table snap
+      end
+    in
+    Cmd.v (Cmd.info "save" ~doc)
+      Term.(
+        const run $ file_pos $ corun_bench_arg $ variant_arg $ seed_arg
+        $ ncores_arg $ requests_arg $ partition_arg $ banks_arg $ ports_arg
+        $ l3_arg $ quiet_arg)
+  in
+  let load_cmd =
+    let doc =
+      "Validate a snapshot file (magic, version, checksum) and summarize its \
+       sections; exit 1 with a one-line error on any problem."
+    in
+    let run file quiet =
+      match Tier_snapshot.load file with
+      | Error msg -> die "%s" (with_path file msg)
+      | Ok snap ->
+          if not quiet then begin
+            Printf.printf "%s: ok — version %d, %d sections, %d entries\n" file
+              Tier_snapshot.version
+              (List.length snap.Tier_snapshot.sections)
+              (Tier_snapshot.total_entries snap);
+            section_table snap
+          end
+    in
+    Cmd.v (Cmd.info "load" ~doc) Term.(const run $ file_pos $ quiet_arg)
+  in
+  Cmd.group (Cmd.info "snapshot" ~doc) [ save_cmd; load_cmd ]
 
 (* ---- profile: attribution profiler ----------------------------------- *)
 
@@ -1056,4 +1233,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; sweep_cmd; faults_cmd; corun_cmd; serve_cmd;
-            profile_cmd; diff_cmd; analyze_cmd; ir_cmd; check_cmd ]))
+            snapshot_cmd; profile_cmd; diff_cmd; analyze_cmd; ir_cmd;
+            check_cmd ]))

@@ -78,6 +78,7 @@ let () =
     match MU.last_lookup_level unit with
     | MU.Hit_l1 -> `L1
     | MU.Hit_l2 -> `L2
+    | MU.Hit_l3 -> `L3
     | MU.Miss -> `Miss
   in
   let mem, inb, outb = setup () in

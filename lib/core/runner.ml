@@ -226,6 +226,7 @@ let run_hw ?metrics ?profile ?(trace = false) ?backend ~label
     match Memo_unit.last_lookup_level unit with
     | Memo_unit.Hit_l1 -> `L1
     | Memo_unit.Hit_l2 -> `L2
+    | Memo_unit.Hit_l3 -> `L3
     | Memo_unit.Miss -> `Miss
   in
   let pipe =
@@ -261,6 +262,7 @@ let run_hw ?metrics ?profile ?(trace = false) ?backend ~label
               match Memo_unit.last_lookup_level unit with
               | Memo_unit.Hit_l1 -> Tracer.instant tr "lut_hit_l1"
               | Memo_unit.Hit_l2 -> Tracer.instant tr "lut_hit_l2"
+              | Memo_unit.Hit_l3 -> Tracer.instant tr "lut_hit_l3"
               | Memo_unit.Miss -> Tracer.instant tr "lut_miss")
           | Ir.Memo (Ir.Invalidate _) -> Tracer.instant tr "lut_invalidate"
           | _ -> ()

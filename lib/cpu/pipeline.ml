@@ -84,8 +84,12 @@ let profile_cycles p = Array.map Array.copy p.p_cycles
 type t = {
   machine : Machine.t;
   hier : Hierarchy.t;
-  lookup_level : unit -> [ `L1 | `L2 | `Miss ];
+  lookup_level : unit -> [ `L1 | `L2 | `L3 | `Miss ];
   l2_lut_present : bool;
+  (* DRAM cost of the most recent lookup's L3 probe (0 when no DRAM tier is
+     attached or no probe was issued) — row-buffer dependent, so a closure
+     read per lookup rather than a constant. *)
+  l3_lookup_cycles : unit -> int;
   l1_lut_ways : int;
   crc_bytes_per_cycle : int;
   nregs_of : (string, int) Hashtbl.t;
@@ -171,7 +175,7 @@ let make_telem reg =
   }
 
 let create ?metrics ?profile:prof ?(machine = Machine.hpi) ?lookup_level
-    ?(l2_lut_present = false) ?(l1_lut_ways = 4)
+    ?(l2_lut_present = false) ?(l3_lookup_cycles = fun () -> 0) ?(l1_lut_ways = 4)
     ?(crc_bytes_per_cycle = Timing.crc_bytes_per_cycle) ~program ~hierarchy () =
   let nregs_of = Hashtbl.create 16 in
   Array.iter
@@ -189,6 +193,7 @@ let create ?metrics ?profile:prof ?(machine = Machine.hpi) ?lookup_level
     hier = hierarchy;
     lookup_level = (match lookup_level with Some f -> f | None -> fun () -> `Miss);
     l2_lut_present;
+    l3_lookup_cycles;
     l1_lut_ways;
     crc_bytes_per_cycle;
     nregs_of;
@@ -414,9 +419,13 @@ and exec_memo t (mi : Ir.memo_instr) addr =
         match t.lookup_level () with
         | `L1 -> Timing.lookup_l1_cycles
         | `L2 -> Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+        | `L3 ->
+            Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+            + t.l3_lookup_cycles ()
         | `Miss ->
-            if t.l2_lut_present then Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
-            else Timing.lookup_l1_cycles
+            (if t.l2_lut_present then Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+             else Timing.lookup_l1_cycles)
+            + t.l3_lookup_cycles ()
       in
       t.memo_port_free <- c + latency;
       complete t frame (Ir.instr_dst instr) (c + latency);
@@ -693,10 +702,14 @@ let exec_site t (_fname : string) (_bidx : int) (_iidx : int) (instr : Ir.instr)
               match t.lookup_level () with
               | `L1 -> Timing.lookup_l1_cycles
               | `L2 -> Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+              | `L3 ->
+                  Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+                  + t.l3_lookup_cycles ()
               | `Miss ->
-                  if t.l2_lut_present then
-                    Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
-                  else Timing.lookup_l1_cycles
+                  (if t.l2_lut_present then
+                     Timing.lookup_l1_cycles + Timing.lookup_l2_cycles
+                   else Timing.lookup_l1_cycles)
+                  + t.l3_lookup_cycles ()
             in
             t.memo_port_free <- c + latency;
             complete_arr t frame dsts (c + latency);

@@ -91,8 +91,9 @@ val create :
   ?metrics:Axmemo_telemetry.Registry.t ->
   ?profile:profile ->
   ?machine:Machine.t ->
-  ?lookup_level:(unit -> [ `L1 | `L2 | `Miss ]) ->
+  ?lookup_level:(unit -> [ `L1 | `L2 | `L3 | `Miss ]) ->
   ?l2_lut_present:bool ->
+  ?l3_lookup_cycles:(unit -> int) ->
   ?l1_lut_ways:int ->
   ?crc_bytes_per_cycle:int ->
   program:Axmemo_ir.Ir.program ->
@@ -102,6 +103,11 @@ val create :
 (** [create ~program ~hierarchy ()] builds a timing consumer. [lookup_level]
     reports the level serviced by the most recent LUT lookup (wired to
     {!Axmemo_memo}); without it lookups are charged as L1-LUT misses.
+    [l3_lookup_cycles] reads the DRAM cost of the most recent lookup's L3
+    probe (row-buffer dependent); it is added on [`L3] hits and on misses
+    that fell through an attached DRAM tier, and defaults to a constant 0 —
+    with no tier attached the charge is bit-identical to the two-level
+    model.
     [crc_bytes_per_cycle] defaults to the unrolled unit's 4 (Table 4 /
     Section 6.1); pass 1 to model the plain serial-per-byte unit.
     With [?metrics], the model registers its instruments under [pipeline.*]

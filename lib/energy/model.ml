@@ -14,6 +14,8 @@ type constants = {
   l1_access_pj : float;
   l2_access_pj : float;
   dram_access_pj : float;
+  l3_cas_pj : float;
+  l3_activate_pj : float;
   leakage_pj_per_cycle : float;
 }
 
@@ -29,6 +31,8 @@ let default_constants =
     l1_access_pj = 20.0;
     l2_access_pj = 120.0;
     dram_access_pj = 15_000.0;
+    l3_cas_pj = 100.0;
+    l3_activate_pj = 2_000.0;
     leakage_pj_per_cycle = 20.0;
   }
 
@@ -36,6 +40,7 @@ type breakdown = {
   pipeline_pj : float;
   cache_pj : float;
   dram_pj : float;
+  l3_pj : float;
   memo_pj : float;
   protection_pj : float;
   leakage_pj : float;
@@ -45,8 +50,8 @@ type breakdown = {
 let class_count (stats : Pipeline.stats) cls =
   match List.assoc_opt cls stats.per_class with Some n -> n | None -> 0
 
-let of_run ?(constants = default_constants) ?(protection_pj = 0.0) ~pipeline ~hierarchy
-    ~memo ~l1_lut_bytes () =
+let of_run ?(constants = default_constants) ?(protection_pj = 0.0) ?(l3_row_hits = 0)
+    ?(l3_activations = 0) ~pipeline ~hierarchy ~memo ~l1_lut_bytes () =
   let k = constants in
   let c cls = float_of_int (class_count pipeline cls) in
   let fu_pj =
@@ -67,6 +72,12 @@ let of_run ?(constants = default_constants) ?(protection_pj = 0.0) ~pipeline ~hi
     +. (float_of_int l2.accesses *. k.l2_access_pj)
   in
   let dram_pj = float_of_int l2.misses *. k.dram_access_pj in
+  (* pLUTo-style L3 LUT traffic: a column access per probe landing in the
+     open row, an activation charge when the probe switched rows. *)
+  let l3_pj =
+    (float_of_int l3_row_hits *. k.l3_cas_pj)
+    +. (float_of_int l3_activations *. k.l3_activate_pj)
+  in
   let memo_pj =
     match memo with
     | None -> 0.0
@@ -82,7 +93,8 @@ let of_run ?(constants = default_constants) ?(protection_pj = 0.0) ~pipeline ~hi
   in
   let leakage_pj = float_of_int pipeline.cycles *. k.leakage_pj_per_cycle in
   (* The paper estimates application energy with McPAT, i.e. processor energy
-     only; DRAM energy is reported in the breakdown but excluded from the
-     total, matching that methodology. *)
+     only; DRAM energy — both demand misses and L3 LUT traffic — is reported
+     in the breakdown but excluded from the total, matching that
+     methodology. *)
   let total_pj = pipeline_pj +. cache_pj +. memo_pj +. protection_pj +. leakage_pj in
-  { pipeline_pj; cache_pj; dram_pj; memo_pj; protection_pj; leakage_pj; total_pj }
+  { pipeline_pj; cache_pj; dram_pj; l3_pj; memo_pj; protection_pj; leakage_pj; total_pj }

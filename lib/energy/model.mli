@@ -17,6 +17,8 @@ type constants = {
   l1_access_pj : float;
   l2_access_pj : float;
   dram_access_pj : float;
+  l3_cas_pj : float;  (** column access into an open DRAM-LUT row *)
+  l3_activate_pj : float;  (** DRAM-LUT row activation (precharge+activate) *)
   leakage_pj_per_cycle : float;
 }
 
@@ -28,6 +30,9 @@ type breakdown = {
   dram_pj : float;
       (** reported, but {e not} part of [total_pj]: the paper's McPAT totals
           are processor energy only *)
+  l3_pj : float;
+      (** DRAM-LUT tier traffic (pLUTo column accesses + row activations);
+          like [dram_pj], reported but excluded from [total_pj] *)
   memo_pj : float;
   protection_pj : float;
       (** modeled ECC checks/encodes on the LUT arrays
@@ -39,6 +44,8 @@ type breakdown = {
 val of_run :
   ?constants:constants ->
   ?protection_pj:float ->
+  ?l3_row_hits:int ->
+  ?l3_activations:int ->
   pipeline:Axmemo_cpu.Pipeline.stats ->
   hierarchy:Axmemo_cache.Hierarchy.t ->
   memo:Axmemo_memo.Memo_unit.stats option ->
@@ -49,4 +56,6 @@ val of_run :
     run's events. [memo = None] models the baseline core (no memoization
     hardware active). [?protection_pj] (default 0) adds the LUT protection
     charge computed by {!Axmemo_faults.Protection.energy_pj} into the
-    total. *)
+    total. [?l3_row_hits]/[?l3_activations] (default 0) bill DRAM-LUT tier
+    traffic into [l3_pj]; with no tier attached the breakdown is
+    bit-identical to the two-level model. *)

@@ -9,10 +9,18 @@ type site =
   | L2_lru
   | Hvr
   | Crc_datapath
+  | L3_payload
 
+(* [all_sites] deliberately excludes [L3_payload]: campaign site sweeps and
+   per-site fault telemetry iterate this list, and the DRAM tier's relaxed
+   payload cells are a *memory technology* error source (retention failures
+   at lowered refresh), not an SEU target of the default sweep — keeping the
+   list fixed also keeps every pre-L3 fault report byte-identical. *)
 let all_sites =
   [ L1_tag; L1_payload; L1_valid; L1_lru; L2_tag; L2_payload; L2_valid; L2_lru;
     Hvr; Crc_datapath ]
+
+let l3_sites_list = [ L3_payload ]
 
 let site_name = function
   | L1_tag -> "l1.tag"
@@ -25,8 +33,10 @@ let site_name = function
   | L2_lru -> "l2.lru"
   | Hvr -> "hvr"
   | Crc_datapath -> "crc"
+  | L3_payload -> "l3.payload"
 
-let site_of_string s = List.find_opt (fun x -> site_name x = s) all_sites
+let site_of_string s =
+  List.find_opt (fun x -> site_name x = s) (all_sites @ l3_sites_list)
 
 type kind = Transient | Stuck_at_0 | Stuck_at_1
 

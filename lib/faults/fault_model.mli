@@ -27,8 +27,18 @@ type site =
   | L2_lru
   | Hvr  (** in-flight hash value register, read at lookup time *)
   | Crc_datapath  (** combinational upset during one CRC byte step *)
+  | L3_payload
+      (** relaxed DRAM cells holding the L3 LUT tier's low payload bits —
+          retention failures under lowered refresh, not SEUs *)
 
 val all_sites : site list
+(** The ten SRAM-era sites. Excludes {!L3_payload}: campaign site sweeps
+    and per-site telemetry iterate this list, and the approximate-DRAM site
+    is a different error mechanism opted into by the L3 tier's criticality
+    split. *)
+
+val l3_sites_list : site list
+(** Just [L3_payload] — the sites the DRAM LUT tier draws. *)
 
 val site_name : site -> string
 (** Stable dotted identifier (["l1.tag"], ["hvr"], ...) used in metric

@@ -11,8 +11,12 @@ let site_index : Fault_model.site -> int = function
   | L2_lru -> 7
   | Hvr -> 8
   | Crc_datapath -> 9
+  | L3_payload -> 10
 
-let nsites = List.length Fault_model.all_sites
+(* [all_sites] stops at the SRAM-era sites; the DRAM-tier site still needs a
+   slot in the per-site arrays. *)
+let nsites =
+  List.length Fault_model.all_sites + List.length Fault_model.l3_sites_list
 
 type t = {
   spec : Fault_model.spec;
@@ -132,7 +136,7 @@ let stats t =
         (fun s ->
           let n = injected_at t s in
           if n > 0 then Some (s, n) else None)
-        Fault_model.all_sites;
+        (Fault_model.all_sites @ Fault_model.l3_sites_list);
     parity_detected = t.parity_detected;
     secded_corrected = t.secded_corrected;
     secded_detected = t.secded_detected;

@@ -6,3 +6,10 @@ let lookup_l1_cycles = 2
 let lookup_l2_cycles = 13
 let update_cycles = 2
 let invalidate_cycles_per_way = 1
+
+(* DRAM LUT tier (pLUTo-style in-DRAM lookup). A probe that lands in the
+   currently open row pays only the column access; switching rows pays a
+   precharge + activate on top. Bulk probes sorted by row amortise the
+   activation across every key sharing the row. *)
+let l3_row_hit_cycles = 30
+let l3_activate_cycles = 120

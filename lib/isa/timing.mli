@@ -31,3 +31,12 @@ val update_cycles : int
 
 val invalidate_cycles_per_way : int
 (** Invalidate: one cycle per way in a set (dedicated flash-clear logic). *)
+
+val l3_row_hit_cycles : int
+(** DRAM LUT tier: column access into the already-open row (pLUTo-style
+    in-DRAM probe) — the amortised cost of every bulk-probe key after the
+    first in its row. *)
+
+val l3_activate_cycles : int
+(** DRAM LUT tier: precharge + activate when a probe switches rows, paid on
+    top of {!l3_row_hit_cycles}. *)

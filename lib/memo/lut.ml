@@ -327,6 +327,57 @@ let entries t =
   done;
   !acc
 
+(* Deterministic enumeration for snapshots: set-major, way-minor, valid
+   entries only. Reads the true stored bits (not the fault-shadowed view) —
+   a snapshot records what the simulator wrote, and draws no fault
+   opportunities. Allocation-free: plain nested loops over the flat arrays. *)
+let iter_entries t f =
+  for set = 0 to t.nsets - 1 do
+    let base = set * t.nways in
+    for w = 0 to t.nways - 1 do
+      let idx = base + w in
+      if t.valid.(idx) then
+        f ~set ~way:w ~lut_id:t.lut_ids.(idx) ~key:t.keys.(idx)
+          ~payload:t.payloads.(idx) ~lru:t.lru.(idx)
+    done
+  done
+
+(* Snapshot restore port. Deliberately NOT [insert]: it must not draw fault
+   opportunities ([inject_probe]), must not fire the evict hook (a restore is
+   not a spill), and must rebuild recency deterministically — each call
+   advances the clock, so replaying entries oldest-first reproduces the
+   captured LRU order. A full set silently evicts its min-recency way
+   (regardless of policy; the scan never perturbs the Random stream). *)
+let restore_entry t ~lut_id ~key ~payload =
+  let set = set_of_key t key in
+  let base = set * t.nways in
+  let idx =
+    match find t ~lut_id ~key with
+    | Some idx -> idx
+    | None ->
+        let victim = ref (-1) in
+        (try
+           for w = 0 to t.nways - 1 do
+             if not (t.valid.(base + w)) then begin
+               victim := base + w;
+               raise Exit
+             end
+           done;
+           victim := base;
+           for w = 1 to t.nways - 1 do
+             if t.lru.(base + w) < t.lru.(!victim) then victim := base + w
+           done
+         with Exit -> ());
+        !victim
+  in
+  if not t.valid.(idx) then t.occupied <- t.occupied + 1;
+  t.valid.(idx) <- true;
+  t.lut_ids.(idx) <- lut_id;
+  t.keys.(idx) <- key;
+  t.payloads.(idx) <- payload;
+  (match t.faults with Some fp -> clear_err fp idx | None -> ());
+  touch t idx
+
 let occupancy t = t.occupied
 
 let set_occupancies t =

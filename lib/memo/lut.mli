@@ -84,6 +84,26 @@ val set_occupancies : t -> int array
 (** Valid-entry count per set, indexed by set number — the telemetry layer
     histograms this to show conflict pressure across the key space. *)
 
+val iter_entries :
+  t ->
+  (set:int -> way:int -> lut_id:int -> key:int64 -> payload:int64 ->
+   lru:int -> unit) ->
+  unit
+(** Deterministic enumeration of every valid entry in set-major, way-minor
+    order — the snapshot capture port. Reads the true stored bits (never the
+    fault-shadowed view), draws no fault opportunities, and allocates
+    nothing; [lru] is the raw recency stamp so a capture can order entries
+    oldest-first before serialising. *)
+
+val restore_entry : t -> lut_id:int -> key:int64 -> payload:int64 -> unit
+(** Snapshot restore port. Writes one entry without drawing fault
+    opportunities and without firing any evict hook (a restore is not a
+    spill). Each call advances the recency clock, so replaying a capture
+    oldest-first reproduces the captured LRU order exactly. A full set
+    silently drops its least-recent way; an existing [(lut_id, key)] match
+    is refreshed in place. Unused, the simulator's behaviour is
+    bit-identical to a build without this port. *)
+
 val entries : t -> (int * int64 * int64) list
 (** [(lut_id, key, payload)] for every valid entry — a measurement aid used
     to check the paper's no-coherence argument (Section 3.4): across cores,

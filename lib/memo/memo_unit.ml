@@ -64,7 +64,19 @@ type shared_l2 = {
   sl_invalidate : lut_id:int -> unit;
 }
 
-type level = Hit_l1 | Hit_l2 | Miss
+type level = Hit_l1 | Hit_l2 | Hit_l3 | Miss
+
+(* External DRAM LUT tier (lib/tier's Dram_lut, owned by the cluster).
+   Another neutral closure record, like [shared_l2]: probed after the last
+   SRAM level misses, filled by the spill chain, never written by [update]
+   directly. [t3_cycles] reads the cost of the probe just issued so the
+   pipeline can charge DRAM latency on the lookup path. *)
+type l3_port = {
+  t3_lookup : lut_id:int -> key:int64 -> int64 option;
+  t3_cycles : unit -> int;
+  t3_spill : lut_id:int -> key:int64 -> payload:int64 -> unit;
+  t3_invalidate : lut_id:int -> unit;
+}
 
 (* Profiling attachment (the attribution profiler in lib/obs). Like
    [shared_l2] this is a neutral closure record so the unit does not depend
@@ -92,6 +104,7 @@ type stats = {
   lookups : int;
   l1_hits : int;
   l2_hits : int;
+  l3_hits : int;
   misses : int;
   forced_misses : int;
   updates : int;
@@ -197,12 +210,19 @@ type t = {
   fingerprints : (int * int64, int64) Hashtbl.t;
   monitor : monitor_state;
   adapt : adapt_state option;
+  (* DRAM tier attachment ([attach_l3]); [last_l3_cycles] is the DRAM cost
+     of the most recent lookup's L3 probe (0 when no probe was issued), read
+     by the pipeline's latency charge. *)
+  mutable l3 : l3_port option;
+  mutable last_l3_cycles : int;
+  mutable l3_hits_c : Registry.counter option;
   mutable last_level : level;
   mutable sends : int;
   mutable bytes_hashed : int;
   mutable lookups : int;
   mutable l1_hits : int;
   mutable l2_hits : int;
+  mutable l3_hits : int;
   mutable misses : int;
   mutable forced_misses : int;
   mutable updates : int;
@@ -215,9 +235,11 @@ type t = {
      allocation-free) *)
   mutable pr_forced : bool;
   (* evict observers, pre-combined (telemetry counters + profiler) at
-     [create] so insert sites pass one option without allocating *)
-  l1_evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
-  l2_evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
+     [create] so insert sites pass one option without allocating; mutable
+     only so [attach_l3] can extend the last SRAM level's hook with the
+     spill into the DRAM tier *)
+  mutable l1_evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
+  mutable l2_evict_opt : (lut_id:int -> key:int64 -> payload:int64 -> unit) option;
   injector : Injector.t option;
   crc_fault : (int -> int64) option;
       (* the injector's datapath hook, resolved once so [engines] can pass it
@@ -369,12 +391,16 @@ let create ?metrics ?shared_l2 ?profile cfg decls =
             samples = Hashtbl.create 8;
           })
         cfg.adaptive;
+    l3 = None;
+    last_l3_cycles = 0;
+    l3_hits_c = None;
     last_level = Miss;
     sends = 0;
     bytes_hashed = 0;
     lookups = 0;
     l1_hits = 0;
     l2_hits = 0;
+    l3_hits = 0;
     misses = 0;
     forced_misses = 0;
     updates = 0;
@@ -413,6 +439,32 @@ let create ?metrics ?shared_l2 ?profile cfg decls =
 let disabled t = t.monitor.tripped
 let trip_lookup t = t.monitor.trip_at
 let injector t = t.injector
+
+(* Attach the DRAM tier. The spill chain extends the *last SRAM level*: a
+   private L2's victims (or, with neither an L2 nor a shared one, the L1's)
+   flow into [t3_spill]. Units backed by a cluster-shared L2 spill at the
+   cluster layer instead (the shared LUT's eviction hook), so nothing is
+   wrapped here. The [memo.l3.hits] counter is registered only now — an
+   L3-less unit's metrics snapshot stays byte-identical to one taken before
+   this tier existed. *)
+let attach_l3 t port =
+  if t.l3 <> None then invalid_arg "Memo_unit.attach_l3: already attached";
+  t.l3 <- Some port;
+  (match t.telem with
+  | Some tl -> t.l3_hits_c <- Some (Registry.counter tl.reg "memo.l3.hits")
+  | None -> ());
+  let wrap prev =
+    Some
+      (fun ~lut_id ~key ~payload ->
+        (match prev with Some f -> f ~lut_id ~key ~payload | None -> ());
+        port.t3_spill ~lut_id ~key ~payload)
+  in
+  match (t.l2, t.shared_l2) with
+  | Some _, _ -> t.l2_evict_opt <- wrap t.l2_evict_opt
+  | None, Some _ -> ()
+  | None, None -> t.l1_evict_opt <- wrap t.l1_evict_opt
+
+let last_l3_cycles t = t.last_l3_cycles
 
 let engines t ~tid lut =
   match Hashtbl.find_opt t.hvr (lut, tid) with
@@ -547,8 +599,47 @@ let record_hit_fingerprint t ~lut ~key ~fp =
       | Some _ -> ()
       | None -> ())
 
+(* The SRAM tiers all missed: probe the DRAM tier (when attached). A hit
+   refills the inclusive SRAM hierarchy on the way up, exactly like an
+   L2 hit refills the L1; either way the probe's DRAM cost is latched for
+   the pipeline's latency charge. *)
+let probe_l3 t ~lut ~key =
+  match t.l3 with
+  | None ->
+      t.last_level <- Miss;
+      None
+  | Some p -> (
+      match p.t3_lookup ~lut_id:lut ~key with
+      | Some payload ->
+          t.last_l3_cycles <- p.t3_cycles ();
+          t.last_level <- Hit_l3;
+          Lut.insert t.l1 ~lut_id:lut ~key ~payload (l1_evict_hook t);
+          (match t.profile with
+          | Some pr -> pr.pr_insert ~lev:`L1 ~lut ~key ~fp:None
+          | None -> ());
+          (match t.l2 with
+          | Some l2 ->
+              Lut.insert l2 ~lut_id:lut ~key ~payload (l2_evict_hook t);
+              (match t.profile with
+              | Some pr -> pr.pr_insert ~lev:`L2 ~lut ~key ~fp:None
+              | None -> ())
+          | None -> (
+              match t.shared_l2 with
+              | Some s ->
+                  s.sl_insert ~lut_id:lut ~key ~payload;
+                  (match t.profile with
+                  | Some pr -> pr.pr_insert ~lev:`L2 ~lut ~key ~fp:None
+                  | None -> ())
+              | None -> ()));
+          Some payload
+      | None ->
+          t.last_l3_cycles <- p.t3_cycles ();
+          t.last_level <- Miss;
+          None)
+
 let lookup ?(tid = 0) t ~lut =
   t.lookups <- t.lookups + 1;
+  t.last_l3_cycles <- 0;
   adapt_tick t;
   if t.monitor.tripped then begin
     t.last_level <- Miss;
@@ -586,9 +677,7 @@ let lookup ?(tid = 0) t ~lut =
           match t.l2 with
           | None -> (
               match t.shared_l2 with
-              | None ->
-                  t.last_level <- Miss;
-                  None
+              | None -> probe_l3 t ~lut ~key
               | Some s -> (
                   match s.sl_lookup ~lut_id:lut ~key with
                   | Some payload ->
@@ -599,9 +688,7 @@ let lookup ?(tid = 0) t ~lut =
                       | Some pr -> pr.pr_insert ~lev:`L1 ~lut ~key ~fp:None
                       | None -> ());
                       Some payload
-                  | None ->
-                      t.last_level <- Miss;
-                      None))
+                  | None -> probe_l3 t ~lut ~key))
           | Some l2 -> (
               match Lut.lookup l2 ~lut_id:lut ~key with
               | Some payload ->
@@ -612,9 +699,7 @@ let lookup ?(tid = 0) t ~lut =
                   | Some pr -> pr.pr_insert ~lev:`L1 ~lut ~key ~fp:None
                   | None -> ());
                   Some payload
-              | None ->
-                  t.last_level <- Miss;
-                  None))
+              | None -> probe_l3 t ~lut ~key))
     in
     let result =
       match (t.adapt, result) with
@@ -655,6 +740,7 @@ let lookup ?(tid = 0) t ~lut =
           (match t.last_level with
           | Hit_l1 -> t.l1_hits <- t.l1_hits + 1
           | Hit_l2 -> t.l2_hits <- t.l2_hits + 1
+          | Hit_l3 -> t.l3_hits <- t.l3_hits + 1
           | Miss -> ());
           (match t.profile with
           | Some pr -> pr.pr_lookup ~lut ~key ~fp ~level:t.last_level ~forced:false
@@ -759,6 +845,7 @@ let invalidate t ~lut =
   Lut.invalidate_lut t.l1 ~lut_id:lut;
   Option.iter (fun l2 -> Lut.invalidate_lut l2 ~lut_id:lut) t.l2;
   (match t.shared_l2 with Some s -> s.sl_invalidate ~lut_id:lut | None -> ());
+  (match t.l3 with Some p -> p.t3_invalidate ~lut_id:lut | None -> ());
   (match t.profile with Some pr -> pr.pr_invalidate ~lut | None -> ());
   Hashtbl.iter
     (fun (l, tid) _ -> if l = lut then Hashtbl.remove t.hvr (l, tid))
@@ -789,6 +876,7 @@ let stats t =
     lookups = t.lookups;
     l1_hits = t.l1_hits;
     l2_hits = t.l2_hits;
+    l3_hits = t.l3_hits;
     misses = t.misses;
     forced_misses = t.forced_misses;
     updates = t.updates;
@@ -799,7 +887,7 @@ let stats t =
 
 let hit_rate t =
   if t.lookups = 0 then 0.0
-  else float_of_int (t.l1_hits + t.l2_hits) /. float_of_int t.lookups
+  else float_of_int (t.l1_hits + t.l2_hits + t.l3_hits) /. float_of_int t.lookups
 
 let flush_metrics t =
   match t.telem with
@@ -810,6 +898,9 @@ let flush_metrics t =
       Registry.set_count tl.lookups_c t.lookups;
       Registry.set_count tl.l1_hits_c t.l1_hits;
       Registry.set_count tl.l2_hits_c t.l2_hits;
+      (match t.l3_hits_c with
+      | Some c -> Registry.set_count c t.l3_hits
+      | None -> ());
       Registry.set_count tl.misses_c t.misses;
       Registry.set_count tl.forced_misses_c t.forced_misses;
       Registry.set_count tl.updates_c t.updates;
@@ -842,6 +933,8 @@ let flush_metrics t =
       | _ -> ()
 
 let l1_ways t = Lut.ways t.l1
+let l1_lut t = t.l1
+let l2_lut t = t.l2
 
 let lut_entries t =
   Lut.entries t.l1 @ (match t.l2 with Some l2 -> Lut.entries l2 | None -> [])
@@ -871,11 +964,13 @@ let reset t =
       Hashtbl.reset a.samples
   | _ -> ());
   t.last_level <- Miss;
+  t.last_l3_cycles <- 0;
   t.sends <- 0;
   t.bytes_hashed <- 0;
   t.lookups <- 0;
   t.l1_hits <- 0;
   t.l2_hits <- 0;
+  t.l3_hits <- 0;
   t.misses <- 0;
   t.forced_misses <- 0;
   t.updates <- 0;

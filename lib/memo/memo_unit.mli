@@ -63,7 +63,7 @@ type lut_decl = { lut_id : int; payload : Axmemo_ir.Payload.kind }
     field is interpreted (needed by the quality monitor to compute relative
     errors). *)
 
-type level = Hit_l1 | Hit_l2 | Miss
+type level = Hit_l1 | Hit_l2 | Hit_l3 | Miss
 
 type stats = {
   sends : int;
@@ -71,6 +71,7 @@ type stats = {
   lookups : int;
   l1_hits : int;
   l2_hits : int;
+  l3_hits : int;  (** hits served by an attached DRAM tier ({!attach_l3}) *)
   misses : int;  (** includes monitor-forced misses *)
   forced_misses : int;
   updates : int;
@@ -90,6 +91,19 @@ type shared_l2 = {
     fills the L1), [sl_insert] on update, [sl_invalidate] on the
     [invalidate] instruction and on adaptive-truncation changes — while the
     caller owns storage, partitioning and arbitration. *)
+
+type l3_port = {
+  t3_lookup : lut_id:int -> key:int64 -> int64 option;
+  t3_cycles : unit -> int;
+  t3_spill : lut_id:int -> key:int64 -> payload:int64 -> unit;
+  t3_invalidate : lut_id:int -> unit;
+}
+(** Externally owned DRAM LUT tier ([Axmemo_tier.Dram_lut], typically
+    cluster-shared). Probed after the last SRAM level misses; a hit refills
+    the inclusive SRAM hierarchy. [t3_cycles] reads the DRAM cost of the
+    probe just issued (row-buffer dependent), [t3_spill] receives SRAM
+    victims, [t3_invalidate] drops a logical LUT. Another neutral closure
+    record, so this library does not depend on the tier layer. *)
 
 type profile_hooks = {
   pr_lookup :
@@ -167,8 +181,21 @@ val invalidate_external : t -> lut:int -> unit
     [invalidate]. Does not touch hash registers, the shared level, or this
     core's invalidation count — those belong to the issuing core. *)
 
+val attach_l3 : t -> l3_port -> unit
+(** Attach the DRAM tier. Extends the last {e private} SRAM level's evict
+    hook with [t3_spill] (a unit backed by a cluster-shared L2 spills at the
+    cluster layer instead), and registers the [memo.l3.hits] counter when a
+    registry is attached — so an L3-less unit's metrics snapshot and
+    behaviour stay byte-identical to a build without this tier.
+    @raise Invalid_argument if a tier is already attached. *)
+
 val last_lookup_level : t -> level
 (** Latency class of the most recent lookup ([Miss] before any lookup). *)
+
+val last_l3_cycles : t -> int
+(** DRAM cycles charged by the most recent lookup's L3 probe — 0 when no
+    probe was issued (L1/L2 hit, no tier attached, or tripped monitor). The
+    pipeline adds this to its lookup latency. *)
 
 val disabled : t -> bool
 (** True once the quality monitor has shut memoization off. *)
@@ -185,10 +212,16 @@ val injector : t -> Axmemo_faults.Injector.t option
 val stats : t -> stats
 
 val hit_rate : t -> float
-(** Total (L1 + L2) hits over lookups; 0 when no lookups were made. *)
+(** Total (L1 + L2 + L3) hits over lookups; 0 when no lookups were made. *)
 
 val l1_ways : t -> int
 (** Associativity of the L1 LUT (for [invalidate] timing). *)
+
+val l1_lut : t -> Lut.t
+(** The private L1 LUT — the snapshot layer's capture/restore handle. *)
+
+val l2_lut : t -> Lut.t option
+(** The private L2 LUT, when configured. *)
 
 val extra_truncation : t -> lut_id:int -> int
 (** Current adaptive extra-truncation level for one LUT (0 when the unit is

@@ -14,6 +14,8 @@ module Fault_model = Axmemo_faults.Fault_model
 module Injector = Axmemo_faults.Injector
 module Runner = Axmemo.Runner
 module Profile = Axmemo_obs.Profile
+module Dram_lut = Axmemo_tier.Dram_lut
+module Snapshot = Axmemo_tier.Snapshot
 module Json = Axmemo_util.Json
 module Pool = Axmemo_util.Pool
 module Rng = Axmemo_util.Rng
@@ -30,6 +32,7 @@ type config = {
   variant : Workload.variant;
   retain_luts : bool;
   faults : Fault_model.spec option;  (* strikes the shared LUT's storage *)
+  l3 : Dram_lut.config option;  (* DRAM LUT tier behind the shared level *)
 }
 
 let default =
@@ -45,12 +48,19 @@ let default =
     variant = Workload.Sample;
     retain_luts = true;
     faults = None;
+    l3 = None;
   }
 
+(* The l3 suffix appears only when the tier is configured, so every
+   pre-existing label — and everything keyed off it (baselines, arrival
+   seeds) — is untouched by tier-less runs. *)
 let label cfg =
-  Printf.sprintf "corun(%dcore,%s,%s)" cfg.ncores
+  Printf.sprintf "corun(%dcore,%s,%s%s)" cfg.ncores
     (Shared_lut.partition_name cfg.partition)
     (String.concat "+" cfg.workloads)
+    (match cfg.l3 with
+    | None -> ""
+    | Some c -> Printf.sprintf ",l3=%dKB" (c.Dram_lut.size_bytes / 1024))
 
 let machine = Machine.hpi
 
@@ -129,6 +139,7 @@ type cluster = {
   cfg : config;
   mix : mix_entry list;
   shared : Shared_lut.t;
+  l3 : Dram_lut.t option;  (* DRAM tier absorbing shared-level spills *)
   arbiter : Arbiter.t;
   cores : core array;
   cluster_metrics : Registry.t option;
@@ -178,6 +189,15 @@ let create_cluster ?(metrics = false) ?(profile = false) cfg =
       Shared_lut.set_evict_observer shared (fun ~lut_id ~key ~full ->
           Array.iter (fun p -> Profile.shared_evict p ~lut:lut_id ~key ~full) ps)
   | None -> ());
+  (* The DRAM tier sits behind the shared level: its only fill path is the
+     shared LUT's victim stream (an exclusive-ish spill chain), installed on
+     top of the telemetry/profiler eviction hooks. *)
+  let l3 = Option.map (fun c -> Dram_lut.create ?metrics:cluster_metrics ?injector c) cfg.l3 in
+  (match l3 with
+  | Some d ->
+      Shared_lut.set_spill shared (fun ~lut_id ~key ~payload ->
+          Dram_lut.insert d ~lut_id ~key ~payload)
+  | None -> ());
   let active = ref { base = 0; clock = (fun () -> 0) } in
   (* Per-cycle fault bases integrate over the clock of whichever core is
      currently executing (requests run one at a time). *)
@@ -219,11 +239,30 @@ let create_cluster ?(metrics = false) ?(profile = false) cfg =
     in
     { id; timing; unit_; hierarchy; metrics = core_metrics }
   in
-  { cfg; mix; shared; arbiter; cores = Array.init cfg.ncores mk_core;
-    cluster_metrics; injector; active; profiles }
+  let cores = Array.init cfg.ncores mk_core in
+  (* Each unit probes the same DRAM tier on an SRAM miss; the port closures
+     close over the cluster's single [Dram_lut.t], so the refill/invalidate
+     traffic of every core lands in one structure. *)
+  (match l3 with
+  | Some d ->
+      Array.iter
+        (fun c ->
+          Memo_unit.attach_l3 c.unit_
+            {
+              Memo_unit.t3_lookup =
+                (fun ~lut_id ~key -> Dram_lut.lookup d ~lut_id ~key);
+              t3_cycles = (fun () -> Dram_lut.last_probe_cycles d);
+              t3_spill =
+                (fun ~lut_id ~key ~payload -> Dram_lut.insert d ~lut_id ~key ~payload);
+              t3_invalidate = (fun ~lut_id -> Dram_lut.invalidate_lut d ~lut_id);
+            })
+        cores
+  | None -> ());
+  { cfg; mix; shared; l3; arbiter; cores; cluster_metrics; injector; active; profiles }
 
 let core_unit cluster ~core = cluster.cores.(core).unit_
 let shared_lut cluster = cluster.shared
+let dram_lut cluster = cluster.l3
 
 (* A core's memo hooks, wrapped so a retired [invalidate] broadcasts to
    every other core's private L1 (Section 3.4's cross-core visibility: the
@@ -283,6 +322,7 @@ let stats_delta (a : Memo_unit.stats) (b : Memo_unit.stats) : Memo_unit.stats =
     lookups = b.lookups - a.lookups;
     l1_hits = b.l1_hits - a.l1_hits;
     l2_hits = b.l2_hits - a.l2_hits;
+    l3_hits = b.l3_hits - a.l3_hits;
     misses = b.misses - a.misses;
     forced_misses = b.forced_misses - a.forced_misses;
     updates = b.updates - a.updates;
@@ -315,6 +355,7 @@ let run_request cluster ~core ~start (entry : mix_entry) =
     match Memo_unit.last_lookup_level c.unit_ with
     | Memo_unit.Hit_l1 -> `L1
     | Memo_unit.Hit_l2 -> `L2
+    | Memo_unit.Hit_l3 -> `L3
     | Memo_unit.Miss -> `Miss
   in
   let pipe =
@@ -324,12 +365,14 @@ let run_request cluster ~core ~start (entry : mix_entry) =
            (fun ps -> Profile.pipeline_profile ps.(core))
            cluster.profiles)
       ~machine ~lookup_level ~l2_lut_present:true
+      ~l3_lookup_cycles:(fun () -> Memo_unit.last_l3_cycles c.unit_)
       ~l1_lut_ways:(Memo_unit.l1_ways c.unit_)
       ~crc_bytes_per_cycle:Timing.crc_bytes_per_cycle ~program ~hierarchy:c.hierarchy ()
   in
   c.timing.clock <- (fun () -> Pipeline.cycles pipe);
   cluster.active := c.timing;
   let before = Memo_unit.stats c.unit_ in
+  let l3_before = Option.map Dram_lut.stats cluster.l3 in
   let interp =
     Interp.create ~memo:(memo_hooks cluster ~core) ~hooks:(Pipeline.hooks pipe) ~program
       ~mem:instance.Workload.mem ()
@@ -350,9 +393,20 @@ let run_request cluster ~core ~start (entry : mix_entry) =
   Pipeline.profile_close pipe;
   let ms = stats_delta before (Memo_unit.stats c.unit_) in
   let pipeline_stats = Pipeline.stats pipe in
+  (* This request's share of the DRAM tier's row traffic (the tier is a
+     cluster-wide structure; requests run one at a time, so the delta is
+     exactly this request's). *)
+  let l3_row_hits, l3_activations =
+    match (l3_before, cluster.l3) with
+    | Some b, Some d ->
+        let s = Dram_lut.stats d in
+        ( s.Dram_lut.row_hits - b.Dram_lut.row_hits,
+          s.Dram_lut.row_activations - b.Dram_lut.row_activations )
+    | _ -> (0, 0)
+  in
   let energy =
-    Model.of_run ~pipeline:pipeline_stats ~hierarchy:c.hierarchy ~memo:(Some ms)
-      ~l1_lut_bytes:cfg.l1_bytes ()
+    Model.of_run ~l3_row_hits ~l3_activations ~pipeline:pipeline_stats
+      ~hierarchy:c.hierarchy ~memo:(Some ms) ~l1_lut_bytes:cfg.l1_bytes ()
   in
   let cycles = pipeline_stats.Pipeline.cycles in
   {
@@ -365,10 +419,12 @@ let run_request cluster ~core ~start (entry : mix_entry) =
     pipeline = pipeline_stats;
     energy;
     lookups = ms.lookups;
-    hits = ms.l1_hits + ms.l2_hits;
+    hits = ms.l1_hits + ms.l2_hits + ms.l3_hits;
     hit_rate =
       (if ms.lookups = 0 then 0.0
-       else float_of_int (ms.l1_hits + ms.l2_hits) /. float_of_int ms.lookups);
+       else
+         float_of_int (ms.l1_hits + ms.l2_hits + ms.l3_hits)
+         /. float_of_int ms.lookups);
     collisions = ms.collisions;
     memo_disabled = Memo_unit.disabled c.unit_;
     trip_lookup = Memo_unit.trip_lookup c.unit_;
@@ -440,6 +496,21 @@ type core_summary = {
   shadow_hits : int;
 }
 
+(* End-of-run DRAM tier aggregate; present only when the config asked for
+   the tier, so tier-less outcome JSON is byte-identical to before. *)
+type l3_summary = {
+  l3_probes : int;
+  l3_tier_hits : int;
+  l3_misses : int;
+  l3_spills : int;
+  l3_evictions : int;
+  l3_row_activations : int;
+  l3_row_hits : int;
+  l3_corrupted_reads : int;
+  l3_occupancy : int;
+  l3_capacity : int;
+}
+
 type outcome = {
   cfg : config;
   requests : request_run list;
@@ -457,6 +528,7 @@ type outcome = {
   shared_occupancy : int;
   coherence_keys : int;  (* (lut, key) pairs present in several structures *)
   coherence_divergent : int;  (* of those, tags equal but data unequal *)
+  l3 : l3_summary option;
   faults : Injector.stats option;
   snapshots : (string * Registry.snapshot) list;
   profiles : Profile.snapshot array option;  (* per core, core order *)
@@ -464,7 +536,9 @@ type outcome = {
 
 (* The paper's no-coherence argument, measured: collect every structure's
    valid entries and count (lut_id, key) pairs that appear in more than one
-   of them — and how many of those hold diverging payloads. *)
+   of them — and how many of those hold diverging payloads. The DRAM tier is
+   deliberately excluded: its relaxed payload cells are approximate by
+   contract, so an entry that decayed there is not a coherence violation. *)
 let coherence_check (cluster : cluster) =
   let tbl : (int * int64, int64 list) Hashtbl.t = Hashtbl.create 1024 in
   let add entries =
@@ -485,7 +559,7 @@ let coherence_check (cluster : cluster) =
           (keys + 1, if List.for_all (fun q -> q = p) rest then divergent else divergent + 1))
     tbl (0, 0)
 
-let run ?(metrics = false) ?(profile = false) cfg =
+let run_keep ?(metrics = false) ?(profile = false) cfg =
   let cluster = create_cluster ~metrics ~profile cfg in
   let stream = Schedule.stream ~workloads:cfg.workloads ~requests:cfg.requests in
   let mix_of =
@@ -572,7 +646,25 @@ let run ?(metrics = false) ?(profile = false) cfg =
   let keys, divergent = coherence_check cluster in
   flush_metrics cluster;
   let snapshots = cluster_snapshots cluster in
-  {
+  let l3 =
+    Option.map
+      (fun d ->
+        let s = Dram_lut.stats d in
+        {
+          l3_probes = s.Dram_lut.probes;
+          l3_tier_hits = s.Dram_lut.hits;
+          l3_misses = s.Dram_lut.misses;
+          l3_spills = s.Dram_lut.inserts;
+          l3_evictions = s.Dram_lut.evictions;
+          l3_row_activations = s.Dram_lut.row_activations;
+          l3_row_hits = s.Dram_lut.row_hits;
+          l3_corrupted_reads = s.Dram_lut.corrupted_reads;
+          l3_occupancy = Dram_lut.occupancy d;
+          l3_capacity = Dram_lut.capacity_entries d;
+        })
+      cluster.l3
+  in
+  ( {
     cfg;
     requests;
     cores;
@@ -600,10 +692,55 @@ let run ?(metrics = false) ?(profile = false) cfg =
     shared_occupancy = Shared_lut.occupancy cluster.shared;
     coherence_keys = keys;
     coherence_divergent = divergent;
+    l3;
     faults = Option.map Injector.stats cluster.injector;
     snapshots;
     profiles = Option.map (Array.map Profile.snapshot) cluster.profiles;
-  }
+  },
+    cluster )
+
+let run ?metrics ?profile cfg = fst (run_keep ?metrics ?profile cfg)
+
+(* ---- warm-LUT snapshots ------------------------------------------------
+
+   Section naming: "l1.<core>" per private level, "l2" the shared level,
+   "l3" the DRAM tier. Restore replays whatever sections match the target
+   cluster's shape and reports how many entries landed, so a snapshot from
+   a wider configuration degrades gracefully instead of failing. *)
+
+let capture_snapshot (cluster : cluster) =
+  let l1s =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           Snapshot.capture_lut
+             ~name:(Printf.sprintf "l1.%d" i)
+             (Memo_unit.l1_lut c.unit_))
+         cluster.cores)
+  in
+  let l2 = Snapshot.capture_lut ~name:"l2" (Shared_lut.lut cluster.shared) in
+  let l3 =
+    match cluster.l3 with
+    | Some d -> [ Snapshot.capture_dram ~name:"l3" d ]
+    | None -> []
+  in
+  { Snapshot.sections = l1s @ (l2 :: l3) }
+
+let restore_snapshot (cluster : cluster) (snap : Snapshot.t) =
+  let restored = ref 0 in
+  Array.iteri
+    (fun i c ->
+      match Snapshot.section snap (Printf.sprintf "l1.%d" i) with
+      | Some s -> restored := !restored + Snapshot.restore_lut s (Memo_unit.l1_lut c.unit_)
+      | None -> ())
+    cluster.cores;
+  (match Snapshot.section snap "l2" with
+  | Some s -> restored := !restored + Snapshot.restore_lut s (Shared_lut.lut cluster.shared)
+  | None -> ());
+  (match (Snapshot.section snap "l3", cluster.l3) with
+  | Some s, Some d -> restored := !restored + Snapshot.restore_dram s d
+  | _ -> ());
+  !restored
 
 let run_matrix ?jobs ?(profile = false) cfgs =
   Pool.run ?jobs (fun cfg -> run ~metrics:true ~profile cfg) cfgs
@@ -637,8 +774,31 @@ let schedule_head_rows = 24
 let outcome_json o =
   let cfg = o.cfg in
   let head = List.filteri (fun i _ -> i < schedule_head_rows) o.requests in
+  (* The "l3" block appears only for tier-configured runs so tier-less
+     reports stay byte-identical to their committed baselines. *)
+  let l3_fields =
+    match o.l3 with
+    | None -> []
+    | Some t ->
+        [
+          ( "l3",
+            Json.Obj
+              [
+                ("probes", Json.Int t.l3_probes);
+                ("hits", Json.Int t.l3_tier_hits);
+                ("misses", Json.Int t.l3_misses);
+                ("spills", Json.Int t.l3_spills);
+                ("evictions", Json.Int t.l3_evictions);
+                ("row_activations", Json.Int t.l3_row_activations);
+                ("row_hits", Json.Int t.l3_row_hits);
+                ("corrupted_reads", Json.Int t.l3_corrupted_reads);
+                ("occupancy", Json.Int t.l3_occupancy);
+                ("capacity", Json.Int t.l3_capacity);
+              ] );
+        ]
+  in
   Json.Obj
-    [
+    ([
       ("label", Json.Str (label cfg));
       ("ncores", Json.Int cfg.ncores);
       ("partition", Json.Str (Shared_lut.partition_name cfg.partition));
@@ -685,6 +845,7 @@ let outcome_json o =
                 ("tag_aliases", Json.Int s.Injector.tag_aliases);
               ] );
     ]
+    @ l3_fields)
 
 let default_series_cap = 32
 

@@ -31,13 +31,21 @@ type config = {
           bit for bit *)
   faults : Axmemo_faults.Fault_model.spec option;
       (** when set, upsets strike the shared LUT's storage *)
+  l3 : Axmemo_tier.Dram_lut.config option;
+      (** when set, a DRAM-resident LUT tier sits behind the shared level:
+          shared-LUT victims spill into it, every core's SRAM miss probes
+          it (row-buffer-priced through the pipeline's lookup charge), and
+          its relaxed payload cells decay through the fault injector when
+          the spec enables site [l3.payload] *)
 }
 
 val default : config
 (** 2 cores, 8 KiB L1 / 512 KiB shared, free-for-all, 8 banks x 1 port,
-    8 blackscholes requests, warm LUTs, no faults. *)
+    8 blackscholes requests, warm LUTs, no faults, no L3 tier. *)
 
 val label : config -> string
+(** Appends [",l3=<n>KB"] only when the tier is configured, so tier-less
+    labels (and everything keyed off them) are unchanged. *)
 
 (** {1 The cluster}
 
@@ -64,6 +72,23 @@ val memo_hooks : cluster -> core:int -> Axmemo_ir.Interp.memo_hooks
 
 val core_unit : cluster -> core:int -> Axmemo_memo.Memo_unit.t
 val shared_lut : cluster -> Shared_lut.t
+
+val dram_lut : cluster -> Axmemo_tier.Dram_lut.t option
+(** The cluster's DRAM tier, when the config asked for one. *)
+
+val capture_snapshot : cluster -> Axmemo_tier.Snapshot.t
+(** Serialize every LUT level's warm contents: sections ["l1.<core>"] per
+    private L1, ["l2"] the shared level, ["l3"] the DRAM tier (when
+    attached), each ordered oldest-first so a restore reproduces recency
+    state. Deterministic for a deterministic run. *)
+
+val restore_snapshot : cluster -> Axmemo_tier.Snapshot.t -> int
+(** Replay a snapshot's sections into a freshly created cluster (before any
+    request runs); returns the number of entries restored. Sections that
+    do not match the cluster's shape (extra cores, an [l3] section with no
+    tier attached) are skipped, so a snapshot from a wider configuration
+    degrades gracefully. Restoring draws no fault events and leaves
+    telemetry counters untouched. *)
 
 (** {2 Serve-layer access}
 
@@ -120,6 +145,19 @@ type core_summary = {
   shadow_hits : int;
 }
 
+type l3_summary = {
+  l3_probes : int;
+  l3_tier_hits : int;
+  l3_misses : int;
+  l3_spills : int;  (** shared-level victims absorbed (posted writes) *)
+  l3_evictions : int;
+  l3_row_activations : int;
+  l3_row_hits : int;
+  l3_corrupted_reads : int;  (** reads that exposed a decayed relaxed bit *)
+  l3_occupancy : int;
+  l3_capacity : int;
+}
+
 type outcome = {
   cfg : config;
   requests : request_run list;
@@ -138,6 +176,10 @@ type outcome = {
   coherence_keys : int;
       (** (lut, key) pairs simultaneously present in several structures *)
   coherence_divergent : int;  (** of those, how many hold unequal payloads *)
+  l3 : l3_summary option;
+      (** DRAM tier aggregate; [None] unless the config asked for the tier.
+          The coherence counts above deliberately exclude the tier — its
+          relaxed payload cells are approximate by contract. *)
   faults : Axmemo_faults.Injector.stats option;
   snapshots : (string * Axmemo_telemetry.Registry.snapshot) list;
       (** ["core<i>"] per-core registries, ["cluster"] the shared LUT's;
@@ -148,6 +190,11 @@ type outcome = {
           [None] unless [run ~profile:true]. Merge with
           {!Axmemo_obs.Profile.merge} for the cluster view. *)
 }
+
+val run_keep : ?metrics:bool -> ?profile:bool -> config -> outcome * cluster
+(** [run], but also hands back the cluster with its warm end-of-run LUT
+    state — the closed-stream warmer behind [axmemo snapshot save]
+    ({!capture_snapshot} the returned cluster). *)
 
 val run : ?metrics:bool -> ?profile:bool -> config -> outcome
 (** Simulates one co-run: streams the requests, dispatches them with

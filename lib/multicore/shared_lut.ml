@@ -122,6 +122,18 @@ let set_evict_observer t f =
         (match base with Some g -> g ~lut_id ~key ~payload | None -> ());
         f ~lut_id ~key ~full:(Lut.occupancy t.lut = Lut.capacity_entries t.lut))
 
+(* The DRAM tier's spill feed. Same wholesale-replacement discipline as
+   [set_evict_observer]: the previous hook (telemetry, profiler) keeps
+   firing, and the victim's payload rides along so the L3 can absorb it. *)
+let set_spill t f =
+  let base = t.evict_opt in
+  t.evict_opt <-
+    Some
+      (fun ~lut_id ~key ~payload ->
+        (match base with Some g -> g ~lut_id ~key ~payload | None -> ());
+        f ~lut_id ~key ~payload)
+
+let lut t = t.lut
 let way_range t ~core = t.ranges.(core)
 let ways t = Lut.ways t.lut
 let set_of_key t key = Lut.set_of_key t.lut key

@@ -67,6 +67,17 @@ val set_evict_observer :
     conflict, measured while the victim is still counted. Call at most
     once, before the first insert. *)
 
+val set_spill :
+  t -> (lut_id:int -> key:int64 -> payload:int64 -> unit) -> unit
+(** Install a payload-carrying spill hook on top of whatever eviction hook
+    is already installed (telemetry and/or the profiler's observer) — the
+    DRAM L3 tier absorbs shared-level victims through it. Call at most
+    once, before the first insert. *)
+
+val lut : t -> Axmemo_memo.Lut.t
+(** The underlying storage, exposed for snapshot capture/restore only —
+    mutating it directly bypasses partition bookkeeping. *)
+
 val invalidate_all : t -> unit
 
 val way_range : t -> core:int -> int * int

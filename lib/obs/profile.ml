@@ -50,6 +50,7 @@ type rstat = {
   mutable lookups : int;
   mutable l1_hits : int;
   mutable l2_hits : int;
+  mutable l3_hits : int;
   mutable misses : int;
   reasons : int array;
   mutable collisions : int;
@@ -66,6 +67,7 @@ let fresh_rstat () =
     lookups = 0;
     l1_hits = 0;
     l2_hits = 0;
+    l3_hits = 0;
     misses = 0;
     reasons = Array.make nreasons 0;
     collisions = 0;
@@ -184,6 +186,7 @@ let on_lookup t ~lut ~key ~fp ~level ~forced =
   match (level : Memo_unit.level) with
   | Hit_l1 -> rs.l1_hits <- rs.l1_hits + 1
   | Hit_l2 -> rs.l2_hits <- rs.l2_hits + 1
+  | Hit_l3 -> rs.l3_hits <- rs.l3_hits + 1
   | Miss ->
       rs.misses <- rs.misses + 1;
       let r = classify_miss t ~lut ~key ~fp ~forced in
@@ -227,6 +230,7 @@ type region_snap = {
   lookups : int;
   l1_hits : int;
   l2_hits : int;
+  l3_hits : int;
   misses : int;
   reasons : int array;
   collisions : int;
@@ -289,6 +293,7 @@ let snapshot t =
       lookups = rs.lookups;
       l1_hits = rs.l1_hits;
       l2_hits = rs.l2_hits;
+      l3_hits = rs.l3_hits;
       misses = rs.misses;
       reasons = Array.copy rs.reasons;
       collisions = rs.collisions;
@@ -324,6 +329,7 @@ let merge snaps =
           lookups = a.lookups + b.lookups;
           l1_hits = a.l1_hits + b.l1_hits;
           l2_hits = a.l2_hits + b.l2_hits;
+          l3_hits = a.l3_hits + b.l3_hits;
           misses = a.misses + b.misses;
           reasons = add2 a.reasons b.reasons;
           collisions = a.collisions + b.collisions;
@@ -347,7 +353,7 @@ let merge snaps =
 
 let hit_rate r =
   if r.lookups = 0 then 0.0
-  else float_of_int (r.l1_hits + r.l2_hits) /. float_of_int r.lookups
+  else float_of_int (r.l1_hits + r.l2_hits + r.l3_hits) /. float_of_int r.lookups
 
 let err_mean r = if r.err_count = 0 then 0.0 else r.err_sum /. float_of_int r.err_count
 
@@ -443,6 +449,7 @@ let to_json snap =
         ("lookups", Json.Int r.lookups);
         ("l1_hits", Json.Int r.l1_hits);
         ("l2_hits", Json.Int r.l2_hits);
+        ("l3_hits", Json.Int r.l3_hits);
         ("misses", Json.Int r.misses);
         ( "miss_reasons",
           Json.Obj

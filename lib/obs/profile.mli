@@ -86,6 +86,7 @@ type region_snap = {
   lookups : int;
   l1_hits : int;
   l2_hits : int;
+  l3_hits : int;  (** hits served by the DRAM LUT tier, when attached *)
   misses : int;
   reasons : int array;  (** indexed like {!all_reasons}; sums to [misses] *)
   collisions : int;

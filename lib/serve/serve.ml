@@ -32,6 +32,7 @@ type config = {
   queue_capacity : int;
   shed : Schedule.shed_policy;
   slo_cycles : int;  (* 0 = auto: slo_auto_factor x calibrated mean *)
+  warm_start : string option;  (* snapshot file restored before dispatch *)
 }
 
 let slo_auto_factor = 4.0
@@ -44,15 +45,24 @@ let default =
     queue_capacity = 16;
     shed = Schedule.Drop_tail;
     slo_cycles = 0;
+    warm_start = None;
   }
 
-let label cfg =
+(* [base_label] deliberately ignores [warm_start]: it keys the arrival
+   stream's seed, so a warm-started run faces exactly the arrival sequence
+   its cold twin does — the only difference between them is LUT state. *)
+let base_label cfg =
   Printf.sprintf "serve(%s,load=%g,%dcore,%s,q=%d,%s)"
     (Arrival.kind_name cfg.arrival)
     cfg.load cfg.cluster.Corun.ncores
     (Shared_lut.partition_name cfg.cluster.Corun.partition)
     cfg.queue_capacity
     (Schedule.shed_policy_name cfg.shed)
+
+let label cfg =
+  match cfg.warm_start with
+  | None -> base_label cfg
+  | Some _ -> base_label cfg ^ "+warm"
 
 let machine = Machine.hpi
 let cycles_per_second = machine.Machine.freq_ghz *. 1e9
@@ -81,7 +91,8 @@ let calibrate cfg =
    root seed via derive_stream. *)
 let arrival_seed cfg =
   Rng.derive_stream
-    (Int64.of_int (Hashtbl.hash ("serve-arrivals", label cfg, cfg.cluster.Corun.requests)))
+    (Int64.of_int
+       (Hashtbl.hash ("serve-arrivals", base_label cfg, cfg.cluster.Corun.requests)))
 
 (* ---- per-request records ---------------------------------------------- *)
 
@@ -125,6 +136,7 @@ type outcome = {
   cold_hit_rate : float;
   warm_hit_rate : float;
   aggregate_hit_rate : float;
+  restored_entries : int;  (* LUT entries replayed from --warm-start; 0 cold *)
   contention_cycles : int;
   shared_accesses : int;
   contended_accesses : int;
@@ -181,6 +193,18 @@ let run (cfg : config) =
     else int_of_float (slo_auto_factor *. mean_service)
   in
   let cluster = Corun.create_cluster ~metrics:true cfg.cluster in
+  (* Warm restart: replay a saved snapshot into the fresh cluster before the
+     first request. Snapshot problems surface as Invalid_argument so the CLI
+     turns them into a one-line error and exit 1. *)
+  let restored_entries =
+    match cfg.warm_start with
+    | None -> 0
+    | Some path -> (
+        match Axmemo_tier.Snapshot.load path with
+        | Ok snap -> Corun.restore_snapshot cluster snap
+        | Error msg ->
+            invalid_arg (Printf.sprintf "Serve.run: warm-start %s: %s" path msg))
+  in
   let placements, shed, busy =
     Schedule.dispatch_open ~ncores ~queue_capacity:cfg.queue_capacity
       ~shed:cfg.shed
@@ -347,6 +371,7 @@ let run (cfg : config) =
     cold_hit_rate = ratio (hits_of (fun r -> r.cold)) (lookups_of (fun r -> r.cold));
     warm_hit_rate = ratio (hits_of (fun r -> not r.cold)) (lookups_of (fun r -> not r.cold));
     aggregate_hit_rate = ratio (hits_of (fun _ -> true)) (lookups_of (fun _ -> true));
+    restored_entries;
     contention_cycles = Array.fold_left ( + ) 0 settlement.Axmemo_multicore.Arbiter.stall_cycles;
     shared_accesses = settlement.Axmemo_multicore.Arbiter.accesses;
     contended_accesses = settlement.Axmemo_multicore.Arbiter.contended;
@@ -442,8 +467,19 @@ let latency_json l =
     ]
 
 let service_json o =
+  (* Warm-start fields appear only for warm-started runs, so every
+     pre-existing report stays byte-identical to its committed baseline. *)
+  let warm_fields =
+    match o.cfg.warm_start with
+    | None -> []
+    | Some path ->
+        [
+          ("warm_start", Json.Str (Filename.basename path));
+          ("restored_entries", Json.Int o.restored_entries);
+        ]
+  in
   Json.Obj
-    [
+    ([
       ("arrival", Json.Str (Arrival.kind_name o.cfg.arrival));
       ("offered_load", Json.Float o.cfg.load);
       ("rate_per_mcycle", Json.Float (o.rate *. 1e6));
@@ -472,6 +508,7 @@ let service_json o =
       ("contended_accesses", Json.Int o.contended_accesses);
       ("trace_unmatched_ends", Json.Int o.trace_unmatched_ends);
     ]
+    @ warm_fields)
 
 let default_series_cap = Corun.default_series_cap
 

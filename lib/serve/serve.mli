@@ -31,6 +31,11 @@ type config = {
   slo_cycles : int;
       (** total-latency SLO; 0 = auto ({!slo_auto_factor} x the calibrated
           mean service time) *)
+  warm_start : string option;
+      (** snapshot file ({!Axmemo_tier.Snapshot}) replayed into the fresh
+          cluster before the first request — warm restart. The arrival
+          stream's seed ignores this field, so a warm run faces exactly the
+          arrivals its cold twin does; the only difference is LUT state. *)
 }
 
 val slo_auto_factor : float
@@ -38,9 +43,10 @@ val slo_auto_factor : float
 
 val default : config
 (** Poisson arrivals at load 0.8 over {!Axmemo_multicore.Corun.default},
-    queue of 16, drop-tail, auto SLO. *)
+    queue of 16, drop-tail, auto SLO, no warm start. *)
 
 val label : config -> string
+(** Appends ["+warm"] when [warm_start] is set; cold labels unchanged. *)
 
 val calibrate : config -> float
 (** Mean cold service cycles over the mix's distinct workloads, measured on
@@ -96,9 +102,13 @@ type outcome = {
   makespan_cycles : int;
   throughput_rps : float;  (** served requests per simulated second *)
   offered_rps : float;
-  cold_hit_rate : float;  (** LUT hit rate of first-per-workload requests *)
+  cold_hit_rate : float;
+      (** LUT hit rate of first-per-workload requests — the first window a
+          warm restart is meant to rescue *)
   warm_hit_rate : float;  (** hit rate of every later request *)
   aggregate_hit_rate : float;
+  restored_entries : int;
+      (** LUT entries replayed from the [warm_start] snapshot; 0 cold *)
   contention_cycles : int;  (** arbitration stalls, settled post-hoc *)
   shared_accesses : int;
   contended_accesses : int;
@@ -121,7 +131,8 @@ type outcome = {
 val run : config -> outcome
 (** Simulates one service run.
     @raise Invalid_argument on a non-positive load with open-loop
-    arrivals, a negative SLO, or anything {!Axmemo_multicore.Corun} or
+    arrivals, a negative SLO, an unreadable/invalid [warm_start] snapshot,
+    or anything {!Axmemo_multicore.Corun} or
     {!Axmemo_multicore.Schedule.dispatch_open} rejects. *)
 
 val run_matrix : ?jobs:int -> config list -> outcome list

@@ -309,7 +309,7 @@ let test_dispatch_open_drop_head_prefers_fresh () =
 
 let base ?(ncores = 2) ?(requests = 10) ?(arrival = Arrival.Poisson)
     ?(load = 1.0) ?(queue = 4) ?(shed = Schedule.Drop_tail) ?(slo = 0)
-    ?(workloads = [ "blackscholes" ]) () =
+    ?(workloads = [ "blackscholes" ]) ?l3 ?warm_start () =
   {
     Serve.cluster =
       {
@@ -318,12 +318,14 @@ let base ?(ncores = 2) ?(requests = 10) ?(arrival = Arrival.Poisson)
         workloads;
         requests;
         variant = W.Workload.Sample;
+        l3;
       };
     arrival;
     load;
     queue_capacity = queue;
     shed;
     slo_cycles = slo;
+    warm_start;
   }
 
 (* Shared across tests to keep the suite quick. *)
