@@ -1,14 +1,13 @@
 # Developer entry points. `make check` is the one-stop gate: full build,
 # test suite, the perf smoke, bounded fault-injection, multi-core co-run,
-# open-loop serve and tiered-storage warm-restart smokes (all under
-# timeouts so a hung pool cannot wedge CI), and the diff gate comparing
-# each smoke report against its
-# committed baseline snapshot.
+# open-loop serve, tiered-storage warm-restart and sharded-cluster smokes
+# (all under timeouts so a hung pool cannot wedge CI), and the diff gate
+# comparing each smoke report against its committed baseline snapshot.
 
 SMOKE_TIMEOUT ?= 900
 JOBS ?= 4
 
-.PHONY: all build test smoke faults-smoke corun-smoke serve-smoke bench-serve tier-smoke diff-gate check clean
+.PHONY: all build test smoke faults-smoke corun-smoke serve-smoke bench-serve tier-smoke cluster-smoke diff-gate check clean
 
 all: build
 
@@ -65,6 +64,16 @@ bench-serve: build
 tier-smoke: build
 	timeout $(SMOKE_TIMEOUT) dune exec bench/main.exe -- tier --jobs $(JOBS)
 
+# Sharded-cluster smoke (bench experiment): the 1/2/4-node scale-out curve
+# on the blackscholes+sobel mix plus a kmeans directory-vs-broadcast twin.
+# The experiment exits nonzero unless 2 nodes out-serve 1 node, the
+# directory sends strictly fewer invalidation messages than the flat
+# per-core broadcast fan-out, and the report is byte-identical between
+# serial and parallel matrices. Writes CLUSTER_SMOKE.json with no
+# wall-clock fields, so its gate is exact.
+cluster-smoke: build
+	timeout $(SMOKE_TIMEOUT) dune exec bench/main.exe -- cluster --jobs $(JOBS)
+
 # Regression gate: every metric in the fresh smoke reports must match the
 # committed baseline exactly (the simulator is deterministic), with one
 # exception: summary.sim_wall_seconds is host wall clock, so it carries a
@@ -72,8 +81,8 @@ tier-smoke: build
 # to catch an order-of-magnitude simulator-throughput regression. A
 # legitimate perf or model change updates the snapshot in the same PR:
 #   cp BENCH_PR1.json FAULTS_SMOKE.json CORUN_SMOKE.json SERVE_SMOKE.json \
-#      BENCH_SERVE.json TIER_SMOKE.json bench/baselines/
-diff-gate: smoke faults-smoke corun-smoke serve-smoke bench-serve tier-smoke
+#      BENCH_SERVE.json TIER_SMOKE.json CLUSTER_SMOKE.json bench/baselines/
+diff-gate: smoke faults-smoke corun-smoke serve-smoke bench-serve tier-smoke cluster-smoke
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/BENCH_PR1.json BENCH_PR1.json \
 	  --tol "summary.sim_wall_seconds=3:0.5" --gate --quiet
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/FAULTS_SMOKE.json FAULTS_SMOKE.json --gate --quiet
@@ -82,6 +91,7 @@ diff-gate: smoke faults-smoke corun-smoke serve-smoke bench-serve tier-smoke
 	  --tol "summary.sim_wall_seconds=3:0.5" --gate --quiet
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/BENCH_SERVE.json BENCH_SERVE.json --gate --quiet
 	dune exec bin/axmemo_cli.exe -- diff bench/baselines/TIER_SMOKE.json TIER_SMOKE.json --gate --quiet
+	dune exec bin/axmemo_cli.exe -- diff bench/baselines/CLUSTER_SMOKE.json CLUSTER_SMOKE.json --gate --quiet
 
 check: build test diff-gate
 

@@ -18,7 +18,8 @@
                                     BENCH_PR1.{compiled,interp}.json
 
    Experiment ids: table1 table2 table3 table4 table5 fig7a fig7b fig8 fig9
-                   fig10a fig10b fig11 atm l2sens faults corun serve *)
+                   fig10a fig10b fig11 atm l2sens faults corun serve tier
+                   cluster *)
 
 module W = Axmemo_workloads
 module Workload = W.Workload
@@ -40,6 +41,7 @@ module Shared_lut = Axmemo_multicore.Shared_lut
 module Corun = Axmemo_multicore.Corun
 module Serve = Axmemo_serve.Serve
 module Arrival = Axmemo_serve.Arrival
+module Cluster = Axmemo_cluster.Cluster
 
 let benchmarks = W.Registry.all
 let names = W.Registry.names
@@ -874,6 +876,7 @@ let perf_smoke () =
           metrics = snapshot;
           profile = None;
           service = None;
+              cluster = None;
         })
       cell_benchmarks pairs
   in
@@ -1119,6 +1122,7 @@ let serve_cfgs () =
                     requests = 24;
                     variant = Workload.Sample;
                   };
+                nodes = 1;
                 arrival = Arrival.Poisson;
                 load;
                 queue_capacity = 8;
@@ -1217,6 +1221,7 @@ let tier_cluster =
 let tier_serve warm_start =
   {
     Serve.cluster = tier_cluster;
+    nodes = 1;
     arrival = Arrival.Poisson;
     load = 0.8;
     queue_capacity = 8;
@@ -1285,6 +1290,121 @@ let tier_exp () =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Cluster smoke: the sharded multi-node scale-out end to end. Fixed work
+   (the blackscholes+sobel mix, 16 requests total) over 1, 2 and 4 nodes
+   of 2 cores each — the scale-out curve — plus a kmeans+sobel cell whose
+   barrier invalidates exercise the directory against its broadcast
+   twin. Three hard gates: 2 nodes must out-serve 1 node on throughput,
+   the directory must send strictly fewer invalidation messages than the
+   flat per-core broadcast fan-out it replaces, and the rendered report
+   must be byte-identical between serial and parallel matrices — then
+   CLUSTER_SMOKE.json is written for the exact diff gate in make check. *)
+
+let cluster_mix = [ "blackscholes"; "sobel" ]
+
+let cluster_node ncores workloads =
+  {
+    Corun.default with
+    ncores;
+    workloads;
+    requests = 16;
+    variant = Workload.Sample;
+  }
+
+let cluster_cfgs () =
+  List.map
+    (fun nodes ->
+      { Cluster.default with Cluster.nodes; node = cluster_node 2 cluster_mix })
+    [ 1; 2; 4 ]
+  @ List.map
+      (fun directory ->
+        {
+          Cluster.default with
+          Cluster.nodes = 2;
+          node = cluster_node 2 [ "kmeans"; "sobel" ];
+          directory;
+        })
+      [ true; false ]
+
+let cluster_exp () =
+  heading "Cluster: sharded multi-node scale-out and directory traffic";
+  let cfgs = cluster_cfgs () in
+  let outcomes = Cluster.run_matrix ~jobs:(jobs ()) cfgs in
+  let header =
+    [ "config"; "makespan"; "thrpt/s"; "speedup"; "hit"; "shard"; "inv sent";
+      "filt"; "bcast="; "net msgs" ]
+  in
+  let rows =
+    List.map
+      (fun (o : Cluster.outcome) ->
+        [
+          Cluster.label o.Cluster.cfg;
+          string_of_int o.Cluster.makespan_cycles;
+          Printf.sprintf "%.0f" o.Cluster.throughput_rps;
+          Table.fmt_x o.Cluster.speedup;
+          Table.fmt_pct o.Cluster.aggregate_hit_rate;
+          Printf.sprintf "%.3f" o.Cluster.shard_balance;
+          string_of_int o.Cluster.inv_sent;
+          string_of_int o.Cluster.inv_filtered;
+          string_of_int o.Cluster.inv_broadcast_equivalent;
+          string_of_int o.Cluster.net_messages;
+        ])
+      outcomes
+  in
+  Table.print
+    ~align:
+      [ Left; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+    ~header rows;
+  let serial = Cluster.run_matrix ~jobs:1 cfgs in
+  let identical =
+    Json.to_string (Cluster.report outcomes)
+    = Json.to_string (Cluster.report serial)
+  in
+  Printf.printf "serial/parallel reports byte-identical: %b\n" identical;
+  Cluster.write_report "CLUSTER_SMOKE.json" outcomes;
+  Printf.printf "wrote CLUSTER_SMOKE.json\n";
+  if not identical then begin
+    Printf.eprintf
+      "FATAL: cluster reports differ between serial and parallel runs\n";
+    exit 1
+  end;
+  (match outcomes with
+  | one :: two :: _ ->
+      Printf.printf "scale-out: 1 node %.0f req/s -> 2 nodes %.0f req/s\n"
+        one.Cluster.throughput_rps two.Cluster.throughput_rps;
+      if two.Cluster.throughput_rps <= one.Cluster.throughput_rps then begin
+        Printf.eprintf
+          "FATAL: 2-node cluster did not out-serve the 1-node cluster\n";
+        exit 1
+      end
+  | _ ->
+      Printf.eprintf "FATAL: expected the 1/2/4-node scale-out outcomes\n";
+      exit 1);
+  match List.rev outcomes with
+  | bcast :: dir :: _ ->
+      Printf.printf
+        "directory traffic: %d sent + %d filtered vs %d broadcast-equivalent\n"
+        dir.Cluster.inv_sent dir.Cluster.inv_filtered
+        dir.Cluster.inv_broadcast_equivalent;
+      if dir.Cluster.inv_events = 0 then begin
+        Printf.eprintf "FATAL: the kmeans cell retired no invalidates\n";
+        exit 1
+      end;
+      if dir.Cluster.inv_sent >= dir.Cluster.inv_broadcast_equivalent then begin
+        Printf.eprintf
+          "FATAL: directory sent no fewer messages than a broadcast\n";
+        exit 1
+      end;
+      if bcast.Cluster.inv_sent < dir.Cluster.inv_sent then begin
+        Printf.eprintf
+          "FATAL: broadcast mode sent fewer messages than the directory\n";
+        exit 1
+      end
+  | _ ->
+      Printf.eprintf "FATAL: expected the directory/broadcast twin outcomes\n";
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Each experiment declares the (benchmark, config) cells it reads so the
    driver can prewarm them as one parallel matrix. [result] still covers
    anything undeclared, serially. *)
@@ -1338,6 +1458,7 @@ let experiments =
     ("corun", no_cells, corun_exp);
     ("serve", no_cells, serve_exp);
     ("tier", no_cells, tier_exp);
+    ("cluster", no_cells, cluster_exp);
   ]
 
 let () =

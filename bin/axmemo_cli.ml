@@ -261,6 +261,7 @@ let run_cmd =
           metrics = snapshot;
           profile = None;
           service = None;
+              cluster = None;
         }
       in
       Option.iter
@@ -368,6 +369,7 @@ let sweep_cmd =
                      metrics = snapshot;
                      profile = None;
                      service = None;
+              cluster = None;
                    })
                  rs snaps)
              selected)
@@ -817,17 +819,28 @@ let warm_start_arg =
            The arrival stream is unchanged, so the run is directly \
            comparable to its cold twin.")
 
+let serve_nodes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "nodes" ] ~docv:"M"
+        ~doc:
+          "Service nodes. 1 (the default) serves from a single co-run \
+           cluster; more shard the LUT key space across $(docv) nodes of \
+           $(b,--cores) cores each, with directory invalidation and the \
+           modeled interconnect, and the report gains the cluster section.")
+
 let serve_cmd =
   let doc =
     "Open-loop service study: seeded arrivals, bounded admission queue, \
      per-request latency, SLO accounting, saturation sweeps."
   in
-  let run benches sample seed cores requests partitions banks ports arrival
-      loads queue shed slo l3_mb warm_start sweep_load wall jobs metrics csv
-      chrome_trace quiet =
+  let run benches sample seed cores requests partitions banks ports nodes
+      arrival loads queue shed slo l3_mb warm_start sweep_load wall jobs
+      metrics csv chrome_trace quiet =
     apply_seed seed;
     print_seed quiet;
     validate_cluster_flags ~cores ~requests ~banks ~ports;
+    if nodes < 1 then die "--nodes must be positive (got %d)" nodes;
     if queue < 1 then die "--queue must be positive (got %d)" queue;
     if slo < 0 then die "--slo must be non-negative (got %d)" slo;
     let loads = if sweep_load then Serve.sweep_loads else loads in
@@ -865,6 +878,7 @@ let serve_cmd =
                         variant = variant_of sample;
                         l3;
                       };
+                    nodes;
                     arrival;
                     load;
                     queue_capacity = queue;
@@ -943,10 +957,179 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ corun_bench_arg $ variant_arg $ seed_arg $ cores_arg
-      $ requests_arg $ partitions_arg $ banks_arg $ ports_arg $ arrival_arg
-      $ loads_arg $ queue_arg $ shed_arg $ slo_arg $ l3_arg $ warm_start_arg
-      $ sweep_load_arg $ wall_arg $ jobs_arg $ metrics_arg $ csv_arg
-      $ chrome_trace_arg $ quiet_arg)
+      $ requests_arg $ partitions_arg $ banks_arg $ ports_arg
+      $ serve_nodes_arg $ arrival_arg $ loads_arg $ queue_arg $ shed_arg
+      $ slo_arg $ l3_arg $ warm_start_arg $ sweep_load_arg $ wall_arg
+      $ jobs_arg $ metrics_arg $ csv_arg $ chrome_trace_arg $ quiet_arg)
+
+(* ---- cluster: sharded multi-node scale-out ---------------------------- *)
+
+module Cluster = Axmemo_cluster.Cluster
+
+let cluster_nodes_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4 ]
+    & info [ "nodes" ] ~docv:"M,.."
+        ~doc:
+          "Node counts to sweep. Each node is its own co-run cluster of \
+           $(b,--cores) cores; LUT entries are homed on a node by the high \
+           bits of their CRC tag, and cross-node traffic pays the modeled \
+           interconnect.")
+
+let cluster_cores_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "cores" ] ~docv:"N" ~doc:"Cores per node.")
+
+let replicate_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "replicate-threshold" ] ~docv:"N"
+        ~doc:
+          "Remote hits on one entry before it is replicated into the \
+           requester's local shared LUT (the directory invalidates stale \
+           replicas point-to-point). 0, the default, disables replication.")
+
+let net_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "net" ] ~docv:"CYCLES:PJ"
+        ~doc:
+          "Interconnect override: per-hop message latency in cycles and \
+           per-hop link energy in pJ, colon-separated (e.g. $(b,64:500)). \
+           Defaults to the energy model's constants.")
+
+let net_ports_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "net-ports" ] ~docv:"N"
+        ~doc:"Simultaneous messages a destination NIC accepts per window.")
+
+let no_directory_arg =
+  Arg.(
+    value & flag
+    & info [ "no-directory" ]
+        ~doc:
+          "Broadcast invalidations to every other node instead of \
+           point-to-point directory messages to registered sharers — the \
+           broadcast-equivalent baseline (same final LUT contents, more \
+           messages).")
+
+(* Parse "CYCLES:PJ"; any malformed shape is a one-line die, not a
+   backtrace — satellite flag hygiene mirrors validate_cluster_flags. *)
+let net_override_of = function
+  | None -> (Cluster.default.Cluster.net_msg_cycles, Cluster.default.Cluster.net_hop_pj)
+  | Some s -> (
+      match String.index_opt s ':' with
+      | None -> die "--net expects CYCLES:PJ (got %s)" s
+      | Some i ->
+          let cyc = String.sub s 0 i in
+          let pj = String.sub s (i + 1) (String.length s - i - 1) in
+          (match (int_of_string_opt cyc, float_of_string_opt pj) with
+          | Some c, Some p when c >= 1 && Float.is_finite p && p >= 0. -> (c, p)
+          | Some c, Some _ when c < 1 ->
+              die "--net cycles must be positive (got %d)" c
+          | _ -> die "--net expects CYCLES:PJ (got %s)" s))
+
+let cluster_cmd =
+  let doc =
+    "Sharded multi-node memoization: home-shard routing, directory \
+     invalidation, optional hot-entry replication, interconnect accounting."
+  in
+  let run benches sample seed nodes ncores requests banks ports
+      replicate_threshold net net_ports no_directory l3_mb jobs metrics csv
+      chrome_trace quiet =
+    apply_seed seed;
+    print_seed quiet;
+    List.iter
+      (fun m -> if m < 1 then die "--nodes must be positive (got %d)" m)
+      nodes;
+    validate_cluster_flags ~cores:[ ncores ] ~requests ~banks ~ports;
+    if replicate_threshold < 0 then
+      die "--replicate-threshold must be non-negative (got %d)"
+        replicate_threshold;
+    if net_ports < 1 then die "--net-ports must be positive (got %d)" net_ports;
+    let net_msg_cycles, net_hop_pj = net_override_of net in
+    let l3 = l3_config_of l3_mb in
+    let node =
+      {
+        Corun.default with
+        ncores;
+        banks;
+        ports;
+        workloads = benches;
+        requests;
+        variant = variant_of sample;
+        l3;
+      }
+    in
+    let cfgs =
+      List.map
+        (fun m ->
+          {
+            Cluster.nodes = m;
+            node;
+            replicate_threshold;
+            net_msg_cycles;
+            net_hop_pj;
+            net_ports;
+            directory = not no_directory;
+          })
+        nodes
+    in
+    let outcomes =
+      try Cluster.run_matrix ?jobs cfgs
+      with Invalid_argument msg -> die "%s" msg
+    in
+    if not quiet then begin
+      let header =
+        [ "nodes"; "cores"; "makespan"; "thrpt/s"; "speedup"; "hit"; "shard";
+          "rep"; "inv sent"; "filt"; "bcast=" ; "net msgs" ]
+      in
+      let rows =
+        List.map
+          (fun (o : Cluster.outcome) ->
+            [
+              string_of_int o.Cluster.cfg.Cluster.nodes;
+              string_of_int
+                (o.Cluster.cfg.Cluster.nodes
+                * o.Cluster.cfg.Cluster.node.Corun.ncores);
+              string_of_int o.Cluster.makespan_cycles;
+              Printf.sprintf "%.0f" o.Cluster.throughput_rps;
+              Table.fmt_x o.Cluster.speedup;
+              Table.fmt_pct o.Cluster.aggregate_hit_rate;
+              Printf.sprintf "%.3f" o.Cluster.shard_balance;
+              Table.fmt_pct o.Cluster.replication_hit_share;
+              string_of_int o.Cluster.inv_sent;
+              string_of_int o.Cluster.inv_filtered;
+              string_of_int o.Cluster.inv_broadcast_equivalent;
+              string_of_int o.Cluster.net_messages;
+            ])
+          outcomes
+      in
+      Table.print
+        ~align:
+          [ Right; Right; Right; Right; Right; Right; Right; Right; Right;
+            Right; Right; Right ]
+        ~header rows
+    end;
+    Option.iter (fun path -> Cluster.write_report path outcomes) metrics;
+    Option.iter
+      (fun path -> Report.write_csv path (Cluster.report_runs outcomes))
+      csv;
+    Option.iter
+      (fun path ->
+        match outcomes with [] -> () | o :: _ -> Cluster.write_trace o path)
+      chrome_trace
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      const run $ corun_bench_arg $ variant_arg $ seed_arg $ cluster_nodes_arg
+      $ cluster_cores_arg $ requests_arg $ banks_arg $ ports_arg
+      $ replicate_arg $ net_arg $ net_ports_arg $ no_directory_arg $ l3_arg
+      $ jobs_arg $ metrics_arg $ csv_arg $ chrome_trace_arg $ quiet_arg)
 
 (* ---- snapshot: warm-LUT persistence ----------------------------------- *)
 
@@ -1110,6 +1293,7 @@ let profile_cmd =
               metrics = snapshot;
               profile = Some (Profile.to_json snap);
               service = None;
+              cluster = None;
             };
           ])
       metrics
@@ -1232,6 +1416,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; corun_cmd; serve_cmd;
-            snapshot_cmd; profile_cmd; diff_cmd; analyze_cmd; ir_cmd;
-            check_cmd ]))
+          [ list_cmd; run_cmd; sweep_cmd; faults_cmd; corun_cmd; cluster_cmd;
+            serve_cmd; snapshot_cmd; profile_cmd; diff_cmd; analyze_cmd;
+            ir_cmd; check_cmd ]))

@@ -20,6 +20,8 @@ type constants = {
   l3_cas_pj : float;  (** column access into an open DRAM-LUT row *)
   l3_activate_pj : float;  (** DRAM-LUT row activation (precharge+activate) *)
   leakage_pj_per_cycle : float;
+  net_hop_pj : float;  (** one interconnect message leg traversing one hop *)
+  net_msg_cycles : int;  (** per-hop link latency for one LUT message *)
 }
 
 val default_constants : constants
@@ -38,6 +40,10 @@ type breakdown = {
       (** modeled ECC checks/encodes on the LUT arrays
           ({!Axmemo_faults.Protection}); 0 for unprotected runs *)
   leakage_pj : float;
+  net_pj : float;
+      (** sharded-cluster interconnect traffic ([net_hops] message-leg hops
+          at [net_hop_pj] each); like [dram_pj], reported but excluded from
+          [total_pj] *)
   total_pj : float;
 }
 
@@ -46,6 +52,7 @@ val of_run :
   ?protection_pj:float ->
   ?l3_row_hits:int ->
   ?l3_activations:int ->
+  ?net_hops:int ->
   pipeline:Axmemo_cpu.Pipeline.stats ->
   hierarchy:Axmemo_cache.Hierarchy.t ->
   memo:Axmemo_memo.Memo_unit.stats option ->
@@ -58,4 +65,6 @@ val of_run :
     charge computed by {!Axmemo_faults.Protection.energy_pj} into the
     total. [?l3_row_hits]/[?l3_activations] (default 0) bill DRAM-LUT tier
     traffic into [l3_pj]; with no tier attached the breakdown is
-    bit-identical to the two-level model. *)
+    bit-identical to the two-level model. [?net_hops] (default 0) bills
+    cluster interconnect message-leg hops into [net_pj]; single-node runs
+    leave it 0. *)

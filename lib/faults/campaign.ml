@@ -175,6 +175,7 @@ let run ?jobs cfg benchmarks ~variant =
               metrics = snap;
               profile = None;
               service = None;
+              cluster = None;
             }
           in
           runs := mk_run base_snap base [] :: !runs;

@@ -313,6 +313,34 @@ let invalidate_lut t ~lut_id =
     end
   done
 
+(* Directory-driven drop of one entry (a remote write invalidating a stale
+   replica): clears every way holding (lut_id, key) in the entry's set,
+   reading the true stored bits like [invalidate_lut]. *)
+let invalidate_entry t ~lut_id ~key =
+  let set = set_of_key t key in
+  let base = set * t.nways in
+  let dropped = ref false in
+  for w = 0 to t.nways - 1 do
+    let idx = base + w in
+    if t.valid.(idx) && t.lut_ids.(idx) = lut_id && t.keys.(idx) = key then begin
+      t.valid.(idx) <- false;
+      t.occupied <- t.occupied - 1;
+      (match t.faults with
+      | Some fp -> fp.valid_err.(idx) <- false
+      | None -> ());
+      dropped := true
+    end
+  done;
+  !dropped
+
+let holds_lut t ~lut_id =
+  let n = Array.length t.valid in
+  let rec go i =
+    if i >= n then false
+    else (t.valid.(i) && t.lut_ids.(i) = lut_id) || go (i + 1)
+  in
+  go 0
+
 let invalidate_all t =
   Array.fill t.valid 0 (Array.length t.valid) false;
   t.occupied <- 0;

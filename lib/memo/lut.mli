@@ -72,6 +72,17 @@ val set_of_key : t -> int64 -> int
 val invalidate_lut : t -> lut_id:int -> unit
 (** Drop all entries of one logical LUT (the [invalidate] instruction). *)
 
+val invalidate_entry : t -> lut_id:int -> key:int64 -> bool
+(** Drop one [(lut_id, key)] entry if present (a cluster directory
+    invalidating a stale replica after a remote write); [true] if an entry
+    was dropped. Reads the true stored bits and draws no fault
+    opportunities. *)
+
+val holds_lut : t -> lut_id:int -> bool
+(** Whether any valid entry belongs to [lut_id] — lets an invalidate
+    broadcast classify receivers as delivered (held entries) vs filtered
+    (held nothing). O(capacity) scan; invalidations are rare. *)
+
 val invalidate_all : t -> unit
 
 val occupancy : t -> int

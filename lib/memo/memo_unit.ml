@@ -859,6 +859,16 @@ let invalidate_external t ~lut =
   Lut.invalidate_lut t.l1 ~lut_id:lut;
   match t.profile with Some pr -> pr.pr_invalidate ~lut | None -> ()
 
+(* Receiver side of a cross-NODE point-to-point invalidation: the same L1
+   drop as [invalidate_external], but miss-reason attribution stays with the
+   caller — the cluster layer marks its collectors with the remote reason so
+   directory traffic is distinguishable in miss attribution. *)
+let invalidate_remote t ~lut = Lut.invalidate_lut t.l1 ~lut_id:lut
+
+let l1_holds t ~lut = Lut.holds_lut t.l1 ~lut_id:lut
+
+let l1_invalidate_entry t ~lut ~key = Lut.invalidate_entry t.l1 ~lut_id:lut ~key
+
 let hooks ?(tid = 0) t : Interp.memo_hooks =
   {
     send = (fun ~lut ~ty ~trunc v -> send ~tid t ~lut ~ty ~trunc v);

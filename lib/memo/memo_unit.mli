@@ -181,6 +181,20 @@ val invalidate_external : t -> lut:int -> unit
     [invalidate]. Does not touch hash registers, the shared level, or this
     core's invalidation count — those belong to the issuing core. *)
 
+val invalidate_remote : t -> lut:int -> unit
+(** Receiver side of a cross-{e node} point-to-point invalidation: the same
+    private-L1 drop as {!invalidate_external}, but without the profile
+    event — the cluster layer attributes the drop to the remote reason on
+    its own collectors. *)
+
+val l1_holds : t -> lut:int -> bool
+(** Whether this core's private L1 holds any entry of [lut] — lets the
+    invalidate broadcast count delivered vs filtered receivers. *)
+
+val l1_invalidate_entry : t -> lut:int -> key:int64 -> bool
+(** Drop one [(lut, key)] entry from the private L1 if present (a cluster
+    directory invalidating a stale replica); [true] if dropped. *)
+
 val attach_l3 : t -> l3_port -> unit
 (** Attach the DRAM tier. Extends the last {e private} SRAM level's evict
     hook with [t3_spill] (a unit backed by a cluster-shared L2 spills at the

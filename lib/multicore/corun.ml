@@ -146,7 +146,14 @@ type cluster = {
   injector : Injector.t option;
   active : core_timing ref;
   profiles : Profile.t array option;  (* one collector per core *)
+  on_invalidate : (core:int -> lut:int -> at:int -> unit) option;
+      (* cross-node directory hook, fired after the local broadcast *)
+  inv_counters : (string, Registry.counter) Hashtbl.t;
+      (* lazily-created corun.invalidate.* family (see [memo_hooks]) *)
 }
+
+type l2_port_maker =
+  core:int -> now:(unit -> int) -> local:Memo_unit.shared_l2 -> Memo_unit.shared_l2
 
 (* Every core serves the whole mix's LUT namespace, so every collector is
    declared over the same remapped region list — which is what lets the
@@ -160,7 +167,7 @@ let mix_regions cfg mix =
         probe.Workload.regions)
     mix
 
-let create_cluster ?(metrics = false) ?(profile = false) cfg =
+let create_cluster ?(metrics = false) ?(profile = false) ?l2_port ?on_invalidate cfg =
   if cfg.ncores < 1 then invalid_arg "Corun: need at least one core";
   let mix = resolve_mix cfg in
   let decls = mix_decls cfg mix in
@@ -226,6 +233,18 @@ let create_cluster ?(metrics = false) ?(profile = false) cfg =
         sl_invalidate = (fun ~lut_id -> Shared_lut.invalidate_lut shared ~lut_id);
       }
     in
+    (* The cluster layer interposes shard routing here: probes and inserts
+       whose key homes on another node are redirected over the modeled
+       interconnect, everything else falls through to [local]. Absent, the
+       unit talks to the node-local shared level exactly as before. *)
+    let shared_l2 =
+      match l2_port with
+      | None -> shared_l2
+      | Some make ->
+          make ~core:id
+            ~now:(fun () -> timing.base + timing.clock ())
+            ~local:shared_l2
+    in
     let core_metrics = if metrics then Some (Registry.create ()) else None in
     let unit_ =
       Memo_unit.create ?metrics:core_metrics
@@ -258,16 +277,49 @@ let create_cluster ?(metrics = false) ?(profile = false) cfg =
             })
         cores
   | None -> ());
-  { cfg; mix; shared; l3; arbiter; cores; cluster_metrics; injector; active; profiles }
+  {
+    cfg;
+    mix;
+    shared;
+    l3;
+    arbiter;
+    cores;
+    cluster_metrics;
+    injector;
+    active;
+    profiles;
+    on_invalidate;
+    inv_counters = Hashtbl.create 8;
+  }
 
 let core_unit cluster ~core = cluster.cores.(core).unit_
 let shared_lut cluster = cluster.shared
 let dram_lut cluster = cluster.l3
+let collectors cluster = cluster.profiles
+
+(* The corun.invalidate.* counter family is created on first use, so a run
+   that never retires an [invalidate] (most mixes under [retain_luts]) keeps
+   its metrics snapshot byte-identical to pre-counter reports. *)
+let bump_inv cluster name =
+  match cluster.cluster_metrics with
+  | None -> ()
+  | Some reg ->
+      let c =
+        match Hashtbl.find_opt cluster.inv_counters name with
+        | Some c -> c
+        | None ->
+            let c = Registry.counter reg name in
+            Hashtbl.add cluster.inv_counters name c;
+            c
+      in
+      Registry.incr c
 
 (* A core's memo hooks, wrapped so a retired [invalidate] broadcasts to
    every other core's private L1 (Section 3.4's cross-core visibility: the
    shared level is dropped by the issuing unit itself, the peers' stale L1
-   copies are dropped here). *)
+   copies are dropped here). Every peer receives the broadcast, but only
+   peers actually holding the LUT do any work — the delivered/filtered
+   split is the measured baseline a cluster directory has to beat. *)
 let memo_hooks cluster ~core =
   let own = Memo_unit.hooks cluster.cores.(core).unit_ in
   {
@@ -275,9 +327,23 @@ let memo_hooks cluster ~core =
     Interp.invalidate =
       (fun ~lut ->
         own.Interp.invalidate ~lut;
+        bump_inv cluster "corun.invalidate.broadcasts";
         Array.iter
-          (fun o -> if o.id <> core then Memo_unit.invalidate_external o.unit_ ~lut)
-          cluster.cores);
+          (fun o ->
+            if o.id <> core then begin
+              let held = Memo_unit.l1_holds o.unit_ ~lut in
+              bump_inv cluster
+                (Printf.sprintf "corun.invalidate.%s.core%d"
+                   (if held then "delivered" else "filtered")
+                   o.id);
+              Memo_unit.invalidate_external o.unit_ ~lut
+            end)
+          cluster.cores;
+        match cluster.on_invalidate with
+        | Some f ->
+            let t = cluster.cores.(core).timing in
+            f ~core ~lut ~at:(t.base + t.clock ())
+        | None -> ());
   }
 
 (* ---- per-request execution -------------------------------------------- *)
@@ -726,7 +792,7 @@ let capture_snapshot (cluster : cluster) =
   in
   { Snapshot.sections = l1s @ (l2 :: l3) }
 
-let restore_snapshot (cluster : cluster) (snap : Snapshot.t) =
+let restore_snapshot_stats (cluster : cluster) (snap : Snapshot.t) =
   let restored = ref 0 in
   Array.iteri
     (fun i c ->
@@ -737,10 +803,19 @@ let restore_snapshot (cluster : cluster) (snap : Snapshot.t) =
   (match Snapshot.section snap "l2" with
   | Some s -> restored := !restored + Snapshot.restore_lut s (Shared_lut.lut cluster.shared)
   | None -> ());
+  let amortised = ref 0 and serial = ref 0 in
   (match (Snapshot.section snap "l3", cluster.l3) with
-  | Some s, Some d -> restored := !restored + Snapshot.restore_dram s d
+  | Some s, Some d ->
+      let n, a, sr = Snapshot.restore_dram_batched s d in
+      restored := !restored + n;
+      amortised := a;
+      serial := sr
   | _ -> ());
-  !restored
+  (!restored, !amortised, !serial)
+
+let restore_snapshot (cluster : cluster) (snap : Snapshot.t) =
+  let restored, _amortised, _serial = restore_snapshot_stats cluster snap in
+  restored
 
 let run_matrix ?jobs ?(profile = false) cfgs =
   Pool.run ?jobs (fun cfg -> run ~metrics:true ~profile cfg) cfgs
@@ -886,6 +961,7 @@ let report_runs ?(series_cap = default_series_cap) ?(per_core = true) outcomes =
               metrics = Registry.decimate ~cap:series_cap snap;
               profile = profile_json_for o who;
               service = None;
+              cluster = None;
             })
           snaps)
     outcomes

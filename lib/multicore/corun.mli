@@ -54,7 +54,21 @@ val label : config -> string
 
 type cluster
 
-val create_cluster : ?metrics:bool -> ?profile:bool -> config -> cluster
+type l2_port_maker =
+  core:int -> now:(unit -> int) -> local:Axmemo_memo.Memo_unit.shared_l2 ->
+  Axmemo_memo.Memo_unit.shared_l2
+(** How a multi-node layer interposes on a core's shared-L2 traffic: called
+    once per core at cluster creation with the core id, the core's absolute
+    cycle clock, and the node-local port (which already records bank
+    arbitration); the returned port is what the unit talks to. *)
+
+val create_cluster :
+  ?metrics:bool ->
+  ?profile:bool ->
+  ?l2_port:l2_port_maker ->
+  ?on_invalidate:(core:int -> lut:int -> at:int -> unit) ->
+  config ->
+  cluster
 (** Builds the cores, the shared LUT and the arbiter. Every workload's
     logical LUT ids are renumbered onto a disjoint range (mix order), so a
     mixed stream never aliases; single-workload mixes keep their original
@@ -62,13 +76,30 @@ val create_cluster : ?metrics:bool -> ?profile:bool -> config -> cluster
     plus a cluster registry (the shared LUT's). [profile] attaches one
     {!Axmemo_obs.Profile} collector per core over the mix's remapped
     regions, with shared-LUT evictions broadcast to every collector.
+    [?l2_port] lets the sharded-cluster layer redirect shared-level traffic
+    (absent, units talk to the node-local level exactly as before);
+    [?on_invalidate] fires after each local invalidate broadcast — with the
+    issuing core, the LUT id, and the absolute issue cycle — so a directory
+    can issue cross-node invalidations. Neither default changes any
+    behaviour.
     @raise Invalid_argument on an unknown benchmark, an empty mix, fewer
     than one core, or a mix needing more than 8 logical LUTs. *)
 
 val memo_hooks : cluster -> core:int -> Axmemo_ir.Interp.memo_hooks
 (** The core's own hooks with [invalidate] wrapped to broadcast: the
     issuing unit drops its L1 and the shared level, the wrapper drops every
-    {e other} core's private L1 so no stale private copy survives. *)
+    {e other} core's private L1 so no stale private copy survives. With a
+    metrics registry attached, the broadcast counts one
+    [corun.invalidate.broadcasts] event plus, per peer core,
+    [corun.invalidate.delivered.core<i>] (the peer held the LUT) or
+    [corun.invalidate.filtered.core<i>] (it held nothing — the message was
+    pure overhead). The family is created lazily on the first event, so
+    invalidate-free runs keep byte-identical metrics snapshots. *)
+
+val collectors : cluster -> Axmemo_obs.Profile.t array option
+(** The live per-core profile collectors (creation order), when the cluster
+    was built with [~profile:true] — the cluster layer marks remote
+    invalidations on them. *)
 
 val core_unit : cluster -> core:int -> Axmemo_memo.Memo_unit.t
 val shared_lut : cluster -> Shared_lut.t
@@ -88,7 +119,15 @@ val restore_snapshot : cluster -> Axmemo_tier.Snapshot.t -> int
     do not match the cluster's shape (extra cores, an [l3] section with no
     tier attached) are skipped, so a snapshot from a wider configuration
     degrades gracefully. Restoring draws no fault events and leaves
-    telemetry counters untouched. *)
+    telemetry counters untouched. DRAM-tier sections go through
+    {!Axmemo_tier.Dram_lut.bulk_fill} (row-sorted batch warming; identical
+    final state). *)
+
+val restore_snapshot_stats : cluster -> Axmemo_tier.Snapshot.t -> int * int * int
+(** Like {!restore_snapshot} but also returns the DRAM tier's batch-warming
+    accounting: [(restored, amortised, serial)] row activations — what the
+    row-sorted fill cost vs an entry-at-a-time replay. Both are 0 when the
+    snapshot has no [l3] section or no tier is attached. *)
 
 (** {2 Serve-layer access}
 

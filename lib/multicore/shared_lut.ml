@@ -220,6 +220,17 @@ let invalidate_lut t ~lut_id =
   (match t.telem with Some tl -> Registry.incr tl.invalidations_c | None -> ());
   Lut.invalidate_lut t.lut ~lut_id
 
+(* Directory-driven drop of one stale replica after a remote write; counted
+   as an invalidation only when an entry was actually dropped, so idle
+   directories leave the telemetry untouched. *)
+let invalidate_entry t ~lut_id ~key =
+  let dropped = Lut.invalidate_entry t.lut ~lut_id ~key in
+  (if dropped then
+     match t.telem with Some tl -> Registry.incr tl.invalidations_c | None -> ());
+  dropped
+
+let holds_lut t ~lut_id = Lut.holds_lut t.lut ~lut_id
+
 let flush_metrics t =
   match t.telem with
   | None -> ()

@@ -59,6 +59,15 @@ val invalidate_lut : t -> lut_id:int -> unit
 (** Drop one logical LUT everywhere — the shared half of the cross-core
     invalidate broadcast. *)
 
+val invalidate_entry : t -> lut_id:int -> key:int64 -> bool
+(** Drop one [(lut_id, key)] entry if present (a cluster directory
+    invalidating a stale replica after a remote write); [true] if dropped.
+    Counts a [lut.l2.invalidations] telemetry event only when something was
+    dropped. *)
+
+val holds_lut : t -> lut_id:int -> bool
+(** Whether the shared level holds any entry of [lut_id]. *)
+
 val set_evict_observer :
   t -> (lut_id:int -> key:int64 -> full:bool -> unit) -> unit
 (** Install an eviction observer (the attribution profiler's residency

@@ -126,6 +126,12 @@ let flatten_run run =
   (match Json.member "service" run with
   | Some (Json.Obj kvs) -> List.iter (emit_tree "service.") kvs
   | _ -> ());
+  (* The sharded-cluster section gates the same way: shard balance,
+     directory traffic and replication shares all become cluster.<path>
+     metrics. *)
+  (match Json.member "cluster" run with
+  | Some (Json.Obj kvs) -> List.iter (emit_tree "cluster.") kvs
+  | _ -> ());
   (match Json.member "metrics" run with
   | Some metrics ->
       (match Json.member "counters" metrics with

@@ -6,7 +6,9 @@
     [histograms.<name>.total]/[.sum], and — when a run carries the
     optional service-level section — every scalar leaf of it as
     [service.<path>] (nested objects dot-flattened, so a latency
-    percentile gates as e.g. [service.total_latency.p999]). Series carry
+    percentile gates as e.g. [service.total_latency.p999]) — and the same
+    for the optional sharded-cluster section as [cluster.<path>]. Series
+    carry
     a time axis and are skipped; non-numeric fields (strings) are
     compared for equality and reported as a violation when they differ.
 

@@ -9,12 +9,22 @@ type reason =
   | Capacity
   | Conflict
   | Invalidated
+  | Remote_invalidated
   | Monitor_forced
   | Collision_aliased
   | Other
 
 let all_reasons =
-  [ Cold; Capacity; Conflict; Invalidated; Monitor_forced; Collision_aliased; Other ]
+  [
+    Cold;
+    Capacity;
+    Conflict;
+    Invalidated;
+    Remote_invalidated;
+    Monitor_forced;
+    Collision_aliased;
+    Other;
+  ]
 
 let nreasons = List.length all_reasons
 
@@ -23,15 +33,17 @@ let reason_index = function
   | Capacity -> 1
   | Conflict -> 2
   | Invalidated -> 3
-  | Monitor_forced -> 4
-  | Collision_aliased -> 5
-  | Other -> 6
+  | Remote_invalidated -> 4
+  | Monitor_forced -> 5
+  | Collision_aliased -> 6
+  | Other -> 7
 
 let reason_name = function
   | Cold -> "cold"
   | Capacity -> "capacity"
   | Conflict -> "conflict"
   | Invalidated -> "invalidated"
+  | Remote_invalidated -> "remote_invalidated"
   | Monitor_forced -> "monitor_forced"
   | Collision_aliased -> "collision_aliased"
   | Other -> "other"
@@ -166,6 +178,17 @@ let on_invalidate t ~lut =
     (fun _ st ->
       st.levels <- 0;
       st.gone <- Invalidated)
+    (shadow_of t lut)
+
+(* Point-to-point invalidation delivered from another cluster node: same
+   residency drop as a local invalidate, but subsequent misses classify as
+   [Remote_invalidated] so directory traffic shows up in miss attribution. *)
+let on_remote_invalidate t ~lut =
+  (rstat_of t lut).invalidations <- (rstat_of t lut).invalidations + 1;
+  Hashtbl.iter
+    (fun _ st ->
+      st.levels <- 0;
+      st.gone <- Remote_invalidated)
     (shadow_of t lut)
 
 let classify_miss t ~lut ~key ~fp ~forced =

@@ -15,7 +15,9 @@
       displaced while the level was full), {!Conflict} (displaced from a
       non-full level — set conflict), {!Invalidated} (dropped by an
       [invalidate], an adaptive-truncation change, or a cross-core
-      broadcast), {!Monitor_forced} (quality-monitor sampling, adaptive
+      broadcast), {!Remote_invalidated} (dropped by a point-to-point
+      invalidation arriving from another cluster node's directory),
+      {!Monitor_forced} (quality-monitor sampling, adaptive
       profiling windows, or a tripped monitor), {!Collision_aliased} (the
       departed entry carried a different input fingerprint — the slot
       belonged to a colliding input, so this is an aliased first touch) and
@@ -35,6 +37,7 @@ type reason =
   | Capacity
   | Conflict
   | Invalidated
+  | Remote_invalidated
   | Monitor_forced
   | Collision_aliased
   | Other
@@ -68,6 +71,11 @@ val shared_evict : t -> lut:int -> key:int64 -> full:bool -> unit
 val note_contention : t -> lut:int -> cycles:int -> unit
 (** Charge [cycles] of shared-LUT arbitration stall to the region owning
     [lut] (from the arbiter's settlement). *)
+
+val on_remote_invalidate : t -> lut:int -> unit
+(** Residency drop delivered point-to-point from another cluster node's
+    directory; subsequent misses on the dropped keys classify as
+    {!Remote_invalidated} instead of {!Invalidated}. *)
 
 (** {1 Snapshots} *)
 

@@ -13,6 +13,8 @@
 module Schedule = Axmemo_multicore.Schedule
 module Corun = Axmemo_multicore.Corun
 module Shared_lut = Axmemo_multicore.Shared_lut
+module Arbiter = Axmemo_multicore.Arbiter
+module Cluster = Axmemo_cluster.Cluster
 module Registry = Axmemo_telemetry.Registry
 module Report = Axmemo_telemetry.Report
 module Tracer = Axmemo_telemetry.Tracer
@@ -25,10 +27,14 @@ module Rng = Axmemo_util.Rng
 
 type config = {
   cluster : Corun.config;
+  nodes : int;
+      (* service nodes; 1 drives a plain Corun cluster (the pre-cluster
+         code path, byte-identical reports), > 1 drives the sharded
+         multi-node cluster with cfg.cluster as the per-node shape *)
   arrival : Arrival.kind;
   load : float;
       (* offered load as a fraction of cluster capacity: the arrival rate is
-         load * ncores / mean_service_cycles *)
+         load * nodes * ncores / mean_service_cycles *)
   queue_capacity : int;
   shed : Schedule.shed_policy;
   slo_cycles : int;  (* 0 = auto: slo_auto_factor x calibrated mean *)
@@ -40,6 +46,7 @@ let slo_auto_factor = 4.0
 let default =
   {
     cluster = Corun.default;
+    nodes = 1;
     arrival = Arrival.Poisson;
     load = 0.8;
     queue_capacity = 16;
@@ -50,14 +57,17 @@ let default =
 
 (* [base_label] deliberately ignores [warm_start]: it keys the arrival
    stream's seed, so a warm-started run faces exactly the arrival sequence
-   its cold twin does — the only difference between them is LUT state. *)
+   its cold twin does — the only difference between them is LUT state. The
+   nodes suffix appears only for multi-node runs, keeping single-node
+   labels (and the arrival streams they key) unchanged. *)
 let base_label cfg =
-  Printf.sprintf "serve(%s,load=%g,%dcore,%s,q=%d,%s)"
+  Printf.sprintf "serve(%s,load=%g,%dcore,%s,q=%d,%s%s)"
     (Arrival.kind_name cfg.arrival)
     cfg.load cfg.cluster.Corun.ncores
     (Shared_lut.partition_name cfg.cluster.Corun.partition)
     cfg.queue_capacity
     (Schedule.shed_policy_name cfg.shed)
+    (if cfg.nodes > 1 then Printf.sprintf ",nodes=%d" cfg.nodes else "")
 
 let label cfg =
   match cfg.warm_start with
@@ -141,6 +151,9 @@ type outcome = {
   shared_accesses : int;
   contended_accesses : int;
   trace_unmatched_ends : int;
+  cluster_section : Json.t option;
+      (* the sharded-cluster report section; None on single-node runs so
+         their report rows stay byte-identical *)
   snapshots : (string * Registry.snapshot) list;
   tracer : Tracer.t;
   sim_wall_seconds : float;
@@ -167,6 +180,63 @@ let hist_of snap name =
   | _ | (exception Not_found) ->
       invalid_arg (Printf.sprintf "Serve: no histogram %S in snapshot" name)
 
+(* ---- the execution engine ----------------------------------------------
+
+   What a run dispatches onto: the single-node co-run cluster, or the
+   sharded multi-node cluster when nodes > 1. Both expose the same
+   per-request step plus the post-hoc settlement/flush/snapshot sequence;
+   the single-node path is the pre-cluster machinery verbatim, so
+   cluster-less runs (and their committed baselines) stay byte-identical. *)
+
+type engine = {
+  eng_exec : workload:string -> core:int -> start:int -> Runner.result;
+  eng_settle : unit -> int array * int * int;
+      (* per-core settled stall cycles (bank arbitration, plus NIC
+         contention and synchronous remote-probe latency on the cluster),
+         shared accesses, contended accesses *)
+  eng_flush : unit -> unit;
+  eng_snapshots : unit -> (string * Registry.snapshot) list;
+  eng_restore : Axmemo_tier.Snapshot.t -> int;
+  eng_section : unit -> Json.t option;
+      (* the "cluster" report section; meaningful only after eng_settle *)
+}
+
+let corun_engine (cfg : config) =
+  let cluster = Corun.create_cluster ~metrics:true cfg.cluster in
+  {
+    eng_exec =
+      (fun ~workload ~core ~start -> Corun.exec_request cluster ~workload ~core ~start);
+    eng_settle =
+      (fun () ->
+        let s = Corun.settle_arbiter cluster in
+        (s.Arbiter.stall_cycles, s.Arbiter.accesses, s.Arbiter.contended));
+    eng_flush = (fun () -> Corun.flush_metrics cluster);
+    eng_snapshots = (fun () -> Corun.cluster_snapshots cluster);
+    eng_restore = Corun.restore_snapshot cluster;
+    eng_section = (fun () -> None);
+  }
+
+let cluster_engine (cfg : config) =
+  let t =
+    Cluster.create ~metrics:true
+      { Cluster.default with Cluster.nodes = cfg.nodes; node = cfg.cluster }
+  in
+  let settled = ref None in
+  {
+    eng_exec =
+      (fun ~workload ~core ~start -> Cluster.exec_request t ~workload ~gcore:core ~start);
+    eng_settle =
+      (fun () ->
+        let s = Cluster.settle t in
+        settled := Some s;
+        (s.Cluster.stalls, s.Cluster.shared_accesses, s.Cluster.contended_accesses));
+    eng_flush = (fun () -> Cluster.flush_metrics t);
+    eng_snapshots = (fun () -> Cluster.snapshots t);
+    eng_restore = Cluster.restore_snapshot t;
+    eng_section =
+      (fun () -> Option.map (fun s -> Cluster.section t ~settled:s) !settled);
+  }
+
 (* ---- the run ----------------------------------------------------------- *)
 
 let run (cfg : config) =
@@ -177,7 +247,8 @@ let run (cfg : config) =
       if not (cfg.load > 0.0 && Float.is_finite cfg.load) then
         invalid_arg "Serve.run: open-loop arrivals need a positive load");
   if cfg.slo_cycles < 0 then invalid_arg "Serve.run: negative slo_cycles";
-  let ncores = cfg.cluster.Corun.ncores in
+  if cfg.nodes < 1 then invalid_arg "Serve.run: need at least one node";
+  let ncores = cfg.cluster.Corun.ncores * cfg.nodes in
   let mean_service = calibrate cfg in
   let rate =
     match cfg.arrival with
@@ -192,7 +263,7 @@ let run (cfg : config) =
     if cfg.slo_cycles > 0 then cfg.slo_cycles
     else int_of_float (slo_auto_factor *. mean_service)
   in
-  let cluster = Corun.create_cluster ~metrics:true cfg.cluster in
+  let engine = if cfg.nodes > 1 then cluster_engine cfg else corun_engine cfg in
   (* Warm restart: replay a saved snapshot into the fresh cluster before the
      first request. Snapshot problems surface as Invalid_argument so the CLI
      turns them into a one-line error and exit 1. *)
@@ -201,7 +272,7 @@ let run (cfg : config) =
     | None -> 0
     | Some path -> (
         match Axmemo_tier.Snapshot.load path with
-        | Ok snap -> Corun.restore_snapshot cluster snap
+        | Ok snap -> engine.eng_restore snap
         | Error msg ->
             invalid_arg (Printf.sprintf "Serve.run: warm-start %s: %s" path msg))
   in
@@ -209,12 +280,12 @@ let run (cfg : config) =
     Schedule.dispatch_open ~ncores ~queue_capacity:cfg.queue_capacity
       ~shed:cfg.shed
       ~run:(fun r ~core ~start ->
-        let res = Corun.exec_request cluster ~workload:r.Schedule.workload ~core ~start in
+        let res = engine.eng_exec ~workload:r.Schedule.workload ~core ~start in
         (res.Runner.cycles, res))
       arrivals
   in
-  let settlement = Corun.settle_arbiter cluster in
-  Corun.flush_metrics cluster;
+  let stalls, shared_accesses, contended_accesses = engine.eng_settle () in
+  engine.eng_flush ();
   (* Classify warm vs cold in dispatch order: the first execution of each
      workload is the cold one; everything after it probes warm LUTs. *)
   let seen = Hashtbl.create 8 in
@@ -288,7 +359,12 @@ let run (cfg : config) =
   in
   Tracer.name_thread tr ~tid:0 "admission";
   for c = 0 to ncores - 1 do
-    Tracer.name_thread tr ~tid:(c + 1) (Printf.sprintf "core %d" c)
+    Tracer.name_thread tr ~tid:(c + 1)
+      (if cfg.nodes > 1 then
+         Printf.sprintf "n%d core %d"
+           (c / cfg.cluster.Corun.ncores)
+           (c mod cfg.cluster.Corun.ncores)
+       else Printf.sprintf "core %d" c)
   done;
   let span_name rid workload = Printf.sprintf "r%d:%s" rid workload in
   let events =
@@ -330,7 +406,7 @@ let run (cfg : config) =
     events;
   let trace_unmatched_ends = Tracer.unmatched_ends tr in
   Registry.set_count c_unmatched trace_unmatched_ends;
-  let snapshots = ("serve", Registry.snapshot reg) :: Corun.cluster_snapshots cluster in
+  let snapshots = ("serve", Registry.snapshot reg) :: engine.eng_snapshots () in
   let serve_snap = List.assoc "serve" snapshots in
   let max_of f =
     List.fold_left (fun m r -> Float.max m (float_of_int (f r))) 0.0 records
@@ -342,10 +418,7 @@ let run (cfg : config) =
      makespan matches Corun.run's accounting (the Closed degenerate case is
      bit-identical end to end, makespan included). *)
   let makespan =
-    Array.fold_left max 0
-      (Array.mapi
-         (fun i b -> b + settlement.Axmemo_multicore.Arbiter.stall_cycles.(i))
-         busy)
+    Array.fold_left max 0 (Array.mapi (fun i b -> b + stalls.(i)) busy)
   in
   let sim_seconds = float_of_int makespan /. cycles_per_second in
   {
@@ -372,10 +445,11 @@ let run (cfg : config) =
     warm_hit_rate = ratio (hits_of (fun r -> not r.cold)) (lookups_of (fun r -> not r.cold));
     aggregate_hit_rate = ratio (hits_of (fun _ -> true)) (lookups_of (fun _ -> true));
     restored_entries;
-    contention_cycles = Array.fold_left ( + ) 0 settlement.Axmemo_multicore.Arbiter.stall_cycles;
-    shared_accesses = settlement.Axmemo_multicore.Arbiter.accesses;
-    contended_accesses = settlement.Axmemo_multicore.Arbiter.contended;
+    contention_cycles = Array.fold_left ( + ) 0 stalls;
+    shared_accesses;
+    contended_accesses;
     trace_unmatched_ends;
+    cluster_section = engine.eng_section ();
     snapshots;
     tracer = tr;
     sim_wall_seconds = Unix.gettimeofday () -. wall0;
@@ -401,7 +475,7 @@ let saturation ?(shed_threshold = 0.01) outcomes =
     List.fold_left
       (fun acc o ->
         let k =
-          ( o.cfg.cluster.Corun.ncores,
+          ( o.cfg.nodes * o.cfg.cluster.Corun.ncores,
             Shared_lut.partition_name o.cfg.cluster.Corun.partition,
             Arrival.kind_name o.cfg.arrival )
         in
@@ -413,7 +487,7 @@ let saturation ?(shed_threshold = 0.01) outcomes =
       let group =
         List.filter
           (fun o ->
-            ( o.cfg.cluster.Corun.ncores,
+            ( o.cfg.nodes * o.cfg.cluster.Corun.ncores,
               Shared_lut.partition_name o.cfg.cluster.Corun.partition,
               Arrival.kind_name o.cfg.arrival )
             = k)
@@ -522,8 +596,25 @@ let report_runs ?(series_cap = default_series_cap) ?(wall = false) outcomes =
   List.map
     (fun o ->
       let serve_snap = List.assoc "serve" o.snapshots in
+      (* Shared-level registries ride on the row: the single ["cluster"]
+         registry as-is, and on multi-node runs each node's ["n<j>.cluster"]
+         registry with its metric names under the same n<j>. prefix (names
+         stay disjoint, so the re-sorted union keeps every series). *)
       let cluster_snap =
-        match List.assoc_opt "cluster" o.snapshots with Some s -> s | None -> []
+        List.concat_map
+          (fun (who, snap) ->
+            if who = "cluster" then snap
+            else
+              match String.index_opt who '.' with
+              | Some i
+                when String.length who > 1
+                     && who.[0] = 'n'
+                     && String.sub who (i + 1) (String.length who - i - 1)
+                        = "cluster" ->
+                  let prefix = String.sub who 0 (i + 1) in
+                  List.map (fun (k, v) -> (prefix ^ k, v)) snap
+              | _ -> [])
+          o.snapshots
       in
       let metrics =
         List.sort (fun (a, _) (b, _) -> compare a b) (serve_snap @ cluster_snap)
@@ -543,6 +634,7 @@ let report_runs ?(series_cap = default_series_cap) ?(wall = false) outcomes =
         metrics = Registry.decimate ~cap:series_cap metrics;
         profile = None;
         service = Some (service_json o);
+        cluster = o.cluster_section;
       })
     outcomes
 

@@ -21,11 +21,20 @@
 
 type config = {
   cluster : Axmemo_multicore.Corun.config;
-      (** cores, LUT sizes, partition policy, mix and request count *)
+      (** cores, LUT sizes, partition policy, mix and request count (the
+          per-node shape when [nodes > 1]) *)
+  nodes : int;
+      (** service nodes. 1 (the default) drives a plain
+          {!Axmemo_multicore.Corun} cluster — the pre-cluster code path,
+          byte-identical reports. [> 1] drives the sharded multi-node
+          cluster ({!Axmemo_cluster.Cluster}) with directory invalidation
+          and the modeled interconnect; the report row gains the
+          ["cluster"] section and per-node [n<j>.]-prefixed metrics. *)
   arrival : Arrival.kind;
   load : float;
       (** offered load as a fraction of cluster capacity; 1.0 = one mean
-          service time of work per core per unit time *)
+          service time of work per core per unit time, across all
+          [nodes * ncores] cores *)
   queue_capacity : int;  (** waiting requests beyond the cores *)
   shed : Axmemo_multicore.Schedule.shed_policy;
   slo_cycles : int;
@@ -117,6 +126,11 @@ type outcome = {
           timeline — nonzero means the span bookkeeping went unbalanced;
           surfaced as the [serve.trace.unmatched_ends] counter and in the
           ["service"] section so the diff gate pins it at 0 *)
+  cluster_section : Axmemo_util.Json.t option;
+      (** the sharded-cluster report section (shard balance, directory
+          traffic, replication, interconnect accounting), attached to the
+          report row and regression-gated as [cluster.<path>]; [None] on
+          single-node runs so their rows stay byte-identical *)
   snapshots : (string * Axmemo_telemetry.Registry.snapshot) list;
       (** ["serve"] (lifecycle counters, latency histograms, queue-depth
           series) plus the cluster registries *)
@@ -131,8 +145,9 @@ type outcome = {
 val run : config -> outcome
 (** Simulates one service run.
     @raise Invalid_argument on a non-positive load with open-loop
-    arrivals, a negative SLO, an unreadable/invalid [warm_start] snapshot,
-    or anything {!Axmemo_multicore.Corun} or
+    arrivals, a negative SLO, a non-positive node count, an
+    unreadable/invalid [warm_start] snapshot, or anything
+    {!Axmemo_multicore.Corun}, {!Axmemo_cluster.Cluster} or
     {!Axmemo_multicore.Schedule.dispatch_open} rejects. *)
 
 val run_matrix : ?jobs:int -> config list -> outcome list

@@ -9,6 +9,7 @@ type run = {
   metrics : Registry.snapshot;
   profile : Json.t option;
   service : Json.t option;
+  cluster : Json.t option;
 }
 
 (* Optional sections render only when present, so reports without them are
@@ -23,7 +24,8 @@ let run_json r =
        ("metrics", Registry.to_json r.metrics);
      ]
     @ (match r.profile with None -> [] | Some p -> [ ("profile", p) ])
-    @ match r.service with None -> [] | Some s -> [ ("service", s) ])
+    @ (match r.service with None -> [] | Some s -> [ ("service", s) ])
+    @ match r.cluster with None -> [] | Some c -> [ ("cluster", c) ])
 
 (* Duplicate (benchmark, config) keys would make the report ambiguous for
    every aligning consumer (Obs.Diff, CSV pivots), so they are a caller

@@ -45,6 +45,11 @@ type run = {
           same additive omit-when-[None] contract as [profile]. Numeric
           leaves are flattened by [Obs.Diff] as [service.<path>] metrics,
           so the section is regression-gated like the summary. *)
+  cluster : Axmemo_util.Json.t option;
+      (** sharded-cluster section ([Cluster] run rows: shard balance,
+          directory traffic, replication hit share, interconnect
+          latency/energy); same additive omit-when-[None] contract as
+          [profile]/[service]. *)
 }
 
 val make : ?extra:(string * Axmemo_util.Json.t) list -> run list -> Axmemo_util.Json.t

@@ -108,3 +108,15 @@ val restore_entry : t -> lut_id:int -> key:int64 -> payload:int64 -> unit
 (** Snapshot replay: writes one entry without fault draws, telemetry, or
     row-buffer perturbation. Replaying a capture oldest-first reproduces
     the captured per-row fill order. *)
+
+val bulk_fill : t -> (int * int64 * int64) array -> int * int
+(** [bulk_fill t entries] writes every [(lut_id, key, payload)] triple
+    row-sorted — the batch-warming policy for the {!bulk_lookup}
+    amortisation: each touched row pays one activation instead of one per
+    row switch. Recency stamps are pre-assigned in input order, so the
+    final tier state is bit-identical to a serial {!restore_entry} replay
+    of the same array. Returns [(amortised, serial)]: the row activations
+    the sorted batch costs vs what an in-order replay would have cost from
+    a precharged bank. Like {!restore_entry} the fill itself draws no
+    faults, counts no telemetry, and leaves the row buffer unperturbed —
+    callers bill the returned counts. *)

@@ -35,6 +35,14 @@ val capture_dram : name:string -> Dram_lut.t -> section
     slot). *)
 
 val restore_dram : section -> Dram_lut.t -> int
+(** Pushes entries through {!Dram_lut.bulk_fill} (row-sorted batch,
+    bit-identical final state to an in-order replay); returns the number
+    restored. *)
+
+val restore_dram_batched : section -> Dram_lut.t -> int * int * int
+(** Like {!restore_dram} but also returns the activation accounting:
+    [(restored, amortised, serial)] — row activations the row-sorted batch
+    cost vs what an in-order replay would have cost. *)
 
 val to_bytes : t -> string
 val of_bytes : string -> (t, string) result

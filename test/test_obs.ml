@@ -270,6 +270,7 @@ let report_with ?(bench = "bench") ?(config = "cfg") ?(label = "ok") cycles hits
         metrics = Registry.snapshot reg;
         profile = None;
         service = None;
+              cluster = None;
       };
     ]
 

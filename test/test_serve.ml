@@ -320,6 +320,7 @@ let base ?(ncores = 2) ?(requests = 10) ?(arrival = Arrival.Poisson)
         variant = W.Workload.Sample;
         l3;
       };
+    nodes = 1;
     arrival;
     load;
     queue_capacity = queue;

@@ -340,6 +340,7 @@ let tiny_report () =
         metrics = Registry.snapshot reg;
         profile = None;
         service = None;
+              cluster = None;
       };
     ]
 
@@ -376,6 +377,7 @@ let test_report_duplicate_run_rejected () =
       metrics = [];
       profile = None;
       service = None;
+              cluster = None;
     }
   in
   Alcotest.check_raises "duplicate key"
@@ -397,6 +399,7 @@ let test_report_csv () =
         metrics = Registry.snapshot reg;
         profile = None;
         service = None;
+              cluster = None;
       };
     ]
   in
@@ -471,6 +474,7 @@ let report_of pairs =
           metrics = snapshot;
           profile = None;
           service = None;
+              cluster = None;
         })
       pairs
   in
